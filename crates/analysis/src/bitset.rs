@@ -1,0 +1,303 @@
+//! A dense, fixed-capacity bit set.
+
+use std::fmt;
+
+/// A fixed-capacity set of small integers, stored one bit per element.
+///
+/// All binary operations require both operands to have the same capacity;
+/// data-flow facts over a common universe always do.
+///
+/// ```
+/// use epre_analysis::BitSet;
+/// let mut a = BitSet::new(100);
+/// a.insert(3);
+/// a.insert(64);
+/// let mut b = BitSet::new(100);
+/// b.insert(64);
+/// a.intersect_with(&b);
+/// assert_eq!(a.iter().collect::<Vec<_>>(), vec![64]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// An empty set able to hold elements `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// A set containing every element `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet { words: vec![!0u64; capacity.div_ceil(64)], capacity };
+        s.trim();
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.capacity;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= !0u64 >> extra;
+            }
+        }
+    }
+
+    /// The capacity (universe size) of the set.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Insert `i`; returns true if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Remove `i`; returns true if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Is `i` in the set?
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∪= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; returns true if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self −= other`; returns true if `self` changed.
+    pub fn difference_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & !b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Iterate the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, word: 0, bits: self.words.first().copied().unwrap_or(0) }
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`], produced by [`BitSet::iter`].
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * 64 + b);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect into a set sized by the maximum element (+1).
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(67);
+        assert_eq!(s.len(), 67);
+        assert!(s.contains(66));
+        assert!(!s.contains(67));
+        let e = BitSet::full(0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(128);
+        let mut b = BitSet::new(128);
+        for i in [1, 5, 64, 100] {
+            a.insert(i);
+        }
+        for i in [5, 64, 99] {
+            b.insert(i);
+        }
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 5, 64, 99, 100]);
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![5, 64]);
+        let mut d = a.clone();
+        assert!(d.difference_with(&b));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 100]);
+        // No-change operations report false.
+        assert!(!u.union_with(&a));
+        assert!(!i.intersect_with(&a));
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn out_of_range_insert_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: BitSet = [3usize, 9, 1].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 9]);
+    }
+
+    #[test]
+    fn matches_hashset_model() {
+        // Deterministic pseudo-random ops vs a HashSet reference model.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let cap = 200;
+        let mut bs = BitSet::new(cap);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for _ in 0..2000 {
+            let v = (rng() % cap as u64) as usize;
+            match rng() % 3 {
+                0 => {
+                    assert_eq!(bs.insert(v), hs.insert(v));
+                }
+                1 => {
+                    assert_eq!(bs.remove(v), hs.remove(&v));
+                }
+                _ => assert_eq!(bs.contains(v), hs.contains(&v)),
+            }
+            assert_eq!(bs.len(), hs.len());
+        }
+        let mut from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_hs: Vec<usize> = hs.into_iter().collect();
+        from_bs.sort_unstable();
+        from_hs.sort_unstable();
+        assert_eq!(from_bs, from_hs);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::full(100);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s: BitSet = [2usize, 4].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{2, 4}");
+    }
+}

@@ -1,0 +1,271 @@
+//! A gen/kill data-flow solver over the CFG.
+//!
+//! Every global system in the pipeline is a classic "rapid" gen/kill
+//! problem:
+//!
+//! | problem            | direction | meet | gen    | kill     |
+//! |--------------------|-----------|------|--------|----------|
+//! | available exprs    | forward   | ∩    | COMP   | ¬TRANSP  |
+//! | anticipatable exprs| backward  | ∩    | ANTLOC | ¬TRANSP  |
+//! | live variables     | backward  | ∪    | USE    | DEF      |
+//!
+//! The solver iterates `out = gen ∪ (in − kill)` (or the mirrored form for
+//! backward problems) to a fixed point using a worklist seeded in reverse
+//! postorder (postorder for backward problems), which converges in a few
+//! sweeps for reducible FORTRAN-shaped CFGs.
+//!
+//! Boundary conditions: for ∩-problems the boundary block (entry for
+//! forward, each exit for backward) starts from ∅ and interior blocks from
+//! the full set; for ∪-problems everything starts from ∅.
+
+use crate::bitset::BitSet;
+use epre_cfg::{order, Cfg};
+use epre_ir::BlockId;
+
+/// Direction of a data-flow problem.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors (e.g. availability).
+    Forward,
+    /// Facts flow from successors to predecessors (e.g. liveness).
+    Backward,
+}
+
+/// Meet operator combining facts at control-flow confluences.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Meet {
+    /// Set union — "along *some* path" problems.
+    Union,
+    /// Set intersection — "along *every* path" problems.
+    Intersection,
+}
+
+/// The fixed point of a gen/kill problem: one `(in, out)` pair per block.
+///
+/// For forward problems `ins[b]` is the meet over predecessors and
+/// `outs[b] = gen[b] ∪ (ins[b] − kill[b])`. For backward problems the roles
+/// mirror: `outs[b]` is the meet over successors and
+/// `ins[b] = gen[b] ∪ (outs[b] − kill[b])`.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Fact at block entry.
+    pub ins: Vec<BitSet>,
+    /// Fact at block exit.
+    pub outs: Vec<BitSet>,
+}
+
+/// Solve a gen/kill problem to its maximal (∩) or minimal (∪) fixed point.
+///
+/// `gen` and `kill` are indexed by block; all sets must share one capacity
+/// (the universe size).
+///
+/// # Panics
+/// Panics if `gen`/`kill` lengths disagree with the CFG block count.
+pub fn solve(cfg: &Cfg, dir: Direction, meet: Meet, gen: &[BitSet], kill: &[BitSet]) -> Solution {
+    let n = cfg.len();
+    assert_eq!(gen.len(), n, "gen sets per block");
+    assert_eq!(kill.len(), n, "kill sets per block");
+    let universe = gen.first().map_or(0, BitSet::capacity);
+
+    let empty = BitSet::new(universe);
+    let top = match meet {
+        Meet::Union => BitSet::new(universe),
+        Meet::Intersection => BitSet::full(universe),
+    };
+
+    let mut ins = vec![top.clone(); n];
+    let mut outs = vec![top.clone(); n];
+
+    // Process order: RPO for forward, postorder for backward.
+    let order: Vec<BlockId> = match dir {
+        Direction::Forward => order::reverse_postorder(cfg),
+        Direction::Backward => order::postorder(cfg),
+    };
+
+    // Unreachable blocks keep ⊤ (they impose no constraints); we simply
+    // never visit them.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let bi = b.index();
+            match dir {
+                Direction::Forward => {
+                    let new_in = meet_over(cfg.preds(b), &outs, meet, &empty, &top);
+                    let mut new_out = gen[bi].clone();
+                    let mut passed = new_in.clone();
+                    passed.difference_with(&kill[bi]);
+                    new_out.union_with(&passed);
+                    if new_in != ins[bi] || new_out != outs[bi] {
+                        ins[bi] = new_in;
+                        outs[bi] = new_out;
+                        changed = true;
+                    }
+                }
+                Direction::Backward => {
+                    let new_out = meet_over(cfg.succs(b), &ins, meet, &empty, &top);
+                    let mut new_in = gen[bi].clone();
+                    let mut passed = new_out.clone();
+                    passed.difference_with(&kill[bi]);
+                    new_in.union_with(&passed);
+                    if new_in != ins[bi] || new_out != outs[bi] {
+                        ins[bi] = new_in;
+                        outs[bi] = new_out;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    Solution { ins, outs }
+}
+
+fn meet_over(
+    neighbors: &[BlockId],
+    facts: &[BitSet],
+    meet: Meet,
+    empty: &BitSet,
+    _top: &BitSet,
+) -> BitSet {
+    // Boundary blocks (no neighbors in the meet direction) get ∅: nothing
+    // is available on entry, nothing anticipated after an exit, nothing
+    // live after an exit.
+    if neighbors.is_empty() {
+        return empty.clone();
+    }
+    let mut acc = facts[neighbors[0].index()].clone();
+    for &p in &neighbors[1..] {
+        match meet {
+            Meet::Union => {
+                acc.union_with(&facts[p.index()]);
+            }
+            Meet::Intersection => {
+                acc.intersect_with(&facts[p.index()]);
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre_ir::{BinOp, Const, FunctionBuilder, Ty};
+
+    /// Diamond: b0 -> {b1, b2} -> b3.
+    fn diamond_cfg() -> Cfg {
+        let mut b = FunctionBuilder::new("d", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let z = b.loadi(Const::Int(0));
+        let c = b.bin(BinOp::CmpLt, Ty::Int, x, z);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(x));
+        Cfg::new(&b.finish())
+    }
+
+    fn set(cap: usize, elems: &[usize]) -> BitSet {
+        let mut s = BitSet::new(cap);
+        for &e in elems {
+            s.insert(e);
+        }
+        s
+    }
+
+    #[test]
+    fn forward_intersection_availability() {
+        let cfg = diamond_cfg();
+        let cap = 2;
+        // Expression 0 computed in both arms; expression 1 only in b1.
+        let gen = vec![set(cap, &[]), set(cap, &[0, 1]), set(cap, &[0]), set(cap, &[])];
+        let kill = vec![BitSet::new(cap); 4];
+        let sol = solve(&cfg, Direction::Forward, Meet::Intersection, &gen, &kill);
+        // At the join, only expr 0 is available on every path.
+        assert!(sol.ins[3].contains(0));
+        assert!(!sol.ins[3].contains(1));
+        assert!(sol.ins[0].is_empty()); // entry boundary
+    }
+
+    #[test]
+    fn forward_kill_stops_facts() {
+        let cfg = diamond_cfg();
+        let cap = 1;
+        let gen = vec![set(cap, &[0]), set(cap, &[]), set(cap, &[]), set(cap, &[])];
+        // b2 kills expr 0.
+        let kill = vec![set(cap, &[]), set(cap, &[]), set(cap, &[0]), set(cap, &[])];
+        let sol = solve(&cfg, Direction::Forward, Meet::Intersection, &gen, &kill);
+        assert!(sol.ins[1].contains(0));
+        assert!(sol.ins[2].contains(0));
+        assert!(sol.outs[2].is_empty());
+        assert!(!sol.ins[3].contains(0)); // one path killed it
+    }
+
+    #[test]
+    fn backward_union_liveness() {
+        let cfg = diamond_cfg();
+        let cap = 2;
+        // Variable 0 used in b3; variable 1 used in b1; b0 defines 0.
+        let gen = vec![set(cap, &[]), set(cap, &[1]), set(cap, &[]), set(cap, &[0])];
+        let kill = vec![set(cap, &[0]), set(cap, &[]), set(cap, &[]), set(cap, &[])];
+        let sol = solve(&cfg, Direction::Backward, Meet::Union, &gen, &kill);
+        // 0 live out of both arms, killed across b0.
+        assert!(sol.outs[0].contains(0));
+        assert!(sol.outs[0].contains(1));
+        assert!(!sol.ins[0].contains(0)); // defined in b0
+        assert!(sol.ins[0].contains(1)); // 1 not defined anywhere upstream
+        assert!(sol.outs[3].is_empty()); // exit boundary
+    }
+
+    #[test]
+    fn backward_intersection_anticipability() {
+        let cfg = diamond_cfg();
+        let cap = 1;
+        // Expr 0 anticipated in both arms -> anticipated at end of b0.
+        let gen = vec![set(cap, &[]), set(cap, &[0]), set(cap, &[0]), set(cap, &[])];
+        let kill = vec![BitSet::new(cap); 4];
+        let sol = solve(&cfg, Direction::Backward, Meet::Intersection, &gen, &kill);
+        assert!(sol.outs[0].contains(0));
+        // If only one arm computes it, not anticipated.
+        let gen2 = vec![set(cap, &[]), set(cap, &[0]), set(cap, &[]), set(cap, &[])];
+        let sol2 = solve(&cfg, Direction::Backward, Meet::Intersection, &gen2, &kill);
+        assert!(!sol2.outs[0].contains(0));
+    }
+
+    #[test]
+    fn loop_fixed_point_converges() {
+        // entry -> head; head -> {body, exit}; body -> head.
+        let mut b = FunctionBuilder::new("l", None);
+        let c = b.loadi(Const::Int(1));
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(head);
+        b.switch_to(head);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let cfg = Cfg::new(&b.finish());
+        let cap = 1;
+        // Fact generated in body, never killed: available at head only via
+        // the back edge, so NOT available at head (entry path lacks it).
+        let gen = vec![set(cap, &[]), set(cap, &[]), set(cap, &[0]), set(cap, &[])];
+        let kill = vec![BitSet::new(cap); 4];
+        let sol = solve(&cfg, Direction::Forward, Meet::Intersection, &gen, &kill);
+        assert!(!sol.ins[head.index()].contains(0));
+        assert!(sol.ins[head.index()].is_empty());
+        // But with gen in entry it IS available everywhere.
+        let gen2 = vec![set(cap, &[0]), set(cap, &[]), set(cap, &[]), set(cap, &[])];
+        let sol2 = solve(&cfg, Direction::Forward, Meet::Intersection, &gen2, &kill);
+        assert!(sol2.ins[head.index()].contains(0));
+        assert!(sol2.ins[exit.index()].contains(0));
+    }
+}

@@ -1,0 +1,273 @@
+//! The lexical expression universe — PRE's problem domain.
+//!
+//! PRE, as Morel and Renvoise defined it and as the paper uses it, works on
+//! **lexically identical expressions**: occurrences of the same operator
+//! applied to the same register names. Under the naming discipline of §2.2
+//! every lexical expression also has a single canonical *expression name*
+//! (its target register), which is what makes deletion and insertion simple
+//! register operations.
+//!
+//! [`ExprUniverse`] enumerates the distinct pure expressions of a function
+//! and assigns each a dense [`ExprId`] used to index PRE's bit sets.
+//! Operands of commutative operators are stored in canonical (sorted)
+//! order so `a + b` and `b + a` denote the same expression.
+
+use std::collections::HashMap;
+
+use epre_ir::{BinOp, Const, Function, Inst, Reg, Ty, UnOp};
+
+/// Dense identifier of an expression in a function's [`ExprUniverse`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+impl ExprId {
+    /// The id's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A lexical expression: operator plus operand register names (or the
+/// constant, for `loadi`). Constants are expressions too — the paper's
+/// naming example treats `1` as the expression named `r1`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ExprKey {
+    /// A binary expression. For commutative operators the operands are
+    /// stored with `lhs <= rhs`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Operand type.
+        ty: Ty,
+        /// Left operand (canonicalized).
+        lhs: Reg,
+        /// Right operand (canonicalized).
+        rhs: Reg,
+    },
+    /// A unary expression.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand type.
+        ty: Ty,
+        /// Operand.
+        src: Reg,
+    },
+    /// A constant (`loadi`).
+    Const(Const),
+}
+
+impl ExprKey {
+    /// Build the canonical key for an instruction, or `None` if the
+    /// instruction is not a pure expression (copy, φ, load, store, call).
+    pub fn of_inst(inst: &Inst) -> Option<ExprKey> {
+        match inst {
+            Inst::Bin { op, ty, lhs, rhs, .. } => {
+                let (lhs, rhs) = if op.is_commutative() && rhs < lhs {
+                    (*rhs, *lhs)
+                } else {
+                    (*lhs, *rhs)
+                };
+                Some(ExprKey::Bin { op: *op, ty: *ty, lhs, rhs })
+            }
+            Inst::Un { op, ty, src, .. } => Some(ExprKey::Un { op: *op, ty: *ty, src: *src }),
+            Inst::LoadI { value, .. } => Some(ExprKey::Const(*value)),
+            _ => None,
+        }
+    }
+
+    /// The register operands of the expression (empty for constants).
+    pub fn operands(&self) -> Vec<Reg> {
+        match self {
+            ExprKey::Bin { lhs, rhs, .. } => vec![*lhs, *rhs],
+            ExprKey::Un { src, .. } => vec![*src],
+            ExprKey::Const(_) => vec![],
+        }
+    }
+}
+
+/// The set of distinct pure expressions of one function, densely numbered.
+///
+/// Also records, for each expression, the destination register of its first
+/// occurrence. Under the §2.2 naming discipline every occurrence has the
+/// same destination; [`ExprUniverse::is_disciplined`] reports whether that
+/// held, and PRE refuses to transform expressions for which it did not.
+#[derive(Debug, Clone)]
+pub struct ExprUniverse {
+    by_key: HashMap<ExprKey, ExprId>,
+    keys: Vec<ExprKey>,
+    /// Canonical destination register per expression.
+    names: Vec<Reg>,
+    /// Whether every occurrence of the expression targets `names[e]`.
+    disciplined: Vec<bool>,
+    /// For each register, the expressions that use it as an operand.
+    used_by: HashMap<Reg, Vec<ExprId>>,
+}
+
+impl ExprUniverse {
+    /// Scan `f` and build its expression universe.
+    pub fn new(f: &Function) -> Self {
+        let mut u = ExprUniverse {
+            by_key: HashMap::new(),
+            keys: Vec::new(),
+            names: Vec::new(),
+            disciplined: Vec::new(),
+            used_by: HashMap::new(),
+        };
+        for (_, block) in f.iter_blocks() {
+            for inst in &block.insts {
+                if let Some(key) = ExprKey::of_inst(inst) {
+                    let dst = inst.dst().expect("expressions define a register");
+                    match u.by_key.get(&key) {
+                        Some(&id) => {
+                            if u.names[id.index()] != dst {
+                                u.disciplined[id.index()] = false;
+                            }
+                        }
+                        None => {
+                            let id = ExprId(u.keys.len() as u32);
+                            u.by_key.insert(key.clone(), id);
+                            for r in key.operands() {
+                                u.used_by.entry(r).or_default().push(id);
+                            }
+                            u.keys.push(key);
+                            u.names.push(dst);
+                            u.disciplined.push(true);
+                        }
+                    }
+                }
+            }
+        }
+        u
+    }
+
+    /// Number of distinct expressions.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the function contains no pure expressions.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Look up the id of an instruction's expression.
+    pub fn id_of_inst(&self, inst: &Inst) -> Option<ExprId> {
+        ExprKey::of_inst(inst).and_then(|k| self.by_key.get(&k).copied())
+    }
+
+    /// The key of expression `e`.
+    pub fn key(&self, e: ExprId) -> &ExprKey {
+        &self.keys[e.index()]
+    }
+
+    /// The canonical destination register of `e` (its *expression name*).
+    pub fn name(&self, e: ExprId) -> Reg {
+        self.names[e.index()]
+    }
+
+    /// Did every occurrence of `e` target the same register? PRE may only
+    /// move disciplined expressions.
+    pub fn is_disciplined(&self, e: ExprId) -> bool {
+        self.disciplined[e.index()]
+    }
+
+    /// Expressions that read register `r`.
+    pub fn used_by(&self, r: Reg) -> &[ExprId] {
+        self.used_by.get(&r).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterate all `(id, key)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ExprId, &ExprKey)> {
+        self.keys.iter().enumerate().map(|(i, k)| (ExprId(i as u32), k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre_ir::FunctionBuilder;
+
+    #[test]
+    fn commutative_operands_canonicalize() {
+        let a = Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: Reg(2), lhs: Reg(1), rhs: Reg(0) };
+        let b = Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: Reg(3), lhs: Reg(0), rhs: Reg(1) };
+        assert_eq!(ExprKey::of_inst(&a), ExprKey::of_inst(&b));
+        // Subtraction is not commutative.
+        let c = Inst::Bin { op: BinOp::Sub, ty: Ty::Int, dst: Reg(2), lhs: Reg(1), rhs: Reg(0) };
+        let d = Inst::Bin { op: BinOp::Sub, ty: Ty::Int, dst: Reg(2), lhs: Reg(0), rhs: Reg(1) };
+        assert_ne!(ExprKey::of_inst(&c), ExprKey::of_inst(&d));
+    }
+
+    #[test]
+    fn non_expressions_have_no_key() {
+        assert_eq!(ExprKey::of_inst(&Inst::Copy { dst: Reg(0), src: Reg(1) }), None);
+        assert_eq!(
+            ExprKey::of_inst(&Inst::Load { ty: Ty::Int, dst: Reg(0), addr: Reg(1) }),
+            None
+        );
+        assert_eq!(
+            ExprKey::of_inst(&Inst::Call { dst: None, callee: "f".into(), args: vec![] }),
+            None
+        );
+    }
+
+    #[test]
+    fn universe_enumerates_distinct_expressions() {
+        let mut b = FunctionBuilder::new("u", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let y = b.param(Ty::Int);
+        let s1 = b.bin(BinOp::Add, Ty::Int, x, y);
+        let _s2 = b.bin(BinOp::Add, Ty::Int, y, x); // same expression, new name
+        let p = b.bin(BinOp::Mul, Ty::Int, x, y);
+        let _c = b.loadi(Const::Int(5));
+        let q = b.bin(BinOp::Add, Ty::Int, s1, p);
+        b.ret(Some(q));
+        let f = b.finish();
+        let u = ExprUniverse::new(&f);
+        // add(x,y), mul(x,y), const 5, add(s1,p) — the commuted add merges.
+        assert_eq!(u.len(), 4);
+        assert!(!u.is_empty());
+        // The commuted duplicate broke the naming discipline for add(x,y).
+        let add_id = u
+            .iter()
+            .find(|(_, k)| matches!(k, ExprKey::Bin { op: BinOp::Add, lhs, .. } if *lhs == x))
+            .unwrap()
+            .0;
+        assert!(!u.is_disciplined(add_id));
+        assert_eq!(u.name(add_id), s1);
+        // mul is disciplined (single occurrence).
+        let mul_id =
+            u.iter().find(|(_, k)| matches!(k, ExprKey::Bin { op: BinOp::Mul, .. })).unwrap().0;
+        assert!(u.is_disciplined(mul_id));
+    }
+
+    #[test]
+    fn used_by_maps_operands_to_expressions() {
+        let mut b = FunctionBuilder::new("u", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let y = b.param(Ty::Int);
+        let s = b.bin(BinOp::Add, Ty::Int, x, y);
+        b.ret(Some(s));
+        let f = b.finish();
+        let u = ExprUniverse::new(&f);
+        assert_eq!(u.used_by(x).len(), 1);
+        assert_eq!(u.used_by(y).len(), 1);
+        assert_eq!(u.used_by(s).len(), 0);
+        let id = u.used_by(x)[0];
+        assert_eq!(u.key(id).operands(), vec![x, y]);
+    }
+
+    #[test]
+    fn id_of_inst_round_trips() {
+        let mut b = FunctionBuilder::new("u", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let s = b.bin(BinOp::Add, Ty::Int, x, x);
+        b.ret(Some(s));
+        let f = b.finish();
+        let u = ExprUniverse::new(&f);
+        let inst = &f.block(epre_ir::BlockId::ENTRY).insts[0];
+        let id = u.id_of_inst(inst).unwrap();
+        assert_eq!(u.name(id), s);
+    }
+}

@@ -1,0 +1,149 @@
+//! Live-variable analysis.
+//!
+//! Used in three places in the pipeline: building **pruned** SSA (a φ for
+//! `v` is placed only where `v` is live — §3.1 builds "the pruned SSA form
+//! of the routine"), the interference computation behind Chaitin-style
+//! coalescing, and dead-code sweeps.
+//!
+//! This analysis operates on φ-free code (the pipeline's passes run it
+//! before SSA construction or after SSA destruction).
+
+use crate::bitset::BitSet;
+use crate::dataflow::{solve, Direction, Meet, Solution};
+use epre_cfg::Cfg;
+use epre_ir::{Function, Inst};
+
+/// Per-block `LIVEIN`/`LIVEOUT` register sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<BitSet>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Compute liveness for `f`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `f` contains φ-nodes; φ-aware liveness is not
+    /// needed anywhere in the pipeline.
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let cap = f.reg_count();
+        let mut uses = vec![BitSet::new(cap); n]; // upward-exposed uses
+        let mut defs = vec![BitSet::new(cap); n];
+
+        for (bid, block) in f.iter_blocks() {
+            let bi = bid.index();
+            for inst in &block.insts {
+                debug_assert!(
+                    !matches!(inst, Inst::Phi { .. }),
+                    "liveness expects φ-free code"
+                );
+                for u in inst.uses() {
+                    if !defs[bi].contains(u.index()) {
+                        uses[bi].insert(u.index());
+                    }
+                }
+                if let Some(d) = inst.dst() {
+                    defs[bi].insert(d.index());
+                }
+            }
+            for u in block.term.uses() {
+                if !defs[bi].contains(u.index()) {
+                    uses[bi].insert(u.index());
+                }
+            }
+        }
+
+        let Solution { ins, outs } = solve(cfg, Direction::Backward, Meet::Union, &uses, &defs);
+        Liveness { live_in: ins, live_out: outs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre_ir::{BinOp, BlockId, Const, FunctionBuilder, Ty};
+
+    #[test]
+    fn param_live_into_loop() {
+        // s = 0; while (s < n) s = s + n; return s
+        let mut b = FunctionBuilder::new("l", Some(Ty::Int));
+        let n = b.param(Ty::Int);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let s = b.new_reg(Ty::Int);
+        let z = b.loadi(Const::Int(0));
+        b.copy_to(s, z);
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.bin(BinOp::CmpLt, Ty::Int, s, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let s2 = b.bin(BinOp::Add, Ty::Int, s, n);
+        b.copy_to(s, s2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::new(&f, &cfg);
+
+        // n is live around the whole loop.
+        assert!(lv.live_in[head.index()].contains(n.index()));
+        assert!(lv.live_out[body.index()].contains(n.index()));
+        // s is live everywhere after its definition.
+        assert!(lv.live_in[head.index()].contains(s.index()));
+        assert!(lv.live_in[exit.index()].contains(s.index()));
+        // Nothing is live after the return.
+        assert!(lv.live_out[exit.index()].is_empty());
+        // n live into entry (it is a parameter used later).
+        assert!(lv.live_in[BlockId::ENTRY.index()].contains(n.index()));
+        // s is defined before use in entry, so not live into entry.
+        assert!(!lv.live_in[BlockId::ENTRY.index()].contains(s.index()));
+    }
+
+    #[test]
+    fn dead_definition_not_live() {
+        let mut b = FunctionBuilder::new("d", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let dead = b.loadi(Const::Int(9));
+        b.ret(Some(x));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::new(&f, &cfg);
+        assert!(!lv.live_in[0].contains(dead.index()));
+        assert!(!lv.live_out[0].contains(dead.index()));
+    }
+
+    #[test]
+    fn branch_condition_is_a_use() {
+        let mut b = FunctionBuilder::new("c", None);
+        let t = b.new_block();
+        let c = b.loadi(Const::Int(1));
+        b.branch(c, t, t);
+        b.switch_to(t);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::new(&f, &cfg);
+        // c defined in entry before the branch use: not live-in.
+        assert!(!lv.live_in[0].contains(c.index()));
+        // Store/value uses through different blocks:
+        let mut b = FunctionBuilder::new("c2", None);
+        let cnd = b.param(Ty::Int);
+        let t = b.new_block();
+        b.jump(t);
+        b.switch_to(t);
+        b.branch(cnd, t, t);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::new(&f, &cfg);
+        assert!(lv.live_in[0].contains(cnd.index()));
+        assert!(lv.live_in[t.index()].contains(cnd.index()));
+        assert!(lv.live_out[t.index()].contains(cnd.index())); // loop
+    }
+}

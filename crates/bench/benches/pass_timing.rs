@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks: compile-time throughput of each pass on
+//! representative suite routines. The paper does not report compile
+//! times, but §7 claims the reassociation algorithm's "simplicity should
+//! make it easy to add to an existing compiler" — these benches document
+//! that the passes are cheap.
+//!
+//! Usage: `cargo bench -p epre-bench --bench pass_timing`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epre_frontend::NamingMode;
+use epre_ir::Module;
+use epre_passes::passes::{Clean, Coalesce, ConstProp, Dce, Gvn, Peephole, Pre, Reassociate};
+use epre_passes::Pass;
+use epre_suite::all_routines;
+use std::hint::black_box;
+
+fn module_for(name: &str) -> Module {
+    all_routines()
+        .into_iter()
+        .find(|r| r.name == name)
+        .unwrap()
+        .compile(NamingMode::Disciplined)
+        .unwrap()
+}
+
+fn bench_pass(c: &mut Criterion, label: &str, pass: &dyn Pass, module: &Module) {
+    c.bench_function(label, |b| {
+        b.iter(|| {
+            let mut m = module.clone();
+            for f in &mut m.functions {
+                pass.run(f);
+            }
+            black_box(m.static_op_count())
+        })
+    });
+}
+
+fn passes_on_tomcatv(c: &mut Criterion) {
+    let m = module_for("tomcatv");
+    bench_pass(c, "tomcatv/reassociate", &Reassociate { distribute: true }, &m);
+    bench_pass(c, "tomcatv/gvn", &Gvn, &m);
+    bench_pass(c, "tomcatv/pre", &Pre, &m);
+    bench_pass(c, "tomcatv/constprop", &ConstProp, &m);
+    bench_pass(c, "tomcatv/peephole", &Peephole, &m);
+    bench_pass(c, "tomcatv/dce", &Dce, &m);
+    bench_pass(c, "tomcatv/coalesce", &Coalesce, &m);
+    bench_pass(c, "tomcatv/clean", &Clean, &m);
+}
+
+fn full_pipeline(c: &mut Criterion) {
+    for name in ["fmin", "sgemm", "deseco", "fpppp"] {
+        let m = module_for(name);
+        c.bench_function(&format!("{name}/distribution-pipeline"), |b| {
+            b.iter(|| {
+                let opt = epre::Optimizer::new(epre::OptLevel::Distribution);
+                black_box(opt.optimize(&m).static_op_count())
+            })
+        });
+    }
+}
+
+criterion_group!(benches, passes_on_tomcatv, full_pipeline);
+criterion_main!(benches);

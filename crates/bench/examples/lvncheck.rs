@@ -1,0 +1,16 @@
+//! Quick ablation check: the effect of adding hash-based local value
+//! numbering (the §4.1 "missing pass") on the routines that regress under
+//! the distribution level.
+use epre::OptLevel;
+use epre_bench::dynamic_count;
+use epre_suite::all_routines;
+fn main() {
+    println!("{:8} {:>8} {:>8} {:>9}", "routine", "partial", "dist", "dist+lvn");
+    for name in ["fpppp", "coeray", "si", "x21y21", "orgpar", "tomcatv", "deseco"] {
+        let r = all_routines().into_iter().find(|r| r.name == name).unwrap();
+        let part = dynamic_count(&r, OptLevel::Partial);
+        let dist = dynamic_count(&r, OptLevel::Distribution);
+        let lvn = dynamic_count(&r, OptLevel::DistributionLvn);
+        println!("{name:8} {part:>8} {dist:>8} {lvn:>9}");
+    }
+}

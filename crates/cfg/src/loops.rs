@@ -1,0 +1,224 @@
+//! Natural loops and loop nesting depth.
+//!
+//! The paper's ranks encode loop structure *implicitly* through reverse
+//! postorder, but tests and the interpreter's sanity checks want the
+//! explicit structure: back edges (edges whose target dominates their
+//! source), the natural loop of each back edge, and a per-block nesting
+//! depth. Forward propagation's known hazard — pushing an expression into a
+//! loop (§4.2) — is diagnosed with this information too.
+
+use crate::dom::Dominators;
+use crate::graph::Cfg;
+use epre_ir::BlockId;
+
+/// A natural loop: its header plus the set of blocks that reach the back
+/// edge's source without passing through the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Loop structure of a function: all natural loops and per-block nesting
+/// depths.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    loops: Vec<NaturalLoop>,
+    depth: Vec<u32>,
+}
+
+impl LoopInfo {
+    /// Identify natural loops from back edges (dominator-based). Loops
+    /// sharing a header are merged, as is conventional.
+    pub fn new(cfg: &Cfg, dom: &Dominators) -> Self {
+        let n = cfg.len();
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for (src, dst) in cfg.edges() {
+            if dom.is_reachable(src) && dom.dominates(dst, src) {
+                // Back edge src -> dst; flood backwards from src.
+                let mut blocks = vec![dst];
+                let mut stack = vec![src];
+                while let Some(b) = stack.pop() {
+                    if blocks.contains(&b) {
+                        continue;
+                    }
+                    blocks.push(b);
+                    for &p in cfg.preds(b) {
+                        stack.push(p);
+                    }
+                }
+                blocks.sort_unstable();
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == dst) {
+                    for b in blocks {
+                        if !existing.blocks.contains(&b) {
+                            existing.blocks.push(b);
+                        }
+                    }
+                    existing.blocks.sort_unstable();
+                } else {
+                    loops.push(NaturalLoop { header: dst, blocks });
+                }
+            }
+        }
+        let mut depth = vec![0u32; n];
+        for l in &loops {
+            for b in &l.blocks {
+                depth[b.index()] += 1;
+            }
+        }
+        LoopInfo { loops, depth }
+    }
+
+    /// All natural loops (headers unique).
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Loop nesting depth of `b` (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// Is `b` a loop header?
+    pub fn is_header(&self, b: BlockId) -> bool {
+        self.loops.iter().any(|l| l.header == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre_ir::{BinOp, Const, FunctionBuilder, Ty};
+
+    /// Doubly-nested loop:
+    /// entry -> oh; oh -> {ob, exit}; ob -> ih; ih -> {ib, olatch}; ib -> ih;
+    /// olatch -> oh.
+    fn nested() -> (epre_ir::Function, [BlockId; 6]) {
+        let mut b = FunctionBuilder::new("n", Some(Ty::Int));
+        let n = b.param(Ty::Int);
+        let oh = b.new_block();
+        let ob = b.new_block();
+        let ih = b.new_block();
+        let ib = b.new_block();
+        let olatch = b.new_block();
+        let exit = b.new_block();
+        let z = b.loadi(Const::Int(0));
+        let c = b.bin(BinOp::CmpLt, Ty::Int, z, n);
+        b.jump(oh);
+        b.switch_to(oh);
+        b.branch(c, ob, exit);
+        b.switch_to(ob);
+        b.jump(ih);
+        b.switch_to(ih);
+        b.branch(c, ib, olatch);
+        b.switch_to(ib);
+        b.jump(ih);
+        b.switch_to(olatch);
+        b.jump(oh);
+        b.switch_to(exit);
+        b.ret(Some(n));
+        let f = b.finish();
+        (f, [oh, ob, ih, ib, olatch, exit])
+    }
+
+    #[test]
+    fn finds_both_loops() {
+        let (f, [oh, ob, ih, ib, olatch, exit]) = nested();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let li = LoopInfo::new(&cfg, &dom);
+        assert_eq!(li.loops().len(), 2);
+        assert!(li.is_header(oh));
+        assert!(li.is_header(ih));
+        assert!(!li.is_header(ob));
+        let outer = li.loops().iter().find(|l| l.header == oh).unwrap();
+        for b in [oh, ob, ih, ib, olatch] {
+            assert!(outer.blocks.contains(&b), "{b} in outer loop");
+        }
+        assert!(!outer.blocks.contains(&exit));
+    }
+
+    #[test]
+    fn nesting_depths() {
+        let (f, [oh, ob, ih, ib, olatch, exit]) = nested();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let li = LoopInfo::new(&cfg, &dom);
+        assert_eq!(li.depth(BlockId::ENTRY), 0);
+        assert_eq!(li.depth(oh), 1);
+        assert_eq!(li.depth(ob), 1);
+        assert_eq!(li.depth(ih), 2);
+        assert_eq!(li.depth(ib), 2);
+        assert_eq!(li.depth(olatch), 1);
+        assert_eq!(li.depth(exit), 0);
+    }
+
+    #[test]
+    fn no_loops_in_dag() {
+        let mut b = FunctionBuilder::new("dag", None);
+        let c = b.loadi(Const::Int(1));
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let li = LoopInfo::new(&cfg, &dom);
+        assert!(li.loops().is_empty());
+        assert!(f.block_ids().all(|b| li.depth(b) == 0));
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut b = FunctionBuilder::new("s", None);
+        let c = b.loadi(Const::Int(1));
+        let l = b.new_block();
+        let exit = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.branch(c, l, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let li = LoopInfo::new(&cfg, &dom);
+        assert_eq!(li.loops().len(), 1);
+        assert_eq!(li.loops()[0].blocks, vec![l]);
+        assert_eq!(li.depth(l), 1);
+    }
+
+    #[test]
+    fn two_back_edges_same_header_merge() {
+        // head with two latches.
+        let mut b = FunctionBuilder::new("m", None);
+        let c = b.loadi(Const::Int(1));
+        let head = b.new_block();
+        let l1 = b.new_block();
+        let l2 = b.new_block();
+        let exit = b.new_block();
+        b.jump(head);
+        b.switch_to(head);
+        b.branch(c, l1, l2);
+        b.switch_to(l1);
+        b.branch(c, head, exit);
+        b.switch_to(l2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let li = LoopInfo::new(&cfg, &dom);
+        assert_eq!(li.loops().len(), 1);
+        let l = &li.loops()[0];
+        assert!(l.blocks.contains(&l1) && l.blocks.contains(&l2));
+        assert_eq!(li.depth(head), 1);
+    }
+}

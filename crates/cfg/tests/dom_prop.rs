@@ -1,0 +1,114 @@
+//! Property test: the Cooper–Harvey–Kennedy dominator computation agrees
+//! with the naive O(n²) iterative definition on random control-flow
+//! graphs, including irreducible ones.
+
+use proptest::prelude::*;
+
+use epre_cfg::{Cfg, Dominators};
+use epre_ir::{Block, BlockId, Const, Function, Inst, Terminator, Ty};
+
+/// Build a function with `n` blocks and arbitrary terminators drawn from
+/// the seed list (pairs of target indices; equal pair = jump; the last
+/// block always returns so the graph has an exit).
+fn build(n: usize, seeds: &[(usize, usize)]) -> Function {
+    let mut f = Function::new("g", None);
+    let c = f.new_reg(Ty::Int);
+    for i in 0..n {
+        let term = if i == n - 1 {
+            Terminator::Return { value: None }
+        } else {
+            let (a, b) = seeds[i % seeds.len()];
+            let t = BlockId((a % n) as u32);
+            let e = BlockId((b % n) as u32);
+            if t == e {
+                Terminator::Jump { target: t }
+            } else {
+                Terminator::Branch { cond: c, then_to: t, else_to: e }
+            }
+        };
+        let mut blk = Block::new(term);
+        if i == 0 {
+            blk.insts.push(Inst::LoadI { dst: c, value: Const::Int(1) });
+        }
+        f.add_block(blk);
+    }
+    f
+}
+
+/// Naive dominators: Dom(entry) = {entry}; Dom(b) = {b} ∪ ∩ Dom(preds).
+fn naive(cfg: &Cfg) -> Vec<Vec<bool>> {
+    let n = cfg.len();
+    let reach = cfg.reachable();
+    let mut dom = vec![vec![true; n]; n];
+    dom[0] = vec![false; n];
+    dom[0][0] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            if !reach[b] {
+                continue;
+            }
+            let mut new = vec![true; n];
+            let mut any = false;
+            for &p in cfg.preds(BlockId(b as u32)) {
+                if !reach[p.index()] {
+                    continue;
+                }
+                any = true;
+                for (x, n_x) in new.iter_mut().enumerate() {
+                    *n_x = *n_x && dom[p.index()][x];
+                }
+            }
+            if !any {
+                new = vec![false; n];
+            }
+            new[b] = true;
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn chk_matches_naive(n in 2usize..12,
+                         seeds in prop::collection::vec((0usize..12, 0usize..12), 1..12)) {
+        let f = build(n, &seeds);
+        prop_assert!(f.verify().is_ok());
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let reference = naive(&cfg);
+        let reach = cfg.reachable();
+        for a in 0..n {
+            for b in 0..n {
+                if !reach[a] || !reach[b] {
+                    continue;
+                }
+                let fast = dom.dominates(BlockId(a as u32), BlockId(b as u32));
+                let slow = reference[b][a];
+                prop_assert_eq!(fast, slow, "dominates(b{}, b{}) on n={} seeds={:?}", a, b, n, seeds);
+            }
+        }
+    }
+
+    #[test]
+    fn rpo_numbers_dominators_first(n in 2usize..12,
+                                    seeds in prop::collection::vec((0usize..12, 0usize..12), 1..12)) {
+        // A dominator always precedes its dominatee in reverse postorder.
+        let f = build(n, &seeds);
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&f, &cfg);
+        let rpo = dom.rpo();
+        for b in f.block_ids() {
+            if let Some(d) = dom.idom(b) {
+                prop_assert!(rpo.number(d).unwrap() < rpo.number(b).unwrap());
+            }
+        }
+    }
+}

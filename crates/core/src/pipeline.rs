@@ -1,0 +1,237 @@
+//! The optimization pipelines of the paper's experimental study (§4.1).
+
+use epre_ir::{Function, Module};
+use epre_passes::passes::{Clean, Coalesce, ConstProp, Dce, Gvn, Lvn, Peephole, Pre, Reassociate};
+use epre_passes::Pass;
+
+/// The paper's four measured optimization levels, plus extension levels
+/// used by the ablation benchmarks.
+///
+/// | level | pipeline |
+/// |-------|----------|
+/// | `Baseline` | constprop → peephole → dce → coalesce → clean |
+/// | `Partial` | **pre** → baseline |
+/// | `Reassociation` | **reassociate** → **gvn** → pre → baseline |
+/// | `Distribution` | **reassociate+distribute** → gvn → pre → baseline |
+/// | `DistributionLvn` | distribution with local value numbering added (the §4.1 "missing pass") |
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum OptLevel {
+    /// The paper's `baseline` column.
+    Baseline,
+    /// The paper's `partial` column: PRE alone.
+    Partial,
+    /// The paper's `reassociation` column: reassociation (no distribution)
+    /// + GVN before PRE.
+    Reassociation,
+    /// The paper's `distribution` column: reassociation with distribution
+    /// + GVN before PRE.
+    Distribution,
+    /// Extension: `Distribution` plus hash-based local value numbering,
+    /// one of the passes §4.1 reports missing.
+    DistributionLvn,
+}
+
+impl OptLevel {
+    /// All levels in the order of the paper's Table 1 columns.
+    pub const PAPER_LEVELS: [OptLevel; 4] =
+        [OptLevel::Baseline, OptLevel::Partial, OptLevel::Reassociation, OptLevel::Distribution];
+
+    /// The level's column label in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::Baseline => "baseline",
+            OptLevel::Partial => "partial",
+            OptLevel::Reassociation => "reassociation",
+            OptLevel::Distribution => "distribution",
+            OptLevel::DistributionLvn => "distribution+lvn",
+        }
+    }
+}
+
+/// Runs a configured pass pipeline over modules or single functions.
+#[derive(Debug, Clone, Copy)]
+pub struct Optimizer {
+    level: OptLevel,
+}
+
+impl Optimizer {
+    /// An optimizer for the given level.
+    pub fn new(level: OptLevel) -> Self {
+        Optimizer { level }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> OptLevel {
+        self.level
+    }
+
+    /// The pass sequence for this level, in execution order.
+    pub fn passes(&self) -> Vec<Box<dyn Pass>> {
+        let mut seq: Vec<Box<dyn Pass>> = Vec::new();
+        match self.level {
+            OptLevel::Baseline => {}
+            OptLevel::Partial => seq.push(Box::new(Pre)),
+            OptLevel::Reassociation => {
+                seq.push(Box::new(Reassociate { distribute: false }));
+                seq.push(Box::new(Gvn));
+                seq.push(Box::new(Pre));
+            }
+            OptLevel::Distribution => {
+                seq.push(Box::new(Reassociate { distribute: true }));
+                seq.push(Box::new(Gvn));
+                seq.push(Box::new(Pre));
+            }
+            OptLevel::DistributionLvn => {
+                seq.push(Box::new(Reassociate { distribute: true }));
+                seq.push(Box::new(Gvn));
+                seq.push(Box::new(Pre));
+                seq.push(Box::new(Lvn));
+            }
+        }
+        // The baseline sequence closes every level (§4.1: "followed by the
+        // sequence of optimizations used to establish the baseline").
+        seq.push(Box::new(ConstProp));
+        seq.push(Box::new(Peephole));
+        seq.push(Box::new(Dce));
+        seq.push(Box::new(Coalesce));
+        seq.push(Box::new(Clean));
+        seq
+    }
+
+    /// Optimize one function in place.
+    pub fn optimize_function(&self, f: &mut Function) {
+        for pass in self.passes() {
+            pass.run(f);
+            debug_assert!(f.verify().is_ok(), "pass `{}` broke `{}`:\n{f}", pass.name(), f.name);
+        }
+    }
+
+    /// Optimize a copy of the module.
+    pub fn optimize(&self, module: &Module) -> Module {
+        let mut out = module.clone();
+        for f in &mut out.functions {
+            self.optimize_function(f);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre_frontend::{compile, NamingMode};
+    use epre_interp::{Interpreter, Value};
+
+    const FOO: &str = "function foo(y, z)\n\
+                       real y, z, s, x\n\
+                       integer i\n\
+                       begin\n\
+                       s = 0\n\
+                       x = y + z\n\
+                       do i = x, 100\n\
+                         s = i + s + x\n\
+                       enddo\n\
+                       return s\nend\n";
+
+    fn counts(level: OptLevel) -> (Option<Value>, u64) {
+        let m = compile(FOO, NamingMode::Disciplined).unwrap();
+        let opt = Optimizer::new(level).optimize(&m);
+        opt.verify().unwrap();
+        let mut i = Interpreter::new(&opt);
+        let r = i.run("foo", &[Value::Float(1.0), Value::Float(2.0)]).unwrap();
+        (r, i.counts().total)
+    }
+
+    #[test]
+    fn levels_agree_on_results_and_improve_counts() {
+        let (r_base, c_base) = counts(OptLevel::Baseline);
+        let (r_part, c_part) = counts(OptLevel::Partial);
+        let (r_reas, c_reas) = counts(OptLevel::Reassociation);
+        let (r_dist, c_dist) = counts(OptLevel::Distribution);
+        assert_eq!(r_base, r_part);
+        assert_eq!(r_base, r_reas);
+        assert_eq!(r_base, r_dist);
+        // PRE must help strictly on the running example.
+        assert!(c_part < c_base, "partial {c_part} vs baseline {c_base}");
+        // On this small scalar loop, reassociation pays φ-copy/jump
+        // overhead the later passes cannot recover — the paper's §4.2
+        // documents such degradations (Table 1 has −% entries). Bound the
+        // regression; the array kernel below shows the winning case.
+        assert!(
+            c_reas as f64 <= c_part as f64 * 1.4,
+            "reassociation {c_reas} vs partial {c_part}"
+        );
+        assert!(
+            c_dist as f64 <= c_reas as f64 * 1.05,
+            "distribution {c_dist} vs reassociation {c_reas}"
+        );
+    }
+
+    /// The paper's motivating case (§2.1): "this case is quite important,
+    /// since it arises routinely in multi-dimensional array addressing
+    /// computations". Reassociation must beat plain PRE strictly here.
+    #[test]
+    fn array_addressing_shows_reassociation_win() {
+        let src = "function msum()\n\
+                   real m(20, 20)\n\
+                   integer i, j\n\
+                   real s\n\
+                   begin\n\
+                   do j = 1, 20\n\
+                     do i = 1, 20\n\
+                       m(i, j) = i + j\n\
+                     enddo\n\
+                   enddo\n\
+                   s = 0\n\
+                   do j = 1, 20\n\
+                     do i = 1, 20\n\
+                       s = s + m(i, j)\n\
+                     enddo\n\
+                   enddo\n\
+                   return s\nend\n";
+        let m = compile(src, NamingMode::Disciplined).unwrap();
+        let mut totals = Vec::new();
+        let mut results = Vec::new();
+        for level in OptLevel::PAPER_LEVELS {
+            let opt = Optimizer::new(level).optimize(&m);
+            opt.verify().unwrap();
+            let mut i = Interpreter::new(&opt);
+            results.push(i.run("msum", &[]).unwrap());
+            totals.push(i.counts().total);
+        }
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+        let (base, part, reas, dist) = (totals[0], totals[1], totals[2], totals[3]);
+        assert!(part < base, "PRE helps: {totals:?}");
+        assert!(reas < part, "reassociation helps further: {totals:?}");
+        assert!(dist <= part, "distribution stays ahead of partial: {totals:?}");
+    }
+
+    #[test]
+    fn pass_sequences_match_paper() {
+        let names: Vec<&str> =
+            Optimizer::new(OptLevel::Distribution).passes().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "reassociate+distribute",
+                "gvn",
+                "pre",
+                "constprop",
+                "peephole",
+                "dce",
+                "coalesce",
+                "clean"
+            ]
+        );
+        let names: Vec<&str> =
+            Optimizer::new(OptLevel::Baseline).passes().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["constprop", "peephole", "dce", "coalesce", "clean"]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(OptLevel::Baseline.label(), "baseline");
+        assert_eq!(OptLevel::Distribution.label(), "distribution");
+        assert_eq!(OptLevel::PAPER_LEVELS.len(), 4);
+    }
+}

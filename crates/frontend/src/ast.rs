@@ -1,0 +1,194 @@
+//! Abstract syntax of the mini-FORTRAN language.
+
+/// A scalar type name.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TypeName {
+    /// `integer`
+    Integer,
+    /// `real`
+    Real,
+}
+
+/// A whole compilation unit: one or more procedures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The procedures, in source order.
+    pub functions: Vec<FunctionDef>,
+}
+
+/// A `function` (returns a value) or `subroutine` (does not).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Procedure name.
+    pub name: String,
+    /// Parameter names, in order.
+    pub params: Vec<String>,
+    /// True for `function`, false for `subroutine`.
+    pub returns_value: bool,
+    /// Declarations preceding `begin`.
+    pub decls: Vec<Decl>,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// Source line of the header.
+    pub line: usize,
+}
+
+/// One declared name (possibly an array).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Declared type.
+    pub ty: TypeName,
+    /// Name.
+    pub name: String,
+    /// Array dimensions: empty for scalars. A parameter array may use `*`
+    /// as its last dimension (assumed size), encoded as 0.
+    pub dims: Vec<i64>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lhs = expr` or `a(i, j) = expr`
+    Assign {
+        /// Target variable or array name.
+        name: String,
+        /// Subscripts; empty for scalars.
+        subs: Vec<Expr>,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `if c then ... {elseif c then ...} [else ...] endif`
+    If {
+        /// `(condition, body)` for the `if` and each `elseif`, in order.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// The `else` body (empty when absent).
+        otherwise: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `do v = lo, hi [, step] ... enddo` (step is a nonzero integer
+    /// constant; FORTRAN trip-count semantics: bounds evaluated once).
+    Do {
+        /// Loop variable.
+        var: String,
+        /// Lower bound.
+        from: Expr,
+        /// Upper bound.
+        to: Expr,
+        /// Constant step (default 1).
+        step: i64,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `while c do ... endwhile`
+    While {
+        /// Continuation condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `call sub(args)`
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `return [expr]`
+    Return {
+        /// The returned value (required in functions, absent in
+        /// subroutines).
+        value: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// Binary operators of the surface language.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BinExpr {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An integer literal.
+    Int(i64),
+    /// A real literal.
+    Real(f64),
+    /// A scalar variable reference (or whole-array reference in a call
+    /// argument position).
+    Var(String, usize),
+    /// An array element or a function/intrinsic call — disambiguated by
+    /// the lowering phase using the symbol table, like FORTRAN.
+    Index {
+        /// Array or callee name.
+        name: String,
+        /// Subscripts or arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// A binary operation.
+    Bin {
+        /// Operator.
+        op: BinExpr,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>, usize),
+    /// `.not.`
+    Not(Box<Expr>, usize),
+}
+
+impl Expr {
+    /// The source line of the expression (for error reporting).
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Int(_) | Expr::Real(_) => 0,
+            Expr::Var(_, l) => *l,
+            Expr::Index { line, .. } => *line,
+            Expr::Bin { line, .. } => *line,
+            Expr::Neg(_, l) | Expr::Not(_, l) => *l,
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! # epre-frontend — a mini-FORTRAN front end producing ILOC
+//!
+//! The paper's compiler "consumes FORTRAN and produces ILOC". This crate
+//! plays that role for a small FORTRAN-77-flavoured language that is rich
+//! enough to express the benchmark suite: typed scalars and column-major
+//! arrays, `DO` loops, `IF`/`ELSEIF`/`ELSE`, `WHILE`, subroutines,
+//! functions, intrinsic calls, and FORTRAN's implicit `i`–`n` integer
+//! typing rule.
+//!
+//! ```text
+//! function foo(y, z)
+//!   real y, z
+//!   real s, x
+//!   integer i
+//! begin
+//!   s = 0
+//!   x = y + z
+//!   do i = x, 100
+//!     s = i + s + x
+//!   enddo
+//!   return s
+//! end
+//! ```
+//!
+//! Differences from real FORTRAN (documented substitutions, see DESIGN.md):
+//! scalars are passed **by value**; arrays are passed by reference (their
+//! base address); local arrays live at fixed addresses in the module data
+//! segment (no recursion, as in FORTRAN-77); `DO` steps must be integer
+//! constants.
+//!
+//! ## Naming modes
+//!
+//! Lowering supports the two register-naming disciplines §2.2 of the paper
+//! discusses:
+//!
+//! * [`NamingMode::Disciplined`] — the PL.8-style hash-table discipline:
+//!   every lexical expression (including each constant) has one canonical
+//!   *expression name*, re-computed into that name at every occurrence;
+//!   variables are targets of copies only. PRE depends on this shape.
+//! * [`NamingMode::Simple`] — naive per-occurrence temporaries, the shape
+//!   the paper's Figure 3 shows ("this translation does not conform to the
+//!   naming discipline"). Used to demonstrate how fragile plain PRE is and
+//!   how global value numbering repairs the name space.
+//!
+//! ```
+//! use epre_frontend::{compile, NamingMode};
+//!
+//! let src = "function inc(i)\nbegin\n  return i + 1\nend\n";
+//! let module = compile(src, NamingMode::Disciplined).unwrap();
+//! assert!(module.function("inc").is_some());
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{BinExpr, Expr, Program, Stmt, TypeName};
+pub use lower::{lower_program, NamingMode};
+pub use parser::parse_program;
+
+use epre_ir::Module;
+use std::fmt;
+
+/// An error from any front-end phase, with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// 1-based source line of the error.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// Compile mini-FORTRAN source to an ILOC [`Module`].
+///
+/// # Errors
+/// Returns the first lexical, syntactic or semantic error.
+pub fn compile(source: &str, mode: NamingMode) -> Result<Module, FrontendError> {
+    let program = parse_program(source)?;
+    lower_program(&program, mode)
+}

@@ -1,0 +1,78 @@
+//! Execution errors.
+
+use epre_ir::{BlockId, Reg};
+use std::fmt;
+
+/// A runtime error raised by the interpreter.
+///
+/// Errors are deterministic: an unoptimized and an optimized version of the
+/// same program either both complete with the same value or both fail (the
+/// property tests in `epre-passes` rely on this).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The named function does not exist in the module.
+    UnknownFunction(String),
+    /// Wrong number of arguments passed to a function.
+    ArityMismatch {
+        /// Callee name.
+        callee: String,
+        /// Expected parameter count.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// A register was read before any definition wrote it.
+    UninitializedRegister(Reg),
+    /// A memory access fell outside the data segment.
+    OutOfBounds {
+        /// The offending address.
+        addr: i64,
+        /// Size of the data segment in words.
+        size: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// A φ-node was executed (the module was not taken out of SSA form).
+    PhiExecuted(BlockId),
+    /// An intrinsic received an argument of the wrong type.
+    IntrinsicType {
+        /// Intrinsic name.
+        name: String,
+    },
+    /// Unknown callee (not a module function, not an intrinsic).
+    UnknownCallee(String),
+    /// The fuel budget was exhausted (probable infinite loop).
+    OutOfFuel,
+    /// An operand had the wrong type for its instruction.
+    TypeMismatch {
+        /// Description of the faulting operation.
+        what: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            ExecError::ArityMismatch { callee, expected, got } => {
+                write!(f, "`{callee}` expects {expected} arguments, got {got}")
+            }
+            ExecError::UninitializedRegister(r) => {
+                write!(f, "read of uninitialized register {r}")
+            }
+            ExecError::OutOfBounds { addr, size } => {
+                write!(f, "memory access at {addr} outside data segment of {size} words")
+            }
+            ExecError::DivisionByZero => write!(f, "integer division by zero"),
+            ExecError::PhiExecuted(b) => write!(f, "φ-node executed in {b}"),
+            ExecError::IntrinsicType { name } => {
+                write!(f, "intrinsic `{name}` received wrong argument type")
+            }
+            ExecError::UnknownCallee(n) => write!(f, "unknown callee `{n}`"),
+            ExecError::OutOfFuel => write!(f, "fuel exhausted"),
+            ExecError::TypeMismatch { what } => write!(f, "type mismatch in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

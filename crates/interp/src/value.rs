@@ -1,0 +1,121 @@
+//! Runtime values.
+
+use epre_ir::{Const, Ty};
+use std::fmt;
+
+/// A runtime value: one machine word, integer or float.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A 64-bit signed integer (also addresses and booleans).
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn ty(self) -> Ty {
+        match self {
+            Value::Int(_) => Ty::Int,
+            Value::Float(_) => Ty::Float,
+        }
+    }
+
+    /// The integer payload, if integral.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            Value::Float(_) => None,
+        }
+    }
+
+    /// The float payload, if floating.
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(v),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Zero of the given type (the content of untouched memory).
+    pub fn zero(ty: Ty) -> Value {
+        match ty {
+            Ty::Int => Value::Int(0),
+            Ty::Float => Value::Float(0.0),
+        }
+    }
+
+    /// Is the value non-zero (branch truth)?
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Float(v) => v != 0.0,
+        }
+    }
+}
+
+impl From<Const> for Value {
+    fn from(c: Const) -> Value {
+        match c {
+            Const::Int(v) => Value::Int(v),
+            Const::Float(v) => Value::Float(v),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(Const::Int(3)), Value::Int(3));
+        assert_eq!(Value::from(Const::Float(2.5)), Value::Float(2.5));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), None);
+        assert_eq!(Value::Float(2.0).as_float(), Some(2.0));
+        assert_eq!(Value::Int(1).ty(), Ty::Int);
+        assert_eq!(Value::Float(0.0).ty(), Ty::Float);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Float(0.5).is_truthy());
+        assert!(!Value::Float(0.0).is_truthy());
+    }
+
+    #[test]
+    fn zeros() {
+        assert_eq!(Value::zero(Ty::Int), Value::Int(0));
+        assert_eq!(Value::zero(Ty::Float), Value::Float(0.0));
+    }
+}

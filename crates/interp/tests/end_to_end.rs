@@ -1,0 +1,216 @@
+//! End-to-end tests: mini-FORTRAN source → ILOC → interpreter.
+//!
+//! These pin down the language semantics that every optimization level
+//! must preserve; `epre-passes` re-runs many of the same programs after
+//! each pass and compares results.
+
+use epre_frontend::{compile, NamingMode};
+use epre_interp::{Interpreter, Value};
+
+fn run(src: &str, func: &str, args: &[Value], mode: NamingMode) -> Value {
+    let m = compile(src, mode).unwrap();
+    let mut i = Interpreter::new(&m);
+    i.run(func, args).unwrap().expect("function returns a value")
+}
+
+fn run_both(src: &str, func: &str, args: &[Value]) -> Value {
+    let a = run(src, func, args, NamingMode::Simple);
+    let b = run(src, func, args, NamingMode::Disciplined);
+    assert_eq!(a, b, "naming mode must not change semantics");
+    a
+}
+
+#[test]
+fn paper_figure2_foo() {
+    // Figure 2: s accumulates i + s + x over i = x .. 100.
+    let src = "function foo(y, z)\n\
+               real y, z, s, x\n\
+               integer i\n\
+               begin\n\
+               s = 0\n\
+               x = y + z\n\
+               do i = x, 100\n\
+                 s = i + s + x\n\
+               enddo\n\
+               return s\n\
+               end\n";
+    // y + z = 3 -> i runs 3..=100, s = sum(i) + 98*x = 5047 + 294
+    let v = run_both(src, "foo", &[Value::Float(1.0), Value::Float(2.0)]);
+    let expected: f64 = (3..=100).map(|i| i as f64).sum::<f64>() + 98.0 * 3.0;
+    assert_eq!(v, Value::Float(expected));
+}
+
+#[test]
+fn do_loop_zero_trips() {
+    let src = "function f(n)\ninteger f, n, i, s\nbegin\ns = 0\ndo i = 1, n\ns = s + i\nenddo\nreturn s\nend\n";
+    assert_eq!(run_both(src, "f", &[Value::Int(0)]), Value::Int(0));
+    assert_eq!(run_both(src, "f", &[Value::Int(5)]), Value::Int(15));
+}
+
+#[test]
+fn do_loop_negative_step() {
+    let src = "function f(n)\ninteger f, n, i, s\nbegin\ns = 0\ndo i = n, 1, -1\ns = s + i\nenddo\nreturn s\nend\n";
+    assert_eq!(run_both(src, "f", &[Value::Int(4)]), Value::Int(10));
+    assert_eq!(run_both(src, "f", &[Value::Int(0)]), Value::Int(0));
+}
+
+#[test]
+fn while_and_if_chain() {
+    // Collatz step count.
+    let src = "function steps(n)\ninteger steps, n, k\nbegin\n\
+               k = 0\n\
+               while n != 1 do\n\
+                 if mod(n, 2) == 0 then\n\
+                   n = n / 2\n\
+                 else\n\
+                   n = 3 * n + 1\n\
+                 endif\n\
+                 k = k + 1\n\
+               endwhile\n\
+               return k\nend\n";
+    assert_eq!(run_both(src, "steps", &[Value::Int(6)]), Value::Int(8));
+    assert_eq!(run_both(src, "steps", &[Value::Int(1)]), Value::Int(0));
+}
+
+#[test]
+fn elseif_ladder() {
+    let src = "function cls(x)\nreal x\ninteger cls\nbegin\n\
+               if x < 0 then\n return -1\n\
+               elseif x == 0 then\n return 0\n\
+               elseif x < 10 then\n return 1\n\
+               else\n return 2\n\
+               endif\nend\n";
+    assert_eq!(run_both(src, "cls", &[Value::Float(-3.0)]), Value::Int(-1));
+    assert_eq!(run_both(src, "cls", &[Value::Float(0.0)]), Value::Int(0));
+    assert_eq!(run_both(src, "cls", &[Value::Float(5.0)]), Value::Int(1));
+    assert_eq!(run_both(src, "cls", &[Value::Float(50.0)]), Value::Int(2));
+}
+
+#[test]
+fn arrays_two_dimensional() {
+    // m(i,j) = i*10 + j, then sum a row.
+    let src = "function f()\n\
+               real m(8, 8)\n\
+               integer i, j\n\
+               real s\n\
+               begin\n\
+               do i = 1, 8\n\
+                 do j = 1, 8\n\
+                   m(i, j) = i * 10 + j\n\
+                 enddo\n\
+               enddo\n\
+               s = 0\n\
+               do j = 1, 8\n\
+                 s = s + m(3, j)\n\
+               enddo\n\
+               return s\nend\n";
+    let expected: f64 = (1..=8).map(|j| 30.0 + j as f64).sum();
+    assert_eq!(run_both(src, "f", &[]), Value::Float(expected));
+}
+
+#[test]
+fn array_parameters_share_storage() {
+    // saxpy writes through an array parameter; caller observes the result.
+    let src = "subroutine saxpy(n, a, x, y)\n\
+               integer n, i\n\
+               real a, x(*), y(*)\n\
+               begin\n\
+               do i = 1, n\n\
+                 y(i) = a * x(i) + y(i)\n\
+               enddo\n\
+               end\n\
+               function driver()\n\
+               real x(16), y(16)\n\
+               integer i\n\
+               real s\n\
+               begin\n\
+               do i = 1, 16\n\
+                 x(i) = i\n\
+                 y(i) = 1\n\
+               enddo\n\
+               call saxpy(16, 2.0, x, y)\n\
+               s = 0\n\
+               do i = 1, 16\n\
+                 s = s + y(i)\n\
+               enddo\n\
+               return s\nend\n";
+    // y(i) = 2*i + 1; sum = 2*136 + 16 = 288.
+    assert_eq!(run_both(src, "driver", &[]), Value::Float(288.0));
+}
+
+#[test]
+fn function_calls_and_intrinsics() {
+    let src = "function norm(a, b)\nreal a, b\nbegin\n\
+               return sqrt(a * a + b * b)\nend\n\
+               function top()\nbegin\n\
+               return norm(3.0, 4.0) + abs(-2.0) + max(1.0, 7.0) + min(3, 2)\nend\n";
+    assert_eq!(run_both(src, "top", &[]), Value::Float(5.0 + 2.0 + 7.0 + 2.0));
+}
+
+#[test]
+fn logic_operators() {
+    let src = "function inrange(x, lo, hi)\nreal x, lo, hi\ninteger inrange\nbegin\n\
+               if x >= lo .and. x <= hi .or. .not. (x == x) then\n\
+                 return 1\n\
+               endif\n\
+               return 0\nend\n";
+    assert_eq!(
+        run_both(src, "inrange", &[Value::Float(5.0), Value::Float(0.0), Value::Float(10.0)]),
+        Value::Int(1)
+    );
+    assert_eq!(
+        run_both(src, "inrange", &[Value::Float(-5.0), Value::Float(0.0), Value::Float(10.0)]),
+        Value::Int(0)
+    );
+}
+
+#[test]
+fn mixed_mode_and_conversions() {
+    let src = "function f(i)\ninteger i\nbegin\n\
+               return float(i) / 2.0 + int(3.9)\nend\n";
+    assert_eq!(run_both(src, "f", &[Value::Int(5)]), Value::Float(2.5 + 3.0));
+}
+
+#[test]
+fn disciplined_mode_has_no_more_dynamic_ops_than_simple() {
+    // Same program, same semantics; the naming discipline reuses names but
+    // recomputes, so raw counts match exactly (same instruction sequence).
+    let src = "function f(a, b)\nreal a, b, u, v\nbegin\n\
+               u = a + b\n\
+               v = a + b\n\
+               return u * v\nend\n";
+    let m1 = compile(src, NamingMode::Simple).unwrap();
+    let m2 = compile(src, NamingMode::Disciplined).unwrap();
+    let mut i1 = Interpreter::new(&m1);
+    let mut i2 = Interpreter::new(&m2);
+    let args = [Value::Float(2.0), Value::Float(3.0)];
+    assert_eq!(i1.run("f", &args).unwrap(), i2.run("f", &args).unwrap());
+    assert_eq!(i1.counts().total, i2.counts().total);
+}
+
+#[test]
+fn recursion_is_bounded() {
+    // The language permits recursion syntactically; the interpreter's depth
+    // guard turns runaway recursion into an error rather than a crash.
+    let src = "function f(n)\ninteger n\nbegin\nreturn f(n + 1)\nend\n";
+    let m = compile(src, NamingMode::Simple).unwrap();
+    let mut i = Interpreter::new(&m);
+    assert!(i.run("f", &[Value::Int(0)]).is_err());
+}
+
+#[test]
+fn uninitialized_variable_read_fails() {
+    let src = "function f()\ninteger i, j\nbegin\ni = j\nreturn i\nend\n";
+    // j declared but never assigned: runtime error, not silent zero.
+    let m = compile(src, NamingMode::Simple).unwrap();
+    let mut i = Interpreter::new(&m);
+    assert!(i.run("f", &[]).is_err());
+}
+
+#[test]
+fn factorial_recursive() {
+    let src = "function fact(n)\ninteger fact, n\nbegin\n\
+               if n <= 1 then\n return 1\n endif\n\
+               return n * fact(n - 1)\nend\n";
+    assert_eq!(run_both(src, "fact", &[Value::Int(10)]), Value::Int(3628800));
+}

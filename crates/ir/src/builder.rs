@@ -1,0 +1,261 @@
+//! A convenience builder for constructing [`Function`]s in tests, examples
+//! and the front end.
+
+use crate::function::{Block, Function, Terminator};
+use crate::inst::{BinOp, Inst, UnOp};
+use crate::types::{BlockId, Const, Reg, Ty};
+
+/// Incrementally builds a [`Function`], one block at a time.
+///
+/// The builder maintains a *current block*; instruction-emitting methods
+/// append to it, and terminator methods ([`jump`](Self::jump),
+/// [`branch`](Self::branch), [`ret`](Self::ret)) close it. Blocks must be
+/// created up front with [`new_block`](Self::new_block) (or implicitly: the
+/// entry block exists from the start) and selected with
+/// [`switch_to`](Self::switch_to), so forward branches are easy to emit.
+///
+/// ```
+/// use epre_ir::{FunctionBuilder, Ty, BinOp, Const};
+///
+/// // function clamp0(x) { if x < 0 return 0 else return x }
+/// let mut b = FunctionBuilder::new("clamp0", Some(Ty::Int));
+/// let x = b.param(Ty::Int);
+/// let zero = b.loadi(Const::Int(0));
+/// let neg = b.bin(BinOp::CmpLt, Ty::Int, x, zero);
+/// let then_b = b.new_block();
+/// let else_b = b.new_block();
+/// b.branch(neg, then_b, else_b);
+/// b.switch_to(then_b);
+/// b.ret(Some(zero));
+/// b.switch_to(else_b);
+/// b.ret(Some(x));
+/// let f = b.finish();
+/// assert!(f.verify().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+    /// Blocks that have been closed with a real terminator.
+    closed: Vec<bool>,
+}
+
+impl FunctionBuilder {
+    /// Start building a function. The entry block is created and selected.
+    pub fn new(name: impl Into<String>, ret_ty: Option<Ty>) -> Self {
+        let mut func = Function::new(name, ret_ty);
+        // Placeholder terminator; overwritten when the block is closed.
+        func.add_block(Block::new(Terminator::Return { value: None }));
+        FunctionBuilder { func, current: BlockId::ENTRY, closed: vec![false] }
+    }
+
+    /// Declare the next parameter, allocating its register.
+    pub fn param(&mut self, ty: Ty) -> Reg {
+        let r = self.func.new_reg(ty);
+        self.func.params.push(r);
+        r
+    }
+
+    /// Allocate a fresh register without emitting anything.
+    pub fn new_reg(&mut self, ty: Ty) -> Reg {
+        self.func.new_reg(ty)
+    }
+
+    /// Create a new (empty, unselected) block and return its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.closed.push(false);
+        self.func.add_block(Block::new(Terminator::Return { value: None }))
+    }
+
+    /// Select the block that subsequent instructions are appended to.
+    ///
+    /// # Panics
+    /// Panics if `b` has already been closed by a terminator.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(!self.closed[b.index()], "block {b} already terminated");
+        self.current = b;
+    }
+
+    /// The currently selected block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// The type of a register allocated by this builder.
+    ///
+    /// # Panics
+    /// Panics if `r` was not allocated by this builder.
+    pub fn ty_of(&self, r: Reg) -> Ty {
+        self.func.ty_of(r)
+    }
+
+    /// Append an arbitrary instruction to the current block.
+    pub fn push(&mut self, inst: Inst) {
+        assert!(!self.closed[self.current.index()], "emitting into a closed block");
+        self.func.block_mut(self.current).insts.push(inst);
+    }
+
+    /// Emit `dst <- op.ty lhs, rhs` into a fresh destination register.
+    pub fn bin(&mut self, op: BinOp, ty: Ty, lhs: Reg, rhs: Reg) -> Reg {
+        let dst = self.func.new_reg(op.result_ty(ty));
+        self.push(Inst::Bin { op, ty, dst, lhs, rhs });
+        dst
+    }
+
+    /// Emit `dst <- op.ty src` into a fresh destination register.
+    pub fn un(&mut self, op: UnOp, ty: Ty, src: Reg) -> Reg {
+        let dst = self.func.new_reg(op.result_ty(ty));
+        self.push(Inst::Un { op, ty, dst, src });
+        dst
+    }
+
+    /// Emit `dst <- loadi value` into a fresh register.
+    pub fn loadi(&mut self, value: Const) -> Reg {
+        let dst = self.func.new_reg(value.ty());
+        self.push(Inst::LoadI { dst, value });
+        dst
+    }
+
+    /// Emit `dst <- copy src` into a fresh register of the same type.
+    pub fn copy(&mut self, src: Reg) -> Reg {
+        let dst = self.func.new_reg(self.func.ty_of(src));
+        self.push(Inst::Copy { dst, src });
+        dst
+    }
+
+    /// Emit `copy` into an *existing* destination register (used for
+    /// variable assignment in the front end).
+    pub fn copy_to(&mut self, dst: Reg, src: Reg) {
+        self.push(Inst::Copy { dst, src });
+    }
+
+    /// Emit `dst <- load.ty [addr]` into a fresh register.
+    pub fn load(&mut self, ty: Ty, addr: Reg) -> Reg {
+        let dst = self.func.new_reg(ty);
+        self.push(Inst::Load { ty, dst, addr });
+        dst
+    }
+
+    /// Emit `store.ty [addr] <- value`.
+    pub fn store(&mut self, ty: Ty, addr: Reg, value: Reg) {
+        self.push(Inst::Store { ty, addr, value });
+    }
+
+    /// Emit a call returning a value of type `ty` into a fresh register.
+    pub fn call(&mut self, callee: impl Into<String>, args: Vec<Reg>, ty: Ty) -> Reg {
+        let dst = self.func.new_reg(ty);
+        self.push(Inst::Call { dst: Some((dst, ty)), callee: callee.into(), args });
+        dst
+    }
+
+    /// Emit a call with no result (a subroutine call).
+    pub fn call_void(&mut self, callee: impl Into<String>, args: Vec<Reg>) {
+        self.push(Inst::Call { dst: None, callee: callee.into(), args });
+    }
+
+    /// Close the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump { target });
+    }
+
+    /// Close the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Reg, then_to: BlockId, else_to: BlockId) {
+        self.terminate(Terminator::Branch { cond, then_to, else_to });
+    }
+
+    /// Close the current block with a return.
+    pub fn ret(&mut self, value: Option<Reg>) {
+        self.terminate(Terminator::Return { value });
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        assert!(!self.closed[self.current.index()], "block {} already terminated", self.current);
+        self.func.block_mut(self.current).term = term;
+        self.closed[self.current.index()] = true;
+    }
+
+    /// Finish building and return the function.
+    ///
+    /// # Panics
+    /// Panics if any created block was never closed with a terminator.
+    pub fn finish(self) -> Function {
+        for (i, closed) in self.closed.iter().enumerate() {
+            assert!(closed, "block b{i} was never terminated");
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straight_line_code() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let c = b.loadi(Const::Int(2));
+        let y = b.bin(BinOp::Mul, Ty::Int, x, c);
+        b.ret(Some(y));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.inst_count(), 2);
+        assert_eq!(f.params, vec![Reg(0)]);
+        assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    fn builds_diamond() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let z = b.loadi(Const::Int(0));
+        let c = b.bin(BinOp::CmpLt, Ty::Int, x, z);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.branch(c, t, e);
+        let out = b.new_reg(Ty::Int);
+        b.switch_to(t);
+        b.copy_to(out, z);
+        b.jump(j);
+        b.switch_to(e);
+        b.copy_to(out, x);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(out));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminated")]
+    fn unterminated_block_panics() {
+        let mut b = FunctionBuilder::new("f", None);
+        let _ = b.new_block();
+        b.ret(None);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminate_panics() {
+        let mut b = FunctionBuilder::new("f", None);
+        b.ret(None);
+        b.ret(None);
+    }
+
+    #[test]
+    fn calls_and_memory() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Float));
+        let base = b.param(Ty::Int);
+        let v = b.load(Ty::Float, base);
+        let s = b.call("sqrt", vec![v], Ty::Float);
+        b.store(Ty::Float, base, s);
+        b.call_void("trace", vec![base]);
+        b.ret(Some(s));
+        let f = b.finish();
+        assert_eq!(f.inst_count(), 4);
+        assert!(f.verify().is_ok());
+    }
+}

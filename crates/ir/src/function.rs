@@ -1,0 +1,311 @@
+//! Basic blocks, terminators, functions and modules.
+
+use crate::inst::Inst;
+use crate::types::{BlockId, Reg, Ty};
+
+/// The control-flow-transfer instruction closing a basic block.
+///
+/// Terminators count toward the dynamic operation count: the paper reports
+/// "dynamic operation count, **including branches**".
+#[derive(Clone, PartialEq, Debug)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Conditional branch: transfers to `then_to` when `cond` is non-zero,
+    /// else to `else_to`.
+    Branch {
+        /// Condition register (Int 0/1).
+        cond: Reg,
+        /// Target when true.
+        then_to: BlockId,
+        /// Target when false.
+        else_to: BlockId,
+    },
+    /// Return from the function, optionally with a value.
+    Return {
+        /// The returned register, if the function returns a value.
+        value: Option<Reg>,
+    },
+}
+
+impl Terminator {
+    /// The CFG successors named by this terminator, in order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump { target } => vec![*target],
+            Terminator::Branch { then_to, else_to, .. } => vec![*then_to, *else_to],
+            Terminator::Return { .. } => vec![],
+        }
+    }
+
+    /// The registers read by this terminator.
+    pub fn uses(&self) -> Vec<Reg> {
+        match self {
+            Terminator::Branch { cond, .. } => vec![*cond],
+            Terminator::Return { value: Some(v) } => vec![*v],
+            _ => vec![],
+        }
+    }
+
+    /// Apply `f` to every used register in place.
+    pub fn map_uses(&mut self, mut f: impl FnMut(Reg) -> Reg) {
+        match self {
+            Terminator::Branch { cond, .. } => *cond = f(*cond),
+            Terminator::Return { value: Some(v) } => *v = f(*v),
+            _ => {}
+        }
+    }
+
+    /// Redirect every successor edge equal to `from` to `to`.
+    pub fn retarget(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            Terminator::Jump { target } => {
+                if *target == from {
+                    *target = to;
+                }
+            }
+            Terminator::Branch { then_to, else_to, .. } => {
+                if *then_to == from {
+                    *then_to = to;
+                }
+                if *else_to == from {
+                    *else_to = to;
+                }
+            }
+            Terminator::Return { .. } => {}
+        }
+    }
+}
+
+/// A basic block: a label, straight-line instructions, one terminator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// The instructions, in execution order. φ-nodes, when present, must
+    /// form a prefix of this vector.
+    pub insts: Vec<Inst>,
+    /// The closing control transfer.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// A new empty block ending in `term`.
+    pub fn new(term: Terminator) -> Self {
+        Block { insts: Vec::new(), term }
+    }
+
+    /// Iterator over the φ-nodes at the head of the block.
+    pub fn phis(&self) -> impl Iterator<Item = &Inst> {
+        self.insts.iter().take_while(|i| matches!(i, Inst::Phi { .. }))
+    }
+
+    /// Number of φ-nodes at the head of the block.
+    pub fn phi_count(&self) -> usize {
+        self.insts.iter().take_while(|i| matches!(i, Inst::Phi { .. })).count()
+    }
+}
+
+/// A function: parameters, typed virtual registers, and a block vector whose
+/// index 0 is the entry block.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    /// Function name (unique within a [`Module`]).
+    pub name: String,
+    /// Parameter registers, defined on entry, in call order.
+    pub params: Vec<Reg>,
+    /// Return type, or `None` for subroutines.
+    pub ret_ty: Option<Ty>,
+    /// The basic blocks; `blocks[0]` is the entry.
+    pub blocks: Vec<Block>,
+    /// Type of every register, indexed by [`Reg::index`].
+    pub reg_ty: Vec<Ty>,
+}
+
+impl Function {
+    /// Create an empty function with no blocks (use [`crate::FunctionBuilder`]
+    /// for convenient construction).
+    pub fn new(name: impl Into<String>, ret_ty: Option<Ty>) -> Self {
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            ret_ty,
+            blocks: Vec::new(),
+            reg_ty: Vec::new(),
+        }
+    }
+
+    /// Allocate a fresh virtual register of type `ty`.
+    pub fn new_reg(&mut self, ty: Ty) -> Reg {
+        let r = Reg(self.reg_ty.len() as u32);
+        self.reg_ty.push(ty);
+        r
+    }
+
+    /// Number of virtual registers allocated so far.
+    pub fn reg_count(&self) -> usize {
+        self.reg_ty.len()
+    }
+
+    /// The type of register `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` was not allocated by this function.
+    pub fn ty_of(&self, r: Reg) -> Ty {
+        self.reg_ty[r.index()]
+    }
+
+    /// Append a new block and return its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(block);
+        id
+    }
+
+    /// Shared access to a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterator over `(BlockId, &Block)` pairs in index order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// All block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Static operation count: instructions plus terminators, the metric of
+    /// the paper's Table 2 (code expansion from forward propagation).
+    pub fn static_op_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len() + 1).sum()
+    }
+
+    /// Total number of (non-terminator) instructions.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Run the structural verifier; see [`crate::verify`].
+    pub fn verify(&self) -> Result<(), crate::VerifyError> {
+        crate::verify::verify_function(self)
+    }
+}
+
+/// A compilation unit: functions plus the size of the statically-allocated
+/// data segment (arrays), in words.
+///
+/// Mini-FORTRAN arrays are laid out by the front end at fixed addresses, so
+/// the interpreter only needs `data_words` to size its memory.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    /// The functions of the unit. The entry point for execution is chosen by
+    /// the caller (the interpreter takes a function name).
+    pub functions: Vec<Function>,
+    /// Words of statically allocated array storage.
+    pub data_words: usize,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Find a function by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Total static operation count over all functions.
+    pub fn static_op_count(&self) -> usize {
+        self.functions.iter().map(Function::static_op_count).sum()
+    }
+
+    /// Verify every function in the module.
+    pub fn verify(&self) -> Result<(), crate::VerifyError> {
+        for f in &self.functions {
+            f.verify()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Inst};
+    use crate::types::Const;
+
+    fn sample_function() -> Function {
+        let mut f = Function::new("t", Some(Ty::Int));
+        let a = f.new_reg(Ty::Int);
+        f.params.push(a);
+        let one = f.new_reg(Ty::Int);
+        let sum = f.new_reg(Ty::Int);
+        let mut b = Block::new(Terminator::Return { value: Some(sum) });
+        b.insts.push(Inst::LoadI { dst: one, value: Const::Int(1) });
+        b.insts.push(Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: sum, lhs: a, rhs: one });
+        f.add_block(b);
+        f
+    }
+
+    #[test]
+    fn function_accounting() {
+        let f = sample_function();
+        assert_eq!(f.reg_count(), 3);
+        assert_eq!(f.inst_count(), 2);
+        assert_eq!(f.static_op_count(), 3); // 2 insts + 1 terminator
+        assert_eq!(f.ty_of(Reg(0)), Ty::Int);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump { target: BlockId(3) }.successors(), vec![BlockId(3)]);
+        let b = Terminator::Branch { cond: Reg(0), then_to: BlockId(1), else_to: BlockId(2) };
+        assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(b.uses(), vec![Reg(0)]);
+        assert_eq!(Terminator::Return { value: None }.successors(), vec![]);
+    }
+
+    #[test]
+    fn terminator_retarget() {
+        let mut t = Terminator::Branch { cond: Reg(0), then_to: BlockId(1), else_to: BlockId(1) };
+        t.retarget(BlockId(1), BlockId(5));
+        assert_eq!(t.successors(), vec![BlockId(5), BlockId(5)]);
+    }
+
+    #[test]
+    fn phi_prefix_counting() {
+        let mut b = Block::new(Terminator::Return { value: None });
+        b.insts.push(Inst::Phi { dst: Reg(0), args: vec![] });
+        b.insts.push(Inst::Phi { dst: Reg(1), args: vec![] });
+        b.insts.push(Inst::Copy { dst: Reg(2), src: Reg(0) });
+        assert_eq!(b.phi_count(), 2);
+        assert_eq!(b.phis().count(), 2);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new();
+        m.functions.push(sample_function());
+        assert!(m.function("t").is_some());
+        assert!(m.function("missing").is_none());
+        assert_eq!(m.static_op_count(), 3);
+        m.function_mut("t").unwrap().name = "u".into();
+        assert!(m.function("u").is_some());
+    }
+}

@@ -1,0 +1,261 @@
+//! Core value and identifier types: [`Reg`], [`BlockId`], [`Ty`], [`Const`].
+
+use std::fmt;
+
+/// A virtual register.
+///
+/// ILOC has an unbounded supply of virtual registers; register allocation is
+/// outside the scope of the paper (only the *coalescing* phase of a
+/// Chaitin-style allocator is used, to remove copies). Registers are dense
+/// small integers so passes can index side tables by `Reg`.
+///
+/// ```
+/// use epre_ir::Reg;
+/// let r = Reg(7);
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(format!("{r}"), "r7");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// The register's dense index, for use with side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a basic block within a [`crate::Function`].
+///
+/// Blocks are stored densely; `BlockId(0)` is always the entry block.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The entry block of every function.
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// The block's dense index, for use with side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// The type of a register: ILOC is lightly typed, enough to separate integer
+/// arithmetic (addresses, subscripts, loop counters) from floating point.
+///
+/// Booleans (comparison results, branch conditions) are represented as
+/// `Int` 0/1, as in the paper's three-address examples.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Ty {
+    /// 64-bit signed integer (also used for addresses and booleans).
+    Int,
+    /// 64-bit IEEE floating point (FORTRAN `REAL`, widened).
+    Float,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "i"),
+            Ty::Float => write!(f, "f"),
+        }
+    }
+}
+
+/// A compile-time constant, the operand of a `loadi`.
+///
+/// `Const` implements `Eq`/`Hash` via the float's bit pattern so constants
+/// can key hash tables (value numbering, the disciplined-naming front end).
+/// Two `NaN`s with identical bits compare equal; `0.0` and `-0.0` differ.
+#[derive(Copy, Clone, Debug)]
+pub enum Const {
+    /// An integer constant.
+    Int(i64),
+    /// A floating-point constant.
+    Float(f64),
+}
+
+impl Const {
+    /// The type this constant has when materialized into a register.
+    pub fn ty(self) -> Ty {
+        match self {
+            Const::Int(_) => Ty::Int,
+            Const::Float(_) => Ty::Float,
+        }
+    }
+
+    /// The integer payload, if this is an [`Const::Int`].
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Const::Int(v) => Some(v),
+            Const::Float(_) => None,
+        }
+    }
+
+    /// The float payload, if this is a [`Const::Float`].
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            Const::Float(v) => Some(v),
+            Const::Int(_) => None,
+        }
+    }
+
+    /// True if the constant is numerically zero (of either type).
+    pub fn is_zero(self) -> bool {
+        match self {
+            Const::Int(v) => v == 0,
+            Const::Float(v) => v == 0.0,
+        }
+    }
+
+    /// True if the constant is numerically one (of either type).
+    pub fn is_one(self) -> bool {
+        match self {
+            Const::Int(v) => v == 1,
+            Const::Float(v) => v == 1.0,
+        }
+    }
+}
+
+impl PartialEq for Const {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Const::Int(a), Const::Int(b)) => a == b,
+            (Const::Float(a), Const::Float(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Const {}
+
+impl std::hash::Hash for Const {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Const::Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Const::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(v) => write!(f, "{v}:i"),
+            Const::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}:f")
+                } else {
+                    write!(f, "{v}:f")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(v: i64) -> Self {
+        Const::Int(v)
+    }
+}
+
+impl From<f64> for Const {
+    fn from(v: f64) -> Self {
+        Const::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(format!("{}", Reg(3)), "r3");
+        assert_eq!(Reg(3).index(), 3);
+        assert_eq!(format!("{:?}", Reg(3)), "r3");
+    }
+
+    #[test]
+    fn block_display() {
+        assert_eq!(format!("{}", BlockId(2)), "b2");
+        assert_eq!(BlockId::ENTRY, BlockId(0));
+    }
+
+    #[test]
+    fn const_equality_is_bitwise_for_floats() {
+        assert_eq!(Const::Float(1.5), Const::Float(1.5));
+        assert_ne!(Const::Float(0.0), Const::Float(-0.0));
+        assert_ne!(Const::Int(1), Const::Float(1.0));
+        let nan = f64::NAN;
+        assert_eq!(Const::Float(nan), Const::Float(nan));
+    }
+
+    #[test]
+    fn const_hashes_consistently() {
+        let mut set = HashSet::new();
+        set.insert(Const::Int(4));
+        set.insert(Const::Float(4.0));
+        set.insert(Const::Float(4.0));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn const_predicates() {
+        assert!(Const::Int(0).is_zero());
+        assert!(Const::Float(0.0).is_zero());
+        assert!(Const::Int(1).is_one());
+        assert!(Const::Float(1.0).is_one());
+        assert!(!Const::Int(2).is_one());
+        assert_eq!(Const::Int(7).as_int(), Some(7));
+        assert_eq!(Const::Int(7).as_float(), None);
+        assert_eq!(Const::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Const::Int(1).ty(), Ty::Int);
+        assert_eq!(Const::Float(1.0).ty(), Ty::Float);
+    }
+
+    #[test]
+    fn const_display() {
+        assert_eq!(format!("{}", Const::Int(-3)), "-3:i");
+        assert_eq!(format!("{}", Const::Float(2.0)), "2.0:f");
+        assert_eq!(format!("{}", Const::Float(2.25)), "2.25:f");
+    }
+
+    #[test]
+    fn const_from_impls() {
+        assert_eq!(Const::from(3i64), Const::Int(3));
+        assert_eq!(Const::from(3.0f64), Const::Float(3.0));
+    }
+}

@@ -1,0 +1,328 @@
+//! Structural verification of functions.
+//!
+//! The verifier checks invariants that every pass must preserve:
+//!
+//! * every block terminator targets an existing block,
+//! * every register named anywhere was allocated (`reg_ty` covers it),
+//! * operand and result types are consistent with each instruction's
+//!   declared type,
+//! * φ-nodes appear only as a prefix of their block,
+//! * φ-node incoming blocks are actual CFG predecessors (checked only when
+//!   the function contains φs, i.e. is in SSA form),
+//! * a branch condition has `Int` type.
+//!
+//! It does **not** check SSA single-assignment (that is `epre-ssa`'s
+//! verifier) because most of the pipeline operates on non-SSA ILOC.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::function::{Function, Terminator};
+use crate::inst::Inst;
+use crate::types::{BlockId, Reg, Ty};
+
+/// A structural invariant violation found by [`verify_function`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name.
+    pub function: String,
+    /// Block where the violation was found.
+    pub block: BlockId,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}: {}", self.function, self.block, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Check the structural invariants of `f`. See the module docs for the list.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    let fail = |block: BlockId, message: String| {
+        Err(VerifyError { function: f.name.clone(), block, message })
+    };
+    let reg_ok = |r: Reg| r.index() < f.reg_ty.len();
+
+    if f.blocks.is_empty() {
+        return fail(BlockId::ENTRY, "function has no blocks".into());
+    }
+    for &p in &f.params {
+        if !reg_ok(p) {
+            return fail(BlockId::ENTRY, format!("parameter {p} not allocated"));
+        }
+    }
+
+    // Compute predecessors for φ checking.
+    let mut preds: Vec<HashSet<BlockId>> = vec![HashSet::new(); f.blocks.len()];
+    for (id, b) in f.iter_blocks() {
+        for s in b.term.successors() {
+            if s.index() >= f.blocks.len() {
+                return fail(id, format!("terminator targets missing block {s}"));
+            }
+            preds[s.index()].insert(id);
+        }
+    }
+
+    for (id, b) in f.iter_blocks() {
+        let mut seen_non_phi = false;
+        for inst in &b.insts {
+            match inst {
+                Inst::Phi { dst, args } => {
+                    if seen_non_phi {
+                        return fail(id, format!("φ for {dst} after non-φ instruction"));
+                    }
+                    for &(pb, r) in args {
+                        if pb.index() >= f.blocks.len() {
+                            return fail(id, format!("φ names missing block {pb}"));
+                        }
+                        if !preds[id.index()].contains(&pb) {
+                            return fail(id, format!("φ input block {pb} is not a predecessor"));
+                        }
+                        if !reg_ok(r) {
+                            return fail(id, format!("φ uses unallocated register {r}"));
+                        }
+                    }
+                    if !reg_ok(*dst) {
+                        return fail(id, format!("φ defines unallocated register {dst}"));
+                    }
+                }
+                _ => seen_non_phi = true,
+            }
+            for u in inst.uses() {
+                if !reg_ok(u) {
+                    return fail(id, format!("use of unallocated register {u} in `{inst}`"));
+                }
+            }
+            if let Some(d) = inst.dst() {
+                if !reg_ok(d) {
+                    return fail(id, format!("def of unallocated register {d} in `{inst}`"));
+                }
+            }
+            if let Some(msg) = type_check(f, inst) {
+                return fail(id, msg);
+            }
+        }
+        match &b.term {
+            Terminator::Branch { cond, .. } => {
+                if !reg_ok(*cond) {
+                    return fail(id, format!("branch condition {cond} not allocated"));
+                }
+                if f.ty_of(*cond) != Ty::Int {
+                    return fail(id, format!("branch condition {cond} must be Int"));
+                }
+            }
+            Terminator::Return { value: Some(v) } => {
+                if !reg_ok(*v) {
+                    return fail(id, format!("return of unallocated register {v}"));
+                }
+                match f.ret_ty {
+                    None => return fail(id, "value returned from subroutine".into()),
+                    Some(rt) => {
+                        if f.ty_of(*v) != rt {
+                            return fail(id, format!("return type mismatch on {v}"));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Type-check one instruction against the function's register types.
+fn type_check(f: &Function, inst: &Inst) -> Option<String> {
+    let bad = |r: Reg, want: Ty| {
+        Some(format!("`{inst}`: register {r} has type {}, expected {want}", f.ty_of(r)))
+    };
+    match inst {
+        Inst::Bin { op, ty, dst, lhs, rhs } => {
+            if f.ty_of(*lhs) != *ty {
+                return bad(*lhs, *ty);
+            }
+            if f.ty_of(*rhs) != *ty {
+                return bad(*rhs, *ty);
+            }
+            let want = op.result_ty(*ty);
+            if f.ty_of(*dst) != want {
+                return bad(*dst, want);
+            }
+            None
+        }
+        Inst::Un { op, ty, dst, src } => {
+            if f.ty_of(*src) != *ty {
+                return bad(*src, *ty);
+            }
+            let want = op.result_ty(*ty);
+            if f.ty_of(*dst) != want {
+                return bad(*dst, want);
+            }
+            None
+        }
+        Inst::LoadI { dst, value } => {
+            if f.ty_of(*dst) != value.ty() {
+                return bad(*dst, value.ty());
+            }
+            None
+        }
+        Inst::Copy { dst, src } => {
+            if f.ty_of(*dst) != f.ty_of(*src) {
+                return bad(*dst, f.ty_of(*src));
+            }
+            None
+        }
+        Inst::Load { ty, dst, addr } => {
+            if f.ty_of(*addr) != Ty::Int {
+                return bad(*addr, Ty::Int);
+            }
+            if f.ty_of(*dst) != *ty {
+                return bad(*dst, *ty);
+            }
+            None
+        }
+        Inst::Store { ty, addr, value } => {
+            if f.ty_of(*addr) != Ty::Int {
+                return bad(*addr, Ty::Int);
+            }
+            if f.ty_of(*value) != *ty {
+                return bad(*value, *ty);
+            }
+            None
+        }
+        Inst::Call { dst, .. } => {
+            if let Some((r, ty)) = dst {
+                if f.ty_of(*r) != *ty {
+                    return bad(*r, *ty);
+                }
+            }
+            None
+        }
+        Inst::Phi { dst, args } => {
+            let want = f.ty_of(*dst);
+            for &(_, r) in args {
+                if f.ty_of(r) != want {
+                    return bad(r, want);
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Block;
+    use crate::inst::BinOp;
+    use crate::types::Const;
+
+    #[test]
+    fn accepts_well_formed() {
+        let mut b = FunctionBuilder::new("ok", Some(Ty::Float));
+        let x = b.param(Ty::Float);
+        let y = b.bin(BinOp::Add, Ty::Float, x, x);
+        b.ret(Some(y));
+        assert!(b.finish().verify().is_ok());
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut f = Function::new("bad", None);
+        let a = f.new_reg(Ty::Int);
+        let b = f.new_reg(Ty::Float);
+        let d = f.new_reg(Ty::Int);
+        let mut blk = Block::new(Terminator::Return { value: None });
+        blk.insts.push(Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: d, lhs: a, rhs: b });
+        f.add_block(blk);
+        let e = f.verify().unwrap_err();
+        assert!(e.message.contains("expected i"));
+    }
+
+    #[test]
+    fn rejects_float_branch_condition() {
+        let mut f = Function::new("bad", None);
+        let c = f.new_reg(Ty::Float);
+        f.add_block(Block::new(Terminator::Branch {
+            cond: c,
+            then_to: BlockId(1),
+            else_to: BlockId(1),
+        }));
+        f.add_block(Block::new(Terminator::Return { value: None }));
+        assert!(f.verify().is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_block_target() {
+        let mut f = Function::new("bad", None);
+        f.add_block(Block::new(Terminator::Jump { target: BlockId(9) }));
+        let e = f.verify().unwrap_err();
+        assert!(e.message.contains("missing block"));
+    }
+
+    #[test]
+    fn rejects_unallocated_register() {
+        let mut f = Function::new("bad", None);
+        let mut blk = Block::new(Terminator::Return { value: None });
+        blk.insts.push(Inst::Copy { dst: Reg(5), src: Reg(6) });
+        f.add_block(blk);
+        assert!(f.verify().is_err());
+    }
+
+    #[test]
+    fn rejects_phi_after_non_phi() {
+        let mut f = Function::new("bad", None);
+        let a = f.new_reg(Ty::Int);
+        let b = f.new_reg(Ty::Int);
+        let mut blk = Block::new(Terminator::Return { value: None });
+        blk.insts.push(Inst::LoadI { dst: a, value: Const::Int(0) });
+        blk.insts.push(Inst::Phi { dst: b, args: vec![] });
+        f.add_block(blk);
+        let e = f.verify().unwrap_err();
+        assert!(e.message.contains("after non-φ"));
+    }
+
+    #[test]
+    fn rejects_phi_from_non_predecessor() {
+        let mut f = Function::new("bad", None);
+        let a = f.new_reg(Ty::Int);
+        let b = f.new_reg(Ty::Int);
+        let mut b0 = Block::new(Terminator::Jump { target: BlockId(1) });
+        b0.insts.push(Inst::LoadI { dst: a, value: Const::Int(0) });
+        f.add_block(b0);
+        let mut b1 = Block::new(Terminator::Return { value: None });
+        // b1's only predecessor is b0; claiming b1 is wrong.
+        b1.insts.push(Inst::Phi { dst: b, args: vec![(BlockId(1), a)] });
+        f.add_block(b1);
+        let e = f.verify().unwrap_err();
+        assert!(e.message.contains("not a predecessor"));
+    }
+
+    #[test]
+    fn rejects_return_type_mismatch() {
+        let mut f = Function::new("bad", Some(Ty::Float));
+        let a = f.new_reg(Ty::Int);
+        let mut blk = Block::new(Terminator::Return { value: Some(a) });
+        blk.insts.push(Inst::LoadI { dst: a, value: Const::Int(0) });
+        f.add_block(blk);
+        assert!(f.verify().is_err());
+    }
+
+    #[test]
+    fn rejects_value_return_from_subroutine() {
+        let mut f = Function::new("bad", None);
+        let a = f.new_reg(Ty::Int);
+        let mut blk = Block::new(Terminator::Return { value: Some(a) });
+        blk.insts.push(Inst::LoadI { dst: a, value: Const::Int(0) });
+        f.add_block(blk);
+        let e = f.verify().unwrap_err();
+        assert!(e.message.contains("subroutine"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Copy coalescing — "the coalescing phase of a Chaitin-style global
+//! register allocator" (§3.2, §4.1, reference \[6\]).
+//!
+//! The paper's pipeline creates many copies (assignments, φ-destruction,
+//! the variable names targeted during reassociation); coalescing removes
+//! every copy whose source and destination do not interfere, by merging
+//! the two names. Figure 10 of the paper shows the effect on the running
+//! example: all copies disappear.
+//!
+//! Interference is the classic definition-against-live rule, computed from
+//! block liveness with a backwards scan; for a copy `d <- s`, `s` is
+//! excluded from the interference of `d` (they may share a register if
+//! nothing else conflicts).
+
+use std::collections::HashSet;
+
+use epre_analysis::Liveness;
+use epre_cfg::Cfg;
+use epre_ir::{Function, Inst, Reg};
+
+/// Run coalescing rounds until no copy can be merged.
+pub fn run(f: &mut Function) {
+    debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "coalesce expects φ-free code");
+    // Drop trivial self-copies first.
+    for b in &mut f.blocks {
+        b.insts.retain(|i| !matches!(i, Inst::Copy { dst, src } if dst == src));
+    }
+    while coalesce_round(f) {}
+}
+
+fn coalesce_round(f: &mut Function) -> bool {
+    let cfg = Cfg::new(f);
+    let live = Liveness::new(f, &cfg);
+    let interference = build_interference(f, &live);
+
+    // Find one coalescable copy per round (liveness is invalidated by the
+    // merge, so a fresh round recomputes it).
+    let params: HashSet<Reg> = f.params.iter().copied().collect();
+    let mut target: Option<(Reg, Reg)> = None; // (kept, merged-away)
+    'outer: for block in &f.blocks {
+        for inst in &block.insts {
+            if let Inst::Copy { dst, src } = inst {
+                if dst == src {
+                    continue;
+                }
+                if f.ty_of(*dst) != f.ty_of(*src) {
+                    continue;
+                }
+                if interference.contains(&key(*dst, *src)) {
+                    continue;
+                }
+                // Keep parameter registers as the surviving name; if both
+                // are parameters they cannot merge (distinct incoming
+                // values).
+                let (keep, gone) = match (params.contains(dst), params.contains(src)) {
+                    (true, true) => continue,
+                    (true, false) => (*dst, *src),
+                    _ => (*src, *dst),
+                };
+                target = Some((keep, gone));
+                break 'outer;
+            }
+        }
+    }
+
+    let Some((keep, gone)) = target else { return false };
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            inst.map_uses(|r| if r == gone { keep } else { r });
+            if inst.dst() == Some(gone) {
+                inst.set_dst(keep);
+            }
+        }
+        block.term.map_uses(|r| if r == gone { keep } else { r });
+        block.insts.retain(|i| !matches!(i, Inst::Copy { dst, src } if dst == src));
+    }
+    true
+}
+
+fn key(a: Reg, b: Reg) -> (Reg, Reg) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Definition-against-live interference over all blocks.
+fn build_interference(f: &Function, live: &Liveness) -> HashSet<(Reg, Reg)> {
+    let mut edges = HashSet::new();
+    for (bid, block) in f.iter_blocks() {
+        let mut live_now: HashSet<Reg> = live.live_out[bid.index()]
+            .iter()
+            .map(|i| Reg(i as u32))
+            .collect();
+        for u in block.term.uses() {
+            live_now.insert(u);
+        }
+        for inst in block.insts.iter().rev() {
+            if let Some(d) = inst.dst() {
+                let exclude = match inst {
+                    Inst::Copy { src, .. } => Some(*src),
+                    _ => None,
+                };
+                for &l in &live_now {
+                    if l != d && Some(l) != exclude {
+                        edges.insert(key(d, l));
+                    }
+                }
+                live_now.remove(&d);
+            }
+            for u in inst.uses() {
+                live_now.insert(u);
+            }
+        }
+        // Parameters are all "defined" simultaneously at the entry.
+        if bid.index() == 0 {
+            for (i, &p) in f.params.iter().enumerate() {
+                for &q in &f.params[i + 1..] {
+                    edges.insert(key(p, q));
+                }
+                for &l in &live_now {
+                    if l != p {
+                        edges.insert(key(p, l));
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre_ir::{BinOp, Const, FunctionBuilder, Ty};
+
+    #[test]
+    fn merges_simple_copy() {
+        // t = x + x; v = copy t; return v  — the copy disappears.
+        let mut b = FunctionBuilder::new("c", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let t = b.bin(BinOp::Add, Ty::Int, x, x);
+        let v = b.copy(t);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.inst_count(), 1);
+        assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    fn keeps_interfering_copy() {
+        // v = copy x; x = x + 1; return v + x — v and x interfere.
+        let mut b = FunctionBuilder::new("k", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let v = b.copy(x);
+        let one = b.loadi(Const::Int(1));
+        let x2 = b.new_reg(Ty::Int);
+        b.push(Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: x2, lhs: x, rhs: one });
+        b.copy_to(x, x2);
+        let s = b.bin(BinOp::Add, Ty::Int, v, x);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let before_copies =
+            f.blocks[0].insts.iter().filter(|i| matches!(i, Inst::Copy { .. })).count();
+        assert_eq!(before_copies, 2);
+        run(&mut f);
+        // v = copy x must stay (x redefined while v lives); x = copy x2 can
+        // merge (x2 dies at the copy... x2 defined while x lives? x is used
+        // after, via s = v + x — but that is the NEW x. x's old value dies
+        // at the copy; x2 <-> x do not interfere).
+        let after_copies =
+            f.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::Copy { .. })).count();
+        assert_eq!(after_copies, 1);
+        assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    fn never_merges_two_params() {
+        let mut b = FunctionBuilder::new("p", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let y = b.param(Ty::Int);
+        b.copy_to(x, y); // x = y, then return x
+        b.ret(Some(x));
+        let mut f = b.finish();
+        run(&mut f);
+        // The copy must survive: params cannot merge.
+        assert_eq!(f.inst_count(), 1);
+        assert_eq!(f.params, vec![x, y]);
+    }
+
+    #[test]
+    fn type_mismatch_blocks_merge() {
+        let mut b = FunctionBuilder::new("t", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        // Hand-build an ill-typed copy is rejected by the verifier, so just
+        // check run() is a no-op on a copy-free function.
+        let before = f.clone();
+        run(&mut f);
+        assert_eq!(f, before);
+    }
+
+    #[test]
+    fn removes_self_copies() {
+        let mut b = FunctionBuilder::new("s", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        b.copy_to(x, x);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        run(&mut f);
+        assert_eq!(f.inst_count(), 0);
+    }
+
+    #[test]
+    fn coalesces_across_blocks() {
+        // Paper Figure 9 -> 10: copies feeding a loop variable merge away.
+        let mut b = FunctionBuilder::new("l", Some(Ty::Int));
+        let n = b.param(Ty::Int);
+        let i = b.new_reg(Ty::Int);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let z = b.loadi(Const::Int(0));
+        b.copy_to(i, z);
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.bin(BinOp::CmpLt, Ty::Int, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.loadi(Const::Int(1));
+        let i2 = b.bin(BinOp::Add, Ty::Int, i, one);
+        b.copy_to(i, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        run(&mut f);
+        // i2/i copy merges (i's old value dead at the copy); z/i copy
+        // merges as well once i2 is renamed.
+        let copies =
+            f.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::Copy { .. })).count();
+        assert_eq!(copies, 0);
+        assert!(f.verify().is_ok());
+    }
+}

@@ -1,0 +1,427 @@
+//! Partition-based global value numbering and global renaming (§3.2).
+//!
+//! The paper uses Alpern, Wegman & Zadeck's algorithm: start from the
+//! **optimistic** assumption that all values computed by the same operator
+//! are equivalent and use the statements of the program to *disprove*
+//! equivalences, refining a partition of the SSA names until it stabilizes.
+//! Then "rename all values to reflect these equivalences": every
+//! congruence class gets one register, which
+//!
+//! * encodes value equivalence into the name space (two congruent
+//!   expressions become *lexically identical*, so PRE sees them),
+//! * establishes the §2.2 naming discipline PRE requires (each expression
+//!   one name; copies — which after SSA destruction come only from
+//!   φ-nodes — target *variable names*).
+//!
+//! Initial partition keys: constants by value; parameters, loads and calls
+//! as singletons (opaque); binary/unary operators by `(op, ty)`;
+//! φ-nodes by their block. Commutative operators compare operand classes
+//! order-insensitively (a mild strengthening the basic AWZ formulation
+//! leaves out; it matters because reassociation sorts operands by rank,
+//! not by class). As in the paper, "the names are the only things changed
+//! during this phase; no instructions are added, deleted, or moved" —
+//! except the φs, which SSA destruction then turns into copies.
+
+use std::collections::HashMap;
+
+use epre_ir::{Function, Inst, Reg};
+use epre_ssa::{build_ssa, destroy_ssa, SsaOptions};
+
+/// Run GVN + renaming on `f`. The function enters and leaves non-SSA form.
+pub fn run(f: &mut Function) {
+    build_ssa(f, SsaOptions { fold_copies: true });
+    let classes = congruence_classes(f);
+    rename(f, &classes);
+    dedupe_phis(f);
+    destroy_ssa(f);
+}
+
+/// Initial partition key.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum InitKey {
+    Const(epre_ir::Const),
+    Bin(epre_ir::BinOp, epre_ir::Ty),
+    Un(epre_ir::UnOp, epre_ir::Ty),
+    Phi(epre_ir::BlockId),
+    /// Parameters, loads, calls: opaque singletons (the payload makes the
+    /// key unique per definition).
+    Opaque(u32),
+}
+
+/// Compute the congruence class of every register (indexed by register).
+/// Registers with no definition (unused allocations) map to themselves.
+fn congruence_classes(f: &Function) -> Vec<u32> {
+    let nregs = f.reg_count();
+    // Gather definitions.
+    #[derive(Clone)]
+    enum Def {
+        None,
+        Param(u32),
+        Inst(Inst),
+    }
+    let mut defs: Vec<Def> = vec![Def::None; nregs];
+    for (i, &p) in f.params.iter().enumerate() {
+        defs[p.index()] = Def::Param(i as u32);
+    }
+    for (_, block) in f.iter_blocks() {
+        for inst in &block.insts {
+            if let Some(d) = inst.dst() {
+                defs[d.index()] = Def::Inst(inst.clone());
+            }
+        }
+    }
+
+    // Initial partition.
+    let mut class: Vec<u32> = (0..nregs as u32).collect();
+    {
+        let mut key_ids: HashMap<InitKey, u32> = HashMap::new();
+        let mut opaque = 0u32;
+        let mut next = 0u32;
+        let mut id_of = |k: InitKey, key_ids: &mut HashMap<InitKey, u32>| -> u32 {
+            *key_ids.entry(k).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        };
+        for (r, def) in defs.iter().enumerate() {
+            let key = match def {
+                Def::None => {
+                    // Unused register allocation: unique key.
+                    opaque += 1;
+                    InitKey::Opaque(u32::MAX - opaque)
+                }
+                Def::Param(i) => InitKey::Opaque(1_000_000 + *i),
+                Def::Inst(inst) => match inst {
+                    Inst::LoadI { value, .. } => InitKey::Const(*value),
+                    Inst::Bin { op, ty, .. } => InitKey::Bin(*op, *ty),
+                    Inst::Un { op, ty, .. } => InitKey::Un(*op, *ty),
+                    Inst::Phi { .. } => {
+                        let b = f
+                            .iter_blocks()
+                            .find(|(_, blk)| {
+                                blk.phis().any(|p| p.dst() == inst.dst())
+                            })
+                            .map(|(b, _)| b)
+                            .expect("φ lives in some block");
+                        InitKey::Phi(b)
+                    }
+                    Inst::Load { .. } | Inst::Call { .. } => {
+                        opaque += 1;
+                        InitKey::Opaque(2_000_000 + opaque)
+                    }
+                    Inst::Copy { .. } => unreachable!("copies folded during SSA construction"),
+                    Inst::Store { .. } => unreachable!("stores define nothing"),
+                },
+            };
+            class[r] = id_of(key, &mut key_ids);
+        }
+    }
+
+    // Refinement to a fixed point: split classes whose members disagree on
+    // operand classes.
+    loop {
+        let mut sig_ids: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+        let mut new_class = vec![0u32; nregs];
+        let mut next = 0u32;
+        for (r, def) in defs.iter().enumerate() {
+            let ops: Vec<u32> = match def {
+                Def::None | Def::Param(_) => vec![],
+                Def::Inst(inst) => match inst {
+                    Inst::Bin { op, lhs, rhs, .. } => {
+                        let (a, b) = (class[lhs.index()], class[rhs.index()]);
+                        if op.is_commutative() && b < a {
+                            vec![b, a]
+                        } else {
+                            vec![a, b]
+                        }
+                    }
+                    Inst::Un { src, .. } => vec![class[src.index()]],
+                    Inst::Phi { args, .. } => {
+                        // Align by predecessor id so positional comparison
+                        // is meaningful across φs of the same block.
+                        let mut pairs: Vec<(u32, u32)> =
+                            args.iter().map(|&(b, v)| (b.0, class[v.index()])).collect();
+                        pairs.sort_unstable();
+                        pairs.into_iter().map(|(_, c)| c).collect()
+                    }
+                    _ => vec![],
+                },
+            };
+            let sig = (class[r], ops);
+            let id = *sig_ids.entry(sig).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            new_class[r] = id;
+        }
+        if new_class == class {
+            break;
+        }
+        class = new_class;
+    }
+    class
+}
+
+/// Rewrite every definition and use so each class has exactly one register.
+fn rename(f: &mut Function, class: &[u32]) {
+    // Representative per class: a parameter if the class has one (the
+    // signature must not change), otherwise the lowest-numbered member.
+    let mut rep: HashMap<u32, Reg> = HashMap::new();
+    for r in (0..f.reg_count()).rev() {
+        rep.insert(class[r], Reg(r as u32));
+    }
+    for &p in &f.params {
+        rep.insert(class[p.index()], p);
+    }
+    let map = |r: Reg| rep[&class[r.index()]];
+
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            inst.map_uses(map);
+            if let Some(d) = inst.dst() {
+                inst.set_dst(map(d));
+            }
+        }
+        block.term.map_uses(map);
+    }
+}
+
+/// Drop duplicate φs (same destination and arguments) left by renaming.
+fn dedupe_phis(f: &mut Function) {
+    for block in &mut f.blocks {
+        let n = block.phi_count();
+        let mut seen: Vec<Inst> = Vec::new();
+        let mut keep = vec![true; block.insts.len()];
+        for i in 0..n {
+            if seen.contains(&block.insts[i]) {
+                keep[i] = false;
+            } else {
+                seen.push(block.insts[i].clone());
+            }
+        }
+        let mut it = keep.iter();
+        block.insts.retain(|_| *it.next().unwrap());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre_ir::{BinOp, Const, FunctionBuilder, Ty};
+
+    /// The §2.2 example: x = y + z; a = y; b = a + z. After copy folding
+    /// `a` is `y`, so `a + z` is congruent to `y + z`; renaming gives both
+    /// computations the same name and PRE can see the redundancy.
+    #[test]
+    fn paper_2_2_naming_example() {
+        let mut b = FunctionBuilder::new("n", Some(Ty::Int));
+        let y = b.param(Ty::Int);
+        let z = b.param(Ty::Int);
+        let t1 = b.bin(BinOp::Add, Ty::Int, y, z); // x = y + z
+        let a = b.copy(y); // a = y
+        let t2 = b.bin(BinOp::Add, Ty::Int, a, z); // b = a + z
+        let s = b.bin(BinOp::Mul, Ty::Int, t1, t2);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        run(&mut f);
+        let adds: Vec<&Inst> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Bin { op: BinOp::Add, .. }))
+            .collect();
+        assert_eq!(adds.len(), 2);
+        assert_eq!(adds[0], adds[1], "congruent expressions renamed identically: {f}");
+        assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    fn constants_by_value() {
+        let mut b = FunctionBuilder::new("c", Some(Ty::Int));
+        let c1 = b.loadi(Const::Int(7));
+        let c2 = b.loadi(Const::Int(7));
+        let c3 = b.loadi(Const::Int(8));
+        let s = b.bin(BinOp::Add, Ty::Int, c1, c2);
+        let t = b.bin(BinOp::Add, Ty::Int, s, c3);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        run(&mut f);
+        let loadis: Vec<&Inst> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::LoadI { .. }))
+            .collect();
+        // The two 7s share a destination register; 8 differs.
+        let d7: Vec<_> = loadis
+            .iter()
+            .filter(|i| matches!(i, Inst::LoadI { value: Const::Int(7), .. }))
+            .map(|i| i.dst())
+            .collect();
+        assert_eq!(d7[0], d7[1]);
+        let d8 = loadis
+            .iter()
+            .find(|i| matches!(i, Inst::LoadI { value: Const::Int(8), .. }))
+            .unwrap()
+            .dst();
+        assert_ne!(d7[0], d8);
+    }
+
+    #[test]
+    fn loads_are_opaque() {
+        let mut b = FunctionBuilder::new("l", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let v1 = b.load(Ty::Int, p);
+        let v2 = b.load(Ty::Int, p);
+        let s = b.bin(BinOp::Sub, Ty::Int, v1, v2);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        run(&mut f);
+        // The two loads keep distinct names (memory may have changed).
+        let loads: Vec<_> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .map(|i| i.dst())
+            .collect();
+        assert_ne!(loads[0], loads[1]);
+    }
+
+    #[test]
+    fn optimistic_congruence_through_loop_phis() {
+        // Two loop variables with identical structure: i = j always.
+        //   i = 0; j = 0; while (p) { i = i + 1; j = j + 1 }
+        // Optimistic GVN proves i ≅ j; pessimistic approaches cannot.
+        let mut b = FunctionBuilder::new("o", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let i = b.new_reg(Ty::Int);
+        let j = b.new_reg(Ty::Int);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let z = b.loadi(Const::Int(0));
+        b.copy_to(i, z);
+        b.copy_to(j, z);
+        b.jump(head);
+        b.switch_to(head);
+        b.branch(p, body, exit);
+        b.switch_to(body);
+        let one = b.loadi(Const::Int(1));
+        let i2 = b.bin(BinOp::Add, Ty::Int, i, one);
+        b.copy_to(i, i2);
+        let one2 = b.loadi(Const::Int(1));
+        let j2 = b.bin(BinOp::Add, Ty::Int, j, one2);
+        b.copy_to(j, j2);
+        b.jump(head);
+        b.switch_to(exit);
+        let d = b.bin(BinOp::Sub, Ty::Int, i, j);
+        b.ret(Some(d));
+        let mut f = b.finish();
+        run(&mut f);
+        // After GVN the subtraction's operands are the same register.
+        let sub = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .find(|i| matches!(i, Inst::Bin { op: BinOp::Sub, .. }))
+            .unwrap();
+        let u = sub.uses();
+        assert_eq!(u[0], u[1], "i and j proven congruent: {f}");
+        // Semantics preserved.
+        let mut m = epre_ir::Module::new();
+        m.functions.push(f);
+        let mut it = epre_interp::Interpreter::new(&m);
+        assert_eq!(
+            it.run("o", &[epre_interp::Value::Int(0)]).unwrap(),
+            Some(epre_interp::Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn commutative_operands_congruent() {
+        let mut b = FunctionBuilder::new("k", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let y = b.param(Ty::Int);
+        let s1 = b.bin(BinOp::Add, Ty::Int, x, y);
+        let s2 = b.bin(BinOp::Add, Ty::Int, y, x);
+        let m = b.bin(BinOp::Mul, Ty::Int, s1, s2);
+        b.ret(Some(m));
+        let mut f = b.finish();
+        run(&mut f);
+        let adds: Vec<_> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Bin { op: BinOp::Add, .. }))
+            .map(|i| i.dst())
+            .collect();
+        assert_eq!(adds[0], adds[1]);
+    }
+
+    #[test]
+    fn non_commutative_order_matters() {
+        let mut b = FunctionBuilder::new("nc", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let y = b.param(Ty::Int);
+        let s1 = b.bin(BinOp::Sub, Ty::Int, x, y);
+        let s2 = b.bin(BinOp::Sub, Ty::Int, y, x);
+        let m = b.bin(BinOp::Mul, Ty::Int, s1, s2);
+        b.ret(Some(m));
+        let mut f = b.finish();
+        run(&mut f);
+        let subs: Vec<_> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Bin { op: BinOp::Sub, .. }))
+            .map(|i| i.dst())
+            .collect();
+        assert_ne!(subs[0], subs[1]);
+    }
+
+    #[test]
+    fn preserves_semantics_on_branchy_code() {
+        // x = a+b in one arm; y = a+b in the other; use after join.
+        let mut b = FunctionBuilder::new("s", Some(Ty::Int));
+        let a = b.param(Ty::Int);
+        let c = b.param(Ty::Int);
+        let p = b.param(Ty::Int);
+        let x = b.new_reg(Ty::Int);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.branch(p, t, e);
+        b.switch_to(t);
+        let s1 = b.bin(BinOp::Add, Ty::Int, a, c);
+        b.copy_to(x, s1);
+        b.jump(j);
+        b.switch_to(e);
+        let s2 = b.bin(BinOp::Mul, Ty::Int, a, c);
+        b.copy_to(x, s2);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(f.verify().is_ok());
+        let mut m = epre_ir::Module::new();
+        m.functions.push(f);
+        for p in [0i64, 1] {
+            let mut it = epre_interp::Interpreter::new(&m);
+            let r = it
+                .run(
+                    "s",
+                    &[
+                        epre_interp::Value::Int(6),
+                        epre_interp::Value::Int(7),
+                        epre_interp::Value::Int(p),
+                    ],
+                )
+                .unwrap();
+            assert_eq!(r, Some(epre_interp::Value::Int(if p == 0 { 42 } else { 13 })));
+        }
+    }
+}

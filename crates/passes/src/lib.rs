@@ -1,0 +1,159 @@
+//! # epre-passes — the optimization passes of the Effective PRE pipeline
+//!
+//! Every transformation the paper uses or measures, each implemented as an
+//! independent function-level pass (the paper structures its optimizer "as
+//! a sequence of passes, where each pass is a Unix filter that consumes and
+//! produces ILOC"; here each pass is a `&mut Function` filter):
+//!
+//! **The paper's contributions (§3):**
+//!
+//! * [`reassoc`] — global reassociation: ranks, forward propagation,
+//!   associative-commutative sorting, optional distribution of multiply
+//!   over add,
+//! * [`gvn`] — partition-based global value numbering (Alpern, Wegman &
+//!   Zadeck) followed by the global renaming that encodes value equivalence
+//!   into the name space,
+//! * [`pre`] — partial redundancy elimination in the Drechsler–Stadel
+//!   edge-placement formulation.
+//!
+//! **The baseline optimizer (§4.1):**
+//!
+//! * [`sccp`] — sparse conditional constant propagation (Wegman–Zadeck),
+//! * [`peephole`] — global peephole optimization (algebraic identities,
+//!   constant folding, subtraction reconstruction, multiply-by-constant
+//!   strength reduction — deliberately *after* reassociation, §5.2),
+//! * [`dce`] — dead code elimination,
+//! * [`coalesce`] — the coalescing phase of a Chaitin-style register
+//!   allocator (removes copies),
+//! * [`clean`] — empty-block elimination and CFG tidying.
+//!
+//! **Comparators and extensions (§5.3, §4.1 "missing passes"):**
+//!
+//! * [`cse`] — dominator-scoped CSE and AVAIL-based global CSE, the two
+//!   weaker members of the redundancy-elimination hierarchy,
+//! * [`lvn`] — hash-based local value numbering.
+//!
+//! All passes preserve the structural verifier and the interpreter-observable
+//! semantics of the function; the property tests at the crate root check
+//! both on randomly generated programs.
+
+pub mod clean;
+pub mod coalesce;
+pub mod cse;
+pub mod dce;
+pub mod gvn;
+pub mod lvn;
+pub mod peephole;
+pub mod pre;
+pub mod reassoc;
+pub mod sccp;
+
+use epre_ir::Function;
+
+/// A function-level optimization pass.
+///
+/// Passes are stateless filters; any analyses they need are computed
+/// internally, mirroring the paper's pass structure ("each pass performs a
+/// single optimization, including all the required control-flow and
+/// data-flow analyses").
+pub trait Pass {
+    /// Short, stable pass name (used in pipeline descriptions and logs).
+    fn name(&self) -> &'static str;
+    /// Transform `f` in place.
+    fn run(&self, f: &mut Function);
+}
+
+/// The statistics-reporting pass objects used by the driver crate.
+pub mod passes {
+    use super::*;
+
+    macro_rules! simple_pass {
+        ($(#[$doc:meta])* $name:ident, $label:literal, $fun:path) => {
+            $(#[$doc])*
+            #[derive(Debug, Clone, Copy, Default)]
+            pub struct $name;
+            impl Pass for $name {
+                fn name(&self) -> &'static str {
+                    $label
+                }
+                fn run(&self, f: &mut Function) {
+                    $fun(f);
+                }
+            }
+        };
+    }
+
+    simple_pass!(
+        /// Sparse conditional constant propagation.
+        ConstProp,
+        "constprop",
+        crate::sccp::run
+    );
+    simple_pass!(
+        /// Global peephole optimization.
+        Peephole,
+        "peephole",
+        crate::peephole::run
+    );
+    simple_pass!(
+        /// Dead code elimination.
+        Dce,
+        "dce",
+        crate::dce::run
+    );
+    simple_pass!(
+        /// Chaitin-style copy coalescing.
+        Coalesce,
+        "coalesce",
+        crate::coalesce::run
+    );
+    simple_pass!(
+        /// Empty-block elimination / CFG tidying.
+        Clean,
+        "clean",
+        crate::clean::run
+    );
+    simple_pass!(
+        /// Partial redundancy elimination (Drechsler–Stadel).
+        Pre,
+        "pre",
+        crate::pre::run
+    );
+    simple_pass!(
+        /// Partition-based global value numbering + renaming.
+        Gvn,
+        "gvn",
+        crate::gvn::run
+    );
+    simple_pass!(
+        /// Hash-based local value numbering.
+        Lvn,
+        "lvn",
+        crate::lvn::run
+    );
+
+    /// Global reassociation (rank + forward propagation + sorting), with or
+    /// without distribution of multiplication over addition.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Reassociate {
+        /// Distribute low-ranked multipliers over higher-ranked sums
+        /// (the paper's `distribution` level).
+        pub distribute: bool,
+    }
+
+    impl Pass for Reassociate {
+        fn name(&self) -> &'static str {
+            if self.distribute {
+                "reassociate+distribute"
+            } else {
+                "reassociate"
+            }
+        }
+        fn run(&self, f: &mut Function) {
+            crate::reassoc::reassociate(
+                f,
+                crate::reassoc::ReassocOptions { distribute: self.distribute },
+            );
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Global peephole optimization.
+//!
+//! The baseline's "global peephole optimization" pass (§4.1). It walks each
+//! block with a local value environment (constants and copies seen so far
+//! in the block) and applies:
+//!
+//! * **constant folding** — binary/unary operations on known constants,
+//! * **algebraic identities** — `x+0`, `x-0`, `x*1`, `x/1`, `x*0`, `x-x`,
+//!   `x^x` (integer only where floating-point rounding or `NaN` could
+//!   observably differ; `x*1.0` and `x/1.0` are exact and allowed),
+//! * **copy propagation** — uses of a copy's destination read the source,
+//! * **subtraction reconstruction** — `t <- neg y; z <- add x, t` becomes
+//!   `z <- sub x, y`, undoing reassociation's Frailey rewrite (§3.1 "we
+//!   rely on a later pass … to reconstruct the original operations"),
+//! * **strength reduction** — integer multiply by a power-of-two constant
+//!   becomes a shift. §5.2 explains why this must run *after* global
+//!   reassociation, which is exactly where the pipeline puts it,
+//! * **branch folding** — a conditional branch on a known constant becomes
+//!   a jump (the `clean` pass then drops the dead arm).
+
+use std::collections::HashMap;
+
+use epre_ir::{BinOp, Const, Function, Inst, Reg, Terminator, Ty, UnOp};
+
+/// Run the peephole pass once over every block.
+pub fn run(f: &mut Function) {
+    debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "peephole expects φ-free code");
+    for bi in 0..f.blocks.len() {
+        rewrite_block(f, bi);
+    }
+}
+
+fn rewrite_block(f: &mut Function, bi: usize) {
+    // Local environment: constants and copy sources, invalidated on
+    // redefinition.
+    let mut consts: HashMap<Reg, Const> = HashMap::new();
+    let mut copies: HashMap<Reg, Reg> = HashMap::new();
+    // neg_of[d] = y when `d <- neg y` is the latest definition of d.
+    let mut neg_of: HashMap<Reg, Reg> = HashMap::new();
+
+    let block = &mut f.blocks[bi];
+    for inst in &mut block.insts {
+        // Copy-propagate operands first.
+        inst.map_uses(|r| resolve(&copies, r));
+
+        // Invalidate environment entries that depended on the defined reg
+        // *after* computing the rewrite (the definition happens last).
+        let rewritten = simplify(inst, &consts, &neg_of);
+        if let Some(new) = rewritten {
+            *inst = new;
+        }
+
+        if let Some(d) = inst.dst() {
+            // Any mapping reading d is now stale.
+            consts.remove(&d);
+            neg_of.remove(&d);
+            copies.remove(&d);
+            copies.retain(|_, src| *src != d);
+            neg_of.retain(|_, src| *src != d);
+        }
+        match inst {
+            Inst::LoadI { dst, value } => {
+                consts.insert(*dst, *value);
+            }
+            Inst::Copy { dst, src } => {
+                if dst != src {
+                    copies.insert(*dst, *src);
+                }
+                if let Some(c) = consts.get(src).copied() {
+                    consts.insert(*dst, c);
+                }
+            }
+            Inst::Un { op: UnOp::Neg, dst, src, .. } => {
+                neg_of.insert(*dst, *src);
+            }
+            _ => {}
+        }
+    }
+    // Terminator: copy-propagate and fold constant branches.
+    block.term.map_uses(|r| resolve(&copies, r));
+    if let Terminator::Branch { cond, then_to, else_to } = block.term {
+        if let Some(c) = consts.get(&cond) {
+            let target = if c.is_zero() { else_to } else { then_to };
+            block.term = Terminator::Jump { target };
+        }
+    }
+}
+
+fn resolve(copies: &HashMap<Reg, Reg>, r: Reg) -> Reg {
+    // One-step resolution is enough: sources are themselves resolved when
+    // their copy was recorded.
+    copies.get(&r).copied().unwrap_or(r)
+}
+
+/// Attempt to rewrite one instruction given the local environment.
+fn simplify(
+    inst: &Inst,
+    consts: &HashMap<Reg, Const>,
+    neg_of: &HashMap<Reg, Reg>,
+) -> Option<Inst> {
+    match inst {
+        Inst::Bin { op, ty, dst, lhs, rhs } => {
+            let lc = consts.get(lhs).copied();
+            let rc = consts.get(rhs).copied();
+            // Full constant folding.
+            if let (Some(a), Some(b)) = (lc, rc) {
+                if let Some(v) = fold_bin_const(*op, *ty, a, b) {
+                    return Some(Inst::LoadI { dst: *dst, value: v });
+                }
+            }
+            // Identities. Integer-only where FP rounding could differ.
+            match op {
+                BinOp::Add => {
+                    if *ty == Ty::Int {
+                        if rc.is_some_and(Const::is_zero) {
+                            return Some(Inst::Copy { dst: *dst, src: *lhs });
+                        }
+                        if lc.is_some_and(Const::is_zero) {
+                            return Some(Inst::Copy { dst: *dst, src: *rhs });
+                        }
+                    }
+                    // Subtraction reconstruction: x + (-y) => x - y.
+                    if let Some(&y) = neg_of.get(rhs) {
+                        return Some(Inst::Bin { op: BinOp::Sub, ty: *ty, dst: *dst, lhs: *lhs, rhs: y });
+                    }
+                    if let Some(&y) = neg_of.get(lhs) {
+                        return Some(Inst::Bin { op: BinOp::Sub, ty: *ty, dst: *dst, lhs: *rhs, rhs: y });
+                    }
+                }
+                BinOp::Sub => {
+                    if *ty == Ty::Int {
+                        if rc.is_some_and(Const::is_zero) {
+                            return Some(Inst::Copy { dst: *dst, src: *lhs });
+                        }
+                        if lhs == rhs {
+                            return Some(Inst::LoadI { dst: *dst, value: Const::Int(0) });
+                        }
+                    }
+                    // x - (-y) => x + y.
+                    if let Some(&y) = neg_of.get(rhs) {
+                        return Some(Inst::Bin { op: BinOp::Add, ty: *ty, dst: *dst, lhs: *lhs, rhs: y });
+                    }
+                }
+                BinOp::Mul => {
+                    // x*1 and 1*x are exact for both types.
+                    if rc.is_some_and(Const::is_one) {
+                        return Some(Inst::Copy { dst: *dst, src: *lhs });
+                    }
+                    if lc.is_some_and(Const::is_one) {
+                        return Some(Inst::Copy { dst: *dst, src: *rhs });
+                    }
+                    if *ty == Ty::Int {
+                        if rc.is_some_and(Const::is_zero) || lc.is_some_and(Const::is_zero) {
+                            return Some(Inst::LoadI { dst: *dst, value: Const::Int(0) });
+                        }
+                        // Strength reduction: multiply by 2 => add. (The
+                        // general 2^k => shift rewrite needs a fresh
+                        // register for the shift amount; ×2 is the common
+                        // case in address arithmetic. Must not run before
+                        // reassociation — §5.2 — and does not, by pipeline
+                        // construction.)
+                        if rc == Some(Const::Int(2)) {
+                            return Some(shift_of(*dst, *lhs));
+                        }
+                        if lc == Some(Const::Int(2)) {
+                            return Some(shift_of(*dst, *rhs));
+                        }
+                    }
+                }
+                BinOp::Div
+                    // x/1 is exact for both types.
+                    if rc.is_some_and(Const::is_one) => {
+                        return Some(Inst::Copy { dst: *dst, src: *lhs });
+                    }
+                BinOp::Xor
+                    if *ty == Ty::Int && lhs == rhs => {
+                        return Some(Inst::LoadI { dst: *dst, value: Const::Int(0) });
+                    }
+                BinOp::And | BinOp::Or
+                    if *ty == Ty::Int && lhs == rhs => {
+                        return Some(Inst::Copy { dst: *dst, src: *lhs });
+                    }
+                _ => {}
+            }
+            None
+        }
+        Inst::Un { op, ty, dst, src } => {
+            if let Some(c) = consts.get(src) {
+                if let Some(v) = fold_un_const(*op, *c) {
+                    return Some(Inst::LoadI { dst: *dst, value: v });
+                }
+            }
+            // Double negation: neg(neg x) => copy x.
+            if *op == UnOp::Neg {
+                if let Some(&inner) = neg_of.get(src) {
+                    return Some(Inst::Copy { dst: *dst, src: inner });
+                }
+            }
+            let _ = ty;
+            None
+        }
+        _ => None,
+    }
+}
+
+fn shift_of(dst: Reg, src: Reg) -> Inst {
+    Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst, lhs: src, rhs: src }
+}
+
+pub(crate) fn fold_bin_const(op: BinOp, ty: Ty, a: Const, b: Const) -> Option<Const> {
+    match ty {
+        Ty::Int => {
+            let x = a.as_int()?;
+            let y = b.as_int()?;
+            Some(match op {
+                BinOp::Add => Const::Int(x.wrapping_add(y)),
+                BinOp::Sub => Const::Int(x.wrapping_sub(y)),
+                BinOp::Mul => Const::Int(x.wrapping_mul(y)),
+                BinOp::Div => {
+                    if y == 0 {
+                        return None; // preserve the runtime error
+                    }
+                    Const::Int(x.wrapping_div(y))
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        return None;
+                    }
+                    Const::Int(x.wrapping_rem(y))
+                }
+                BinOp::Min => Const::Int(x.min(y)),
+                BinOp::Max => Const::Int(x.max(y)),
+                BinOp::And => Const::Int(x & y),
+                BinOp::Or => Const::Int(x | y),
+                BinOp::Xor => Const::Int(x ^ y),
+                BinOp::Shl => Const::Int(x.wrapping_shl((y & 63) as u32)),
+                BinOp::Shr => Const::Int(x.wrapping_shr((y & 63) as u32)),
+                BinOp::CmpEq => Const::Int((x == y) as i64),
+                BinOp::CmpNe => Const::Int((x != y) as i64),
+                BinOp::CmpLt => Const::Int((x < y) as i64),
+                BinOp::CmpLe => Const::Int((x <= y) as i64),
+                BinOp::CmpGt => Const::Int((x > y) as i64),
+                BinOp::CmpGe => Const::Int((x >= y) as i64),
+            })
+        }
+        Ty::Float => {
+            let x = a.as_float()?;
+            let y = b.as_float()?;
+            Some(match op {
+                BinOp::Add => Const::Float(x + y),
+                BinOp::Sub => Const::Float(x - y),
+                BinOp::Mul => Const::Float(x * y),
+                BinOp::Div => Const::Float(x / y),
+                BinOp::Rem => Const::Float(x % y),
+                BinOp::Min => Const::Float(x.min(y)),
+                BinOp::Max => Const::Float(x.max(y)),
+                BinOp::CmpEq => Const::Int((x == y) as i64),
+                BinOp::CmpNe => Const::Int((x != y) as i64),
+                BinOp::CmpLt => Const::Int((x < y) as i64),
+                BinOp::CmpLe => Const::Int((x <= y) as i64),
+                BinOp::CmpGt => Const::Int((x > y) as i64),
+                BinOp::CmpGe => Const::Int((x >= y) as i64),
+                _ => return None,
+            })
+        }
+    }
+}
+
+pub(crate) fn fold_un_const(op: UnOp, c: Const) -> Option<Const> {
+    Some(match (op, c) {
+        (UnOp::Neg, Const::Int(v)) => Const::Int(v.wrapping_neg()),
+        (UnOp::Neg, Const::Float(v)) => Const::Float(-v),
+        (UnOp::Not, Const::Int(v)) => Const::Int(!v),
+        (UnOp::I2F, Const::Int(v)) => Const::Float(v as f64),
+        (UnOp::F2I, Const::Float(v)) => Const::Int(v as i64),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre_ir::FunctionBuilder;
+
+    #[test]
+    fn folds_constants() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let a = b.loadi(Const::Int(6));
+        let c = b.loadi(Const::Int(7));
+        let p = b.bin(BinOp::Mul, Ty::Int, a, c);
+        b.ret(Some(p));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(matches!(
+            f.blocks[0].insts[2],
+            Inst::LoadI { value: Const::Int(42), .. }
+        ));
+    }
+
+    #[test]
+    fn preserves_division_by_zero() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let a = b.loadi(Const::Int(6));
+        let z = b.loadi(Const::Int(0));
+        let q = b.bin(BinOp::Div, Ty::Int, a, z);
+        b.ret(Some(q));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[2], Inst::Bin { op: BinOp::Div, .. }));
+    }
+
+    #[test]
+    fn integer_identities() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let z = b.loadi(Const::Int(0));
+        let s = b.bin(BinOp::Add, Ty::Int, x, z); // x + 0 -> copy x
+        let d = b.bin(BinOp::Sub, Ty::Int, s, s); // s - s -> 0
+        b.ret(Some(d));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[1], Inst::Copy { .. }));
+        assert!(matches!(f.blocks[0].insts[2], Inst::LoadI { value: Const::Int(0), .. }));
+    }
+
+    #[test]
+    fn float_identities_are_conservative() {
+        // x + 0.0 must NOT fold (x = -0.0 would change); x * 1.0 folds.
+        let mut b = FunctionBuilder::new("f", Some(Ty::Float));
+        let x = b.param(Ty::Float);
+        let z = b.loadi(Const::Float(0.0));
+        let one = b.loadi(Const::Float(1.0));
+        let s = b.bin(BinOp::Add, Ty::Float, x, z);
+        let p = b.bin(BinOp::Mul, Ty::Float, s, one);
+        b.ret(Some(p));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[2], Inst::Bin { op: BinOp::Add, .. }));
+        assert!(matches!(f.blocks[0].insts[3], Inst::Copy { .. }));
+    }
+
+    #[test]
+    fn reconstructs_subtraction() {
+        // t = neg y; z = x + t  =>  z = x - y (the §3.1 round trip).
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let y = b.param(Ty::Int);
+        let t = b.un(UnOp::Neg, Ty::Int, y);
+        let z = b.bin(BinOp::Add, Ty::Int, x, t);
+        b.ret(Some(z));
+        let mut f = b.finish();
+        run(&mut f);
+        let sub = &f.blocks[0].insts[1];
+        assert!(matches!(sub, Inst::Bin { op: BinOp::Sub, .. }));
+        assert_eq!(sub.uses(), vec![x, y]);
+    }
+
+    #[test]
+    fn multiply_by_two_becomes_add() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let two = b.loadi(Const::Int(2));
+        let d = b.bin(BinOp::Mul, Ty::Int, x, two);
+        b.ret(Some(d));
+        let mut f = b.finish();
+        run(&mut f);
+        let add = &f.blocks[0].insts[1];
+        assert!(matches!(add, Inst::Bin { op: BinOp::Add, .. }));
+        assert_eq!(add.uses(), vec![x, x]);
+    }
+
+    #[test]
+    fn folds_constant_branches() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let c = b.loadi(Const::Int(0));
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.ret(Some(x));
+        b.switch_to(e);
+        b.ret(Some(c));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(matches!(f.blocks[0].term, Terminator::Jump { target } if target == e));
+    }
+
+    #[test]
+    fn copy_propagation_through_block() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let c = b.copy(x);
+        let s = b.bin(BinOp::Add, Ty::Int, c, c);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        run(&mut f);
+        // The add reads x directly now; DCE would remove the copy.
+        assert_eq!(f.blocks[0].insts[1].uses(), vec![x, x]);
+    }
+
+    #[test]
+    fn environment_invalidation_on_redefinition() {
+        // x <- 1; y <- x + x (fold 2); x <- p (kills); z <- x + x (no fold)
+        let mut b = FunctionBuilder::new("f", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let x = b.new_reg(Ty::Int);
+        b.push(Inst::LoadI { dst: x, value: Const::Int(1) });
+        let y = b.bin(BinOp::Add, Ty::Int, x, x);
+        b.copy_to(x, p);
+        let z = b.bin(BinOp::Add, Ty::Int, x, x);
+        let q = b.bin(BinOp::Xor, Ty::Int, y, z);
+        b.ret(Some(q));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[1], Inst::LoadI { value: Const::Int(2), .. }));
+        // Second add reads p (copy-propagated), not a constant.
+        assert!(matches!(f.blocks[0].insts[3], Inst::Bin { op: BinOp::Add, .. }));
+        assert_eq!(f.blocks[0].insts[3].uses(), vec![p, p]);
+    }
+
+    #[test]
+    fn double_negation() {
+        let mut b = FunctionBuilder::new("f", Some(Ty::Float));
+        let x = b.param(Ty::Float);
+        let n1 = b.un(UnOp::Neg, Ty::Float, x);
+        let n2 = b.un(UnOp::Neg, Ty::Float, n1);
+        b.ret(Some(n2));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[1], Inst::Copy { src, .. } if src == x));
+    }
+}

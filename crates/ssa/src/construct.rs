@@ -1,0 +1,424 @@
+//! Pruned SSA construction with copy folding.
+//!
+//! Three steps, following Cytron et al. (the paper's reference \[11\]) with
+//! the pruning of Choi, Cytron & Ferrante (reference \[7\]):
+//!
+//! 1. collect the definition sites of every register,
+//! 2. place φ-nodes on the iterated dominance frontier of each register's
+//!    definition sites — but only in blocks where the register is **live
+//!    in** (pruned SSA),
+//! 3. rename along a dominator-tree walk, giving every definition a fresh
+//!    register; with [`SsaOptions::fold_copies`] set, `x <- copy y` does not
+//!    define a new name — the current name of `y` simply becomes the
+//!    current name of `x` and the copy disappears, "effectively folding
+//!    \[copies\] into φ-nodes" (§3.1).
+
+use epre_analysis::Liveness;
+use epre_cfg::{Cfg, Dominators};
+use epre_ir::{BlockId, Function, Inst, Reg};
+
+/// Options controlling SSA construction.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SsaOptions {
+    /// Fold copies during renaming (the paper's variant). When false,
+    /// copies are retained and their destinations get fresh names like any
+    /// other definition.
+    pub fold_copies: bool,
+}
+
+/// Rewrite `f` into pruned SSA form in place.
+///
+/// Every φ-node the pass inserts, and every renamed definition, uses a
+/// fresh register; original registers survive only as the names of their
+/// first (dominating) definitions where convenient. The function is left
+/// verifier-clean and SSA-verifier-clean.
+pub fn build_ssa(f: &mut Function, options: SsaOptions) {
+    split_looping_entry(f);
+    let cfg = Cfg::new(f);
+    let dom = Dominators::new(f, &cfg);
+    let live = Liveness::new(f, &cfg);
+
+    let n_blocks = f.blocks.len();
+    let n_regs = f.reg_count();
+
+    // 1. Definition sites per register (params define at entry).
+    let mut def_sites: Vec<Vec<BlockId>> = vec![Vec::new(); n_regs];
+    for &p in &f.params {
+        def_sites[p.index()].push(BlockId::ENTRY);
+    }
+    for (bid, block) in f.iter_blocks() {
+        for inst in &block.insts {
+            if let Some(d) = inst.dst() {
+                if def_sites[d.index()].last() != Some(&bid) {
+                    def_sites[d.index()].push(bid);
+                }
+            }
+        }
+    }
+
+    // 2. φ-placement on iterated dominance frontiers, pruned by liveness.
+    // phi_for[b] = registers needing a φ in b.
+    let mut phi_for: Vec<Vec<Reg>> = vec![Vec::new(); n_blocks];
+    for r in 0..n_regs {
+        let reg = Reg(r as u32);
+        if def_sites[r].is_empty() {
+            continue;
+        }
+        let mut placed: Vec<bool> = vec![false; n_blocks];
+        let mut on_work: Vec<bool> = vec![false; n_blocks];
+        let mut work: Vec<BlockId> = Vec::new();
+        for &b in &def_sites[r] {
+            if !on_work[b.index()] {
+                on_work[b.index()] = true;
+                work.push(b);
+            }
+        }
+        while let Some(b) = work.pop() {
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            for &d in dom.frontier(b) {
+                if !placed[d.index()] && live.live_in[d.index()].contains(reg.index()) {
+                    placed[d.index()] = true;
+                    phi_for[d.index()].push(reg);
+                    if !on_work[d.index()] {
+                        on_work[d.index()] = true;
+                        work.push(d);
+                    }
+                }
+            }
+        }
+    }
+
+    // Insert φ skeletons (args filled during renaming). Unreachable
+    // predecessors contribute no φ-input: the edge can never execute and
+    // the renaming walk (dominator tree from the entry) never visits them.
+    for (bi, regs) in phi_for.iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        let preds: Vec<BlockId> =
+            cfg.preds(bid).iter().copied().filter(|&p| dom.is_reachable(p)).collect();
+        for &v in regs {
+            let ty = f.ty_of(v);
+            let dst = f.new_reg(ty);
+            // Record the original variable in the args slot temporarily:
+            // each pred maps to `v`, patched to the reaching name later.
+            let args = preds.iter().map(|&p| (p, v)).collect();
+            f.block_mut(bid).insts.insert(0, Inst::Phi { dst, args });
+        }
+    }
+
+    // 3. Renaming. `phi_var[b]` remembers which original variable each φ in
+    // b stands for (parallel to the φ prefix, in insertion order).
+    // We reconstruct it from phi_for: φs were inserted in reverse order of
+    // phi_for (each insert pushes to front), so the prefix order is the
+    // reverse of phi_for[b].
+    let mut phi_var: Vec<Vec<Reg>> = vec![Vec::new(); n_blocks];
+    for (bi, regs) in phi_for.iter().enumerate() {
+        phi_var[bi] = regs.iter().rev().copied().collect();
+    }
+
+    let mut renamer = Renamer {
+        f,
+        cfg: &cfg,
+        dom: &dom,
+        stacks: vec![Vec::new(); n_regs],
+        phi_var: &phi_var,
+        fold_copies: options.fold_copies,
+        n_orig_regs: n_regs,
+    };
+    for &p in &renamer.f.params.clone() {
+        renamer.stacks[p.index()].push(p);
+    }
+    renamer.rename_block(BlockId::ENTRY);
+}
+
+/// If the entry block has predecessors (a loop whose header is block 0),
+/// move its body into a fresh block and leave block 0 as a plain jump.
+/// Classic SSA construction and the renaming walk both assume the entry
+/// dominates everything and receives no back edges; the front end never
+/// produces such shapes but hand-built or generated IR can.
+fn split_looping_entry(f: &mut Function) {
+    let cfg = Cfg::new(f);
+    if cfg.preds(BlockId::ENTRY).is_empty() {
+        return;
+    }
+    let insts = std::mem::take(&mut f.blocks[BlockId::ENTRY.index()].insts);
+    let term = std::mem::replace(
+        &mut f.blocks[BlockId::ENTRY.index()].term,
+        epre_ir::Terminator::Return { value: None },
+    );
+    let mut body = epre_ir::Block::new(term);
+    body.insts = insts;
+    let nb = f.add_block(body);
+    // Every edge that targeted the entry now targets the body block —
+    // including the body block's own edges (the old self-loop).
+    for (id, block) in f.blocks.iter_mut().enumerate() {
+        if id != BlockId::ENTRY.index() {
+            block.term.retarget(BlockId::ENTRY, nb);
+        }
+    }
+    f.blocks[BlockId::ENTRY.index()].term = epre_ir::Terminator::Jump { target: nb };
+}
+
+struct Renamer<'a> {
+    f: &'a mut Function,
+    cfg: &'a Cfg,
+    dom: &'a Dominators,
+    /// Current SSA name stack per original register.
+    stacks: Vec<Vec<Reg>>,
+    phi_var: &'a [Vec<Reg>],
+    fold_copies: bool,
+    /// Registers >= this are SSA names we created, not original variables.
+    n_orig_regs: usize,
+}
+
+impl Renamer<'_> {
+    fn current(&self, v: Reg) -> Reg {
+        // A use of a never-defined register (possible in ill-formed input)
+        // keeps its original name.
+        self.stacks[v.index()].last().copied().unwrap_or(v)
+    }
+
+    fn rename_block(&mut self, b: BlockId) {
+        // Track how many pushes to pop on exit, per original register.
+        let mut pushed: Vec<Reg> = Vec::new();
+        let mut removed: Vec<usize> = Vec::new();
+
+        let phi_count = self.f.block(b).phi_count();
+        for i in 0..self.f.block(b).insts.len() {
+            let is_phi_slot = i < phi_count;
+            let mut inst = self.f.block(b).insts[i].clone();
+            if is_phi_slot {
+                // φ definitions: dst is already a fresh register; it becomes
+                // the current name of the original variable.
+                let var = self.phi_var[b.index()][i];
+                let dst = inst.dst().expect("φ defines");
+                self.stacks[var.index()].push(dst);
+                pushed.push(var);
+                self.f.block_mut(b).insts[i] = inst;
+                continue;
+            }
+            // Rewrite uses to current names.
+            inst.map_uses(|r| self.current(r));
+            // Copy folding: the copy's source name becomes the current name
+            // of the destination variable, and the copy is dropped.
+            if self.fold_copies {
+                if let Inst::Copy { dst, src } = inst {
+                    self.stacks[dst.index()].push(src);
+                    pushed.push(dst);
+                    removed.push(i);
+                    continue;
+                }
+            }
+            // Ordinary definition: fresh SSA name.
+            if let Some(dst) = inst.dst() {
+                let ty = self.f.ty_of(dst);
+                let fresh = self.f.new_reg(ty);
+                inst.set_dst(fresh);
+                self.stacks[dst.index()].push(fresh);
+                pushed.push(dst);
+            }
+            self.f.block_mut(b).insts[i] = inst;
+        }
+        // Terminator uses.
+        let mut term = self.f.block(b).term.clone();
+        term.map_uses(|r| self.current(r));
+        self.f.block_mut(b).term = term;
+
+        // Patch φ arguments of successors for the edge from b.
+        for &s in self.cfg.succs(b) {
+            for (i, inst) in self.f.blocks[s.index()].insts.iter_mut().enumerate() {
+                match inst {
+                    Inst::Phi { args, .. } => {
+                        let var = self.phi_var[s.index()][i];
+                        for (pb, val) in args.iter_mut() {
+                            if *pb == b {
+                                // The slot still holds the original var; the
+                                // reaching name replaces it.
+                                let cur = self.stacks[var.index()]
+                                    .last()
+                                    .copied()
+                                    .unwrap_or(*val);
+                                *val = cur;
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+
+        // Recurse over dominator-tree children.
+        for &c in self.dom.children(b) {
+            self.rename_block(c);
+        }
+
+        // Remove folded copies (back to front to keep indices valid).
+        for &i in removed.iter().rev() {
+            self.f.block_mut(b).insts.remove(i);
+        }
+        for v in pushed {
+            self.stacks[v.index()].pop();
+        }
+        let _ = self.n_orig_regs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_ssa;
+    use epre_ir::{BinOp, Const, FunctionBuilder, Ty};
+
+    /// x = 1; if p { x = 2 }; return x
+    fn join_fixture() -> (Function, BlockId) {
+        let mut b = FunctionBuilder::new("j", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let x = b.new_reg(Ty::Int);
+        let one = b.loadi(Const::Int(1));
+        b.copy_to(x, one);
+        let t = b.new_block();
+        let j = b.new_block();
+        b.branch(p, t, j);
+        b.switch_to(t);
+        let two = b.loadi(Const::Int(2));
+        b.copy_to(x, two);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(x));
+        (b.finish(), j)
+    }
+
+    #[test]
+    fn places_phi_at_join() {
+        let (mut f, j) = join_fixture();
+        build_ssa(&mut f, SsaOptions { fold_copies: false });
+        assert!(f.verify().is_ok());
+        verify_ssa(&f).unwrap();
+        assert_eq!(f.block(j).phi_count(), 1);
+    }
+
+    #[test]
+    fn copy_folding_removes_copies() {
+        let (mut f, j) = join_fixture();
+        build_ssa(&mut f, SsaOptions { fold_copies: true });
+        assert!(f.verify().is_ok());
+        verify_ssa(&f).unwrap();
+        assert_eq!(f.block(j).phi_count(), 1);
+        // All copies folded away.
+        let copies = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Copy { .. }))
+            .count();
+        assert_eq!(copies, 0);
+        // The φ's inputs are the two loadi results.
+        match &f.block(j).insts[0] {
+            Inst::Phi { args, .. } => {
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected φ, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pruning_skips_dead_variables() {
+        // x assigned in both arms but never used after the join: no φ.
+        let mut b = FunctionBuilder::new("p", Some(Ty::Int));
+        let p = b.param(Ty::Int);
+        let x = b.new_reg(Ty::Int);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.branch(p, t, e);
+        b.switch_to(t);
+        let one = b.loadi(Const::Int(1));
+        b.copy_to(x, one);
+        b.jump(j);
+        b.switch_to(e);
+        let two = b.loadi(Const::Int(2));
+        b.copy_to(x, two);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(p));
+        let mut f = b.finish();
+        build_ssa(&mut f, SsaOptions { fold_copies: true });
+        verify_ssa(&f).unwrap();
+        assert_eq!(f.block(j).phi_count(), 0, "pruned SSA places no dead φ");
+    }
+
+    #[test]
+    fn loop_variable_gets_phi_at_header() {
+        // i = 0; while (i < n) i = i + 1; return i
+        let mut b = FunctionBuilder::new("l", Some(Ty::Int));
+        let n = b.param(Ty::Int);
+        let i = b.new_reg(Ty::Int);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let z = b.loadi(Const::Int(0));
+        b.copy_to(i, z);
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.bin(BinOp::CmpLt, Ty::Int, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.loadi(Const::Int(1));
+        let i2 = b.bin(BinOp::Add, Ty::Int, i, one);
+        b.copy_to(i, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        build_ssa(&mut f, SsaOptions { fold_copies: true });
+        verify_ssa(&f).unwrap();
+        assert_eq!(f.block(head).phi_count(), 1);
+        // The parameter n needs no φ (single definition).
+        match &f.block(head).insts[0] {
+            Inst::Phi { args, .. } => assert_eq!(args.len(), 2),
+            _ => panic!("expected φ"),
+        }
+    }
+
+    #[test]
+    fn straight_line_code_gets_no_phis() {
+        let mut b = FunctionBuilder::new("s", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let y = b.bin(BinOp::Add, Ty::Int, x, x);
+        let z = b.bin(BinOp::Mul, Ty::Int, y, x);
+        b.ret(Some(z));
+        let mut f = b.finish();
+        let before = f.inst_count();
+        build_ssa(&mut f, SsaOptions { fold_copies: true });
+        verify_ssa(&f).unwrap();
+        assert_eq!(f.inst_count(), before);
+        assert!(f.blocks.iter().all(|b| b.phi_count() == 0));
+    }
+
+    #[test]
+    fn redefinition_in_same_block_renames() {
+        // x = a; x = x + 1; return x
+        let mut b = FunctionBuilder::new("r", Some(Ty::Int));
+        let a = b.param(Ty::Int);
+        let x = b.new_reg(Ty::Int);
+        b.copy_to(x, a);
+        let one = b.loadi(Const::Int(1));
+        let t = b.new_reg(Ty::Int);
+        b.push(Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: t, lhs: x, rhs: one });
+        b.copy_to(x, t);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        build_ssa(&mut f, SsaOptions { fold_copies: true });
+        verify_ssa(&f).unwrap();
+        // After folding: loadi + add remain.
+        assert_eq!(f.inst_count(), 2);
+        // The add must read the parameter directly now.
+        let add = f.blocks[0]
+            .insts
+            .iter()
+            .find(|i| matches!(i, Inst::Bin { op: BinOp::Add, .. }))
+            .unwrap();
+        assert!(add.uses().contains(&a));
+    }
+}

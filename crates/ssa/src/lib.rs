@@ -1,0 +1,57 @@
+//! # epre-ssa — pruned SSA form for `epre-ir`
+//!
+//! The paper's rank computation, global reassociation and global value
+//! numbering all work on **pruned SSA** (§3.1: "our first step is to build
+//! the pruned SSA form of the routine"), with one twist the paper calls
+//! out explicitly:
+//!
+//! > During the renaming step, we remove all copies, effectively folding
+//! > them into φ-nodes. This approach simplifies the intermediate code by
+//! > removing our dependence on the programmer's choice of variable names.
+//!
+//! This crate provides:
+//!
+//! * [`construct`] — pruned SSA construction (Cytron et al. φ-placement on
+//!   iterated dominance frontiers, restricted to live variables; renaming
+//!   with optional **copy folding**),
+//! * [`destruct`] — SSA destruction: critical-edge splitting followed by
+//!   φ-replacement with correctly sequentialized parallel copies,
+//! * [`verify`] — an SSA verifier (single assignment + dominance of uses),
+//!   used by tests and debug assertions throughout the pipeline.
+//!
+//! ```
+//! use epre_ir::{FunctionBuilder, Ty, Const, BinOp, Inst};
+//! use epre_ssa::{construct, destruct, verify};
+//!
+//! // x = 1; if (p) x = 2; return x   — needs a φ at the join.
+//! let mut b = FunctionBuilder::new("join", Some(Ty::Int));
+//! let p = b.param(Ty::Int);
+//! let x = b.new_reg(Ty::Int);
+//! let one = b.loadi(Const::Int(1));
+//! b.copy_to(x, one);
+//! let then_b = b.new_block();
+//! let join_b = b.new_block();
+//! b.branch(p, then_b, join_b);
+//! b.switch_to(then_b);
+//! let two = b.loadi(Const::Int(2));
+//! b.copy_to(x, two);
+//! b.jump(join_b);
+//! b.switch_to(join_b);
+//! b.ret(Some(x));
+//! let mut f = b.finish();
+//!
+//! construct::build_ssa(&mut f, construct::SsaOptions { fold_copies: true });
+//! verify::verify_ssa(&f).unwrap();
+//! assert_eq!(f.block(join_b).phi_count(), 1);
+//!
+//! destruct::destroy_ssa(&mut f);
+//! assert!(f.blocks.iter().all(|b| b.phi_count() == 0));
+//! ```
+
+pub mod construct;
+pub mod destruct;
+pub mod verify;
+
+pub use construct::{build_ssa, SsaOptions};
+pub use destruct::destroy_ssa;
+pub use verify::{verify_ssa, SsaError};

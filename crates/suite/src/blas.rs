@@ -1,0 +1,172 @@
+//! BLAS-style kernels (`saxpy`, `sgemv`, `sgemm`) and the Spec `tomcatv`
+//! mesh kernel (size reduced, as in the paper's footnote: "the sizes of
+//! the test cases for matrix300 and tomcatv have been reduced to ease
+//! testing").
+
+use crate::Routine;
+
+/// The linear-algebra group.
+pub fn routines() -> Vec<Routine> {
+    vec![
+        Routine {
+            name: "saxpy",
+            origin: "BLAS level 1: y = a*x + y",
+            entry: "drv",
+            source: "subroutine saxpy(n, a, x, y)\n\
+                     integer n, i\n\
+                     real a, x(*), y(*)\n\
+                     begin\n\
+                     do i = 1, n\n\
+                       y(i) = a * x(i) + y(i)\n\
+                     enddo\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, x(32), y(32), s\n\
+                     integer i\n\
+                     begin\n\
+                     do i = 1, 32\n\
+                       x(i) = 0.5 * i\n\
+                       y(i) = 32.0 - i\n\
+                     enddo\n\
+                     call saxpy(32, 2.0, x, y)\n\
+                     call saxpy(32, -1.0, y, x)\n\
+                     s = 0\n\
+                     do i = 1, 32\n\
+                       s = s + x(i) + y(i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "sgemv",
+            origin: "BLAS level 2: y = A*x + y, column-major inner loops",
+            entry: "drv",
+            source: "subroutine sgemv(n, a, x, y)\n\
+                     integer n, i, j\n\
+                     real a(16, 16), x(*), y(*), t\n\
+                     begin\n\
+                     do j = 1, n\n\
+                       t = x(j)\n\
+                       do i = 1, n\n\
+                         y(i) = y(i) + a(i, j) * t\n\
+                       enddo\n\
+                     enddo\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, a(16, 16), x(16), y(16), s\n\
+                     integer i, j\n\
+                     begin\n\
+                     do j = 1, 16\n\
+                       do i = 1, 16\n\
+                         a(i, j) = 1.0 / (i + j)\n\
+                       enddo\n\
+                       x(j) = 1.0 * j\n\
+                       y(j) = 0\n\
+                     enddo\n\
+                     call sgemv(16, a, x, y)\n\
+                     s = 0\n\
+                     do i = 1, 16\n\
+                       s = s + y(i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "sgemm",
+            origin: "BLAS level 3: C = A*B, triple loop",
+            entry: "drv",
+            source: "subroutine sgemm(n, a, b, c)\n\
+                     integer n, i, j, k\n\
+                     real a(10, 10), b(10, 10), c(10, 10), t\n\
+                     begin\n\
+                     do j = 1, n\n\
+                       do i = 1, n\n\
+                         t = 0\n\
+                         do k = 1, n\n\
+                           t = t + a(i, k) * b(k, j)\n\
+                         enddo\n\
+                         c(i, j) = t\n\
+                       enddo\n\
+                     enddo\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, a(10, 10), b(10, 10), c(10, 10), s\n\
+                     integer i, j\n\
+                     begin\n\
+                     do j = 1, 10\n\
+                       do i = 1, 10\n\
+                         a(i, j) = 0.1 * i + 0.2 * j\n\
+                         b(i, j) = 1.0 / (i + j)\n\
+                       enddo\n\
+                     enddo\n\
+                     call sgemm(10, a, b, c)\n\
+                     s = 0\n\
+                     do i = 1, 10\n\
+                       s = s + c(i, i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "tomcatv",
+            origin: "Spec: vectorized mesh generation (reduced size)",
+            entry: "drv",
+            source: "function tomcatv()\n\
+                     real tomcatv, x(18, 18), y(18, 18), rx(18, 18), ry(18, 18)\n\
+                     real xx, yx, xy, yy, a, b, c, qi, qj, pxx, pyy, pxy, qx, qy, s\n\
+                     integer i, j, iter, n\n\
+                     begin\n\
+                     n = 16\n\
+                     do j = 1, n + 2\n\
+                       do i = 1, n + 2\n\
+                         x(i, j) = 0.1 * i + 0.01 * j * j\n\
+                         y(i, j) = 0.1 * j + 0.01 * i * i\n\
+                       enddo\n\
+                     enddo\n\
+                     do iter = 1, 3\n\
+                       do j = 2, n + 1\n\
+                         do i = 2, n + 1\n\
+                           xx = x(i + 1, j) - x(i - 1, j)\n\
+                           yx = y(i + 1, j) - y(i - 1, j)\n\
+                           xy = x(i, j + 1) - x(i, j - 1)\n\
+                           yy = y(i, j + 1) - y(i, j - 1)\n\
+                           a = 0.25 * (xy * xy + yy * yy)\n\
+                           b = 0.25 * (xx * xx + yx * yx)\n\
+                           c = 0.125 * (xx * xy + yx * yy)\n\
+                           qi = 0\n\
+                           qj = 0\n\
+                           pxx = x(i + 1, j) - 2.0 * x(i, j) + x(i - 1, j)\n\
+                           pyy = x(i, j + 1) - 2.0 * x(i, j) + x(i, j - 1)\n\
+                           pxy = x(i + 1, j + 1) - x(i + 1, j - 1) - x(i - 1, j + 1) + x(i - 1, j - 1)\n\
+                           qx = a * pxx + b * pyy - c * pxy + xx * qi + xy * qj\n\
+                           pxx = y(i + 1, j) - 2.0 * y(i, j) + y(i - 1, j)\n\
+                           pyy = y(i, j + 1) - 2.0 * y(i, j) + y(i, j - 1)\n\
+                           pxy = y(i + 1, j + 1) - y(i + 1, j - 1) - y(i - 1, j + 1) + y(i - 1, j - 1)\n\
+                           qy = a * pxx + b * pyy - c * pxy + yx * qi + yy * qj\n\
+                           rx(i, j) = qx\n\
+                           ry(i, j) = qy\n\
+                         enddo\n\
+                       enddo\n\
+                       do j = 2, n + 1\n\
+                         do i = 2, n + 1\n\
+                           x(i, j) = x(i, j) + 0.05 * rx(i, j)\n\
+                           y(i, j) = y(i, j) + 0.05 * ry(i, j)\n\
+                         enddo\n\
+                       enddo\n\
+                     enddo\n\
+                     s = 0\n\
+                     do j = 2, n + 1\n\
+                       do i = 2, n + 1\n\
+                         s = s + x(i, j) - y(i, j)\n\
+                       enddo\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv\n\
+                     begin\n\
+                     return tomcatv()\n\
+                     end\n",
+        },
+    ]
+}

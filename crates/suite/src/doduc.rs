@@ -1,0 +1,844 @@
+//! Routines modeled on the Spec `doduc` nuclear-reactor kernels and the
+//! other Spec-derived rows of the paper's tables. The original sources are
+//! proprietary; these reproduce the *computational shapes* the paper's
+//! transformations act on — nested DO loops over multi-dimensional arrays,
+//! reductions, table interpolation, and branchy scalar bookkeeping.
+
+use crate::Routine;
+
+/// The doduc-flavoured group.
+pub fn routines() -> Vec<Routine> {
+    vec![
+        Routine {
+            name: "bilan",
+            origin: "doduc: energy balance over cells",
+            entry: "drv",
+            source: "function bilan(n, v, w)\n\
+                     integer n, i, j\n\
+                     real bilan, v(20, 20), w(20, 20), s, t\n\
+                     begin\n\
+                     s = 0\n\
+                     do j = 2, n - 1\n\
+                       do i = 2, n - 1\n\
+                         t = v(i, j) * (w(i + 1, j) - 2.0 * w(i, j) + w(i - 1, j))\n\
+                         s = s + t + v(i, j) * (w(i, j + 1) - 2.0 * w(i, j) + w(i, j - 1))\n\
+                       enddo\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, v(20, 20), w(20, 20)\n\
+                     integer i, j\n\
+                     begin\n\
+                     do j = 1, 20\n\
+                       do i = 1, 20\n\
+                         v(i, j) = 0.01 * (i + 2 * j)\n\
+                         w(i, j) = 1.0 / (i + j)\n\
+                       enddo\n\
+                     enddo\n\
+                     return bilan(18, v, w)\n\
+                     end\n",
+        },
+        Routine {
+            name: "cardeb",
+            origin: "doduc: flow-map initialization from debit cards",
+            entry: "drv",
+            source: "function cardeb(n, q, h)\n\
+                     integer n, i\n\
+                     real cardeb, q(*), h(*), s, d\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 2, n\n\
+                       d = h(i) - h(i - 1)\n\
+                       q(i) = q(i - 1) + d * 0.5 * (q(i) + q(i - 1))\n\
+                       s = s + q(i) * d\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, q(30), h(30)\n\
+                     integer i\n\
+                     begin\n\
+                     do i = 1, 30\n\
+                       q(i) = 0.2 + 0.01 * i\n\
+                       h(i) = 0.1 * i\n\
+                     enddo\n\
+                     return cardeb(30, q, h)\n\
+                     end\n",
+        },
+        Routine {
+            name: "coeray",
+            origin: "doduc: ray coefficients (straight-line FP expressions)",
+            entry: "drv",
+            source: "function coeray(a, b, c)\n\
+                     real coeray, a, b, c, u, v, w\n\
+                     begin\n\
+                     u = a * b + b * c + c * a\n\
+                     v = a * b - b * c + c * a\n\
+                     w = (u + v) * (u - v) / (1.0 + u * u)\n\
+                     return w + sqrt(abs(u * v)) + a * b * c\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, s, x\n\
+                     integer i\n\
+                     begin\n\
+                     s = 0\n\
+                     x = 0.3\n\
+                     do i = 1, 6\n\
+                       s = s + coeray(x, x + 0.5, 1.0 / x)\n\
+                       x = x + 0.2\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "colbur",
+            origin: "doduc: collision/burnup bookkeeping with branches",
+            entry: "drv",
+            source: "function colbur(n, u)\n\
+                     integer n, i, k\n\
+                     real colbur, u(*), s\n\
+                     begin\n\
+                     s = 0\n\
+                     k = 0\n\
+                     do i = 1, n\n\
+                       if u(i) > 0.5 then\n\
+                         s = s + u(i) * u(i)\n\
+                         k = k + 1\n\
+                       elseif u(i) > 0.25 then\n\
+                         s = s + u(i)\n\
+                       else\n\
+                         s = s - u(i)\n\
+                       endif\n\
+                     enddo\n\
+                     return s + float(k)\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, u(40)\n\
+                     integer i\n\
+                     begin\n\
+                     do i = 1, 40\n\
+                       u(i) = mod(1.0 * i * i, 7.0) / 7.0\n\
+                     enddo\n\
+                     return colbur(40, u)\n\
+                     end\n",
+        },
+        Routine {
+            name: "dcoera",
+            origin: "doduc: derivative of coeray-style coefficients",
+            entry: "drv",
+            source: "function dcoera(n, x, y)\n\
+                     integer n, i\n\
+                     real dcoera, x(*), y(*), s, d1, d2\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 2, n - 1\n\
+                       d1 = (y(i + 1) - y(i - 1)) / (x(i + 1) - x(i - 1))\n\
+                       d2 = (y(i + 1) - 2.0 * y(i) + y(i - 1)) / ((x(i + 1) - x(i)) * (x(i) - x(i - 1)))\n\
+                       s = s + d1 * d1 + 0.5 * d2\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, x(30), y(30)\n\
+                     integer i\n\
+                     begin\n\
+                     do i = 1, 30\n\
+                       x(i) = 0.2 * i\n\
+                       y(i) = sin(0.2 * i)\n\
+                     enddo\n\
+                     return dcoera(30, x, y)\n\
+                     end\n",
+        },
+        Routine {
+            name: "ddeflu",
+            origin: "doduc: fluid derivative evaluation over a 2-D grid",
+            entry: "drv",
+            source: "function ddeflu(n, p, r)\n\
+                     integer n, i, j\n\
+                     real ddeflu, p(16, 16), r(16, 16), s, g\n\
+                     begin\n\
+                     s = 0\n\
+                     do j = 2, n - 1\n\
+                       do i = 2, n - 1\n\
+                         g = (p(i + 1, j) - p(i - 1, j)) * r(i, j) + (p(i, j + 1) - p(i, j - 1)) * r(i, j)\n\
+                         r(i, j) = r(i, j) + 0.01 * g\n\
+                         s = s + g * g\n\
+                       enddo\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, p(16, 16), r(16, 16), s\n\
+                     integer i, j, t\n\
+                     begin\n\
+                     do j = 1, 16\n\
+                       do i = 1, 16\n\
+                         p(i, j) = 0.1 * i - 0.05 * j\n\
+                         r(i, j) = 1.0 + 0.01 * i * j\n\
+                       enddo\n\
+                     enddo\n\
+                     s = 0\n\
+                     do t = 1, 3\n\
+                       s = s + ddeflu(16, p, r)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "debflu",
+            origin: "doduc: fluid-flow update sweep",
+            entry: "drv",
+            source: "function debflu(n, f, g)\n\
+                     integer n, i, j\n\
+                     real debflu, f(14, 14), g(14, 14), s, flux\n\
+                     begin\n\
+                     s = 0\n\
+                     do j = 2, n\n\
+                       do i = 2, n\n\
+                         flux = 0.5 * (f(i, j) + f(i - 1, j)) - 0.5 * (g(i, j) + g(i, j - 1))\n\
+                         f(i, j) = f(i, j) - 0.02 * flux\n\
+                         g(i, j) = g(i, j) + 0.02 * flux\n\
+                         s = s + abs(flux)\n\
+                       enddo\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, f(14, 14), g(14, 14), s\n\
+                     integer i, j, t\n\
+                     begin\n\
+                     do j = 1, 14\n\
+                       do i = 1, 14\n\
+                         f(i, j) = 1.0 / i + 0.1 * j\n\
+                         g(i, j) = 1.0 / j + 0.1 * i\n\
+                       enddo\n\
+                     enddo\n\
+                     s = 0\n\
+                     do t = 1, 4\n\
+                       s = s + debflu(14, f, g)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "debico",
+            origin: "doduc: debit/pressure interpolation with table search",
+            entry: "drv",
+            source: "function debico(n, tab, p)\n\
+                     integer n, i, k\n\
+                     real debico, tab(*), p, frac\n\
+                     begin\n\
+                     k = 1\n\
+                     do i = 1, n - 1\n\
+                       if tab(i) <= p then\n\
+                         k = i\n\
+                       endif\n\
+                     enddo\n\
+                     frac = (p - tab(k)) / (tab(k + 1) - tab(k))\n\
+                     return float(k) + frac\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, tab(25), s, p\n\
+                     integer i\n\
+                     begin\n\
+                     do i = 1, 25\n\
+                       tab(i) = 0.3 * i + 0.01 * i * i\n\
+                     enddo\n\
+                     s = 0\n\
+                     p = 0.5\n\
+                     do i = 1, 12\n\
+                       s = s + debico(25, tab, p)\n\
+                       p = p + 0.9\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "deseco",
+            origin: "doduc: second-order thermal update (largest doduc routine)",
+            entry: "drv",
+            source: "function deseco(n, t, c, q)\n\
+                     integer n, i, j\n\
+                     real deseco, t(18, 18), c(18, 18), q(18, 18), s, dt, k1, k2\n\
+                     begin\n\
+                     s = 0\n\
+                     do j = 2, n - 1\n\
+                       do i = 2, n - 1\n\
+                         k1 = c(i, j) * (t(i + 1, j) + t(i - 1, j) - 2.0 * t(i, j))\n\
+                         k2 = c(i, j) * (t(i, j + 1) + t(i, j - 1) - 2.0 * t(i, j))\n\
+                         dt = k1 + k2 + q(i, j)\n\
+                         t(i, j) = t(i, j) + 0.05 * dt\n\
+                         s = s + dt * dt\n\
+                       enddo\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, t(18, 18), c(18, 18), q(18, 18), s\n\
+                     integer i, j, it\n\
+                     begin\n\
+                     do j = 1, 18\n\
+                       do i = 1, 18\n\
+                         t(i, j) = 20.0 + 0.1 * i * j\n\
+                         c(i, j) = 0.2 + 0.001 * (i + j)\n\
+                         q(i, j) = 0.5 / (i + j)\n\
+                       enddo\n\
+                     enddo\n\
+                     s = 0\n\
+                     do it = 1, 4\n\
+                       s = s + deseco(18, t, c, q)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "drepvi",
+            origin: "doduc: vessel pressure redistribution (1-D sweeps)",
+            entry: "drv",
+            source: "function drepvi(n, p, v)\n\
+                     integer n, i\n\
+                     real drepvi, p(*), v(*), s, dp\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 2, n - 1\n\
+                       dp = 0.25 * (p(i + 1) + p(i - 1) - 2.0 * p(i))\n\
+                       p(i) = p(i) + dp\n\
+                       v(i) = v(i) - dp / (p(i) + 1.0)\n\
+                       s = s + abs(dp)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, p(36), v(36), s\n\
+                     integer i, t\n\
+                     begin\n\
+                     do i = 1, 36\n\
+                       p(i) = 10.0 + sin(0.3 * i)\n\
+                       v(i) = 1.0 + 0.02 * i\n\
+                     enddo\n\
+                     s = 0\n\
+                     do t = 1, 4\n\
+                       s = s + drepvi(36, p, v)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "drigl",
+            origin: "doduc: control-rod drive positioning",
+            entry: "drv",
+            source: "function drigl(n, z, r)\n\
+                     integer n, i\n\
+                     real drigl, z(*), r(*), s, zz\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 1, n\n\
+                       zz = z(i)\n\
+                       if zz < 0.0 then\n\
+                         zz = 0.0\n\
+                       endif\n\
+                       if zz > 1.0 then\n\
+                         zz = 1.0\n\
+                       endif\n\
+                       r(i) = zz * zz * (3.0 - 2.0 * zz)\n\
+                       s = s + r(i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, z(30), r(30)\n\
+                     integer i\n\
+                     begin\n\
+                     do i = 1, 30\n\
+                       z(i) = 0.1 * i - 1.0\n\
+                     enddo\n\
+                     return drigl(30, z, r)\n\
+                     end\n",
+        },
+        Routine {
+            name: "efill",
+            origin: "doduc: element fill with conditional neighbor averaging",
+            entry: "drv",
+            source: "function efill(n, e)\n\
+                     integer n, i, j\n\
+                     real efill, e(12, 12), s\n\
+                     begin\n\
+                     do j = 2, n - 1\n\
+                       do i = 2, n - 1\n\
+                         if e(i, j) == 0.0 then\n\
+                           e(i, j) = 0.25 * (e(i - 1, j) + e(i + 1, j) + e(i, j - 1) + e(i, j + 1))\n\
+                         endif\n\
+                       enddo\n\
+                     enddo\n\
+                     s = 0\n\
+                     do j = 1, n\n\
+                       do i = 1, n\n\
+                         s = s + e(i, j)\n\
+                       enddo\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, e(12, 12)\n\
+                     integer i, j\n\
+                     begin\n\
+                     do j = 1, 12\n\
+                       do i = 1, 12\n\
+                         if mod(i + j, 3) == 0 then\n\
+                           e(i, j) = 0.0\n\
+                         else\n\
+                           e(i, j) = 1.0 / (i + j)\n\
+                         endif\n\
+                       enddo\n\
+                     enddo\n\
+                     return efill(12, e)\n\
+                     end\n",
+        },
+        Routine {
+            name: "heat",
+            origin: "doduc: 1-D heat conduction step",
+            entry: "drv",
+            source: "function heat(n, t)\n\
+                     integer n, i\n\
+                     real heat, t(*), s, alpha\n\
+                     begin\n\
+                     alpha = 0.1\n\
+                     s = 0\n\
+                     do i = 2, n - 1\n\
+                       t(i) = t(i) + alpha * (t(i + 1) - 2.0 * t(i) + t(i - 1))\n\
+                       s = s + t(i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, t(26), s\n\
+                     integer i, k\n\
+                     begin\n\
+                     do i = 1, 26\n\
+                       t(i) = 100.0 / i\n\
+                     enddo\n\
+                     s = 0\n\
+                     do k = 1, 5\n\
+                       s = heat(26, t)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "hmoy",
+            origin: "doduc: harmonic means (tiny routine, like the paper's 47-op row)",
+            entry: "drv",
+            source: "function hmoy(a, b, c, d)\n\
+                     real hmoy, a, b, c, d\n\
+                     begin\n\
+                     return 4.0 / (1.0 / a + 1.0 / b + 1.0 / c + 1.0 / d)\n\
+                     end\n\
+                     function drv()\n\
+                     real drv\n\
+                     begin\n\
+                     return hmoy(1.0, 2.0, 3.0, 4.0) + hmoy(2.0, 2.0, 2.0, 2.0)\n\
+                     end\n",
+        },
+        Routine {
+            name: "ihbtr",
+            origin: "doduc: table index histogramming (integer heavy)",
+            entry: "drv",
+            source: "function ihbtr(n, v)\n\
+                     integer ihbtr, n, i, k, hist(8)\n\
+                     real v(*)\n\
+                     begin\n\
+                     do i = 1, 8\n\
+                       hist(i) = 0\n\
+                     enddo\n\
+                     do i = 1, n\n\
+                       k = int(v(i) * 8.0) + 1\n\
+                       k = max(1, min(8, k))\n\
+                       hist(k) = hist(k) + 1\n\
+                     enddo\n\
+                     k = 0\n\
+                     do i = 1, 8\n\
+                       k = k + i * hist(i)\n\
+                     enddo\n\
+                     return k\n\
+                     end\n\
+                     function drv()\n\
+                     integer drv, i\n\
+                     real v(32)\n\
+                     begin\n\
+                     do i = 1, 32\n\
+                       v(i) = mod(0.37 * i, 1.0)\n\
+                     enddo\n\
+                     return ihbtr(32, v)\n\
+                     end\n",
+        },
+        Routine {
+            name: "inideb",
+            origin: "doduc: debit initialization tables",
+            entry: "drv",
+            source: "function inideb(n, q0, qt)\n\
+                     integer n, i\n\
+                     real inideb, q0(*), qt(*), s\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 1, n\n\
+                       q0(i) = 1.0 + 0.5 * sin(0.2 * i)\n\
+                       qt(i) = q0(i) * (1.0 + 0.1 * cos(0.1 * i))\n\
+                       s = s + qt(i) - q0(i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, q0(20), qt(20)\n\
+                     begin\n\
+                     return inideb(20, q0, qt)\n\
+                     end\n",
+        },
+        Routine {
+            name: "integr",
+            origin: "doduc: composite Simpson integration",
+            entry: "drv",
+            source: "function ifun(x)\n\
+                     real ifun, x\n\
+                     begin\n\
+                     return 1.0 / (1.0 + x * x)\n\
+                     end\n\
+                     function integr(a, b, n)\n\
+                     real integr, a, b, h, s, x\n\
+                     integer n, i\n\
+                     begin\n\
+                     h = (b - a) / (2 * n)\n\
+                     s = ifun(a) + ifun(b)\n\
+                     do i = 1, 2 * n - 1\n\
+                       x = a + h * i\n\
+                       if mod(i, 2) == 1 then\n\
+                         s = s + 4.0 * ifun(x)\n\
+                       else\n\
+                         s = s + 2.0 * ifun(x)\n\
+                       endif\n\
+                     enddo\n\
+                     return s * h / 3.0\n\
+                     end\n\
+                     function drv()\n\
+                     real drv\n\
+                     begin\n\
+                     return integr(0.0, 1.0, 20) * 4.0\n\
+                     end\n",
+        },
+        Routine {
+            name: "orgpar",
+            origin: "doduc: parameter organization (scalar bookkeeping)",
+            entry: "drv",
+            source: "function orgpar(t, p, r)\n\
+                     real orgpar, t, p, r, a, b, c\n\
+                     begin\n\
+                     a = t * (1.0 + p / 100.0)\n\
+                     b = t * (1.0 - p / 100.0)\n\
+                     c = (a - b) * r\n\
+                     if c < 0.0 then\n\
+                       c = -c\n\
+                     endif\n\
+                     return a + b + c\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, s, t\n\
+                     integer i\n\
+                     begin\n\
+                     s = 0\n\
+                     t = 300.0\n\
+                     do i = 1, 8\n\
+                       s = s + orgpar(t, 1.0 * i, 0.5)\n\
+                       t = t + 10.0\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "paroi",
+            origin: "doduc: wall heat-transfer correlation sweep",
+            entry: "drv",
+            source: "function paroi(n, tw, tf, h)\n\
+                     integer n, i\n\
+                     real paroi, tw(*), tf(*), h(*), s, dt, q\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 1, n\n\
+                       dt = tw(i) - tf(i)\n\
+                       q = h(i) * dt\n\
+                       if dt > 10.0 then\n\
+                         q = q * (1.0 + 0.01 * (dt - 10.0))\n\
+                       endif\n\
+                       tw(i) = tw(i) - 0.001 * q\n\
+                       s = s + q\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, tw(28), tf(28), h(28), s\n\
+                     integer i, k\n\
+                     begin\n\
+                     do i = 1, 28\n\
+                       tw(i) = 350.0 + 1.0 * i\n\
+                       tf(i) = 300.0 + 0.5 * i\n\
+                       h(i) = 0.8 + 0.01 * i\n\
+                     enddo\n\
+                     s = 0\n\
+                     do k = 1, 4\n\
+                       s = s + paroi(28, tw, tf, h)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "pastem",
+            origin: "doduc: time-step advancement with stability limits",
+            entry: "drv",
+            source: "function pastem(n, dtold, err)\n\
+                     integer n, i\n\
+                     real pastem, dtold, err, dt, s\n\
+                     begin\n\
+                     dt = dtold\n\
+                     s = 0\n\
+                     do i = 1, n\n\
+                       if err * dt > 0.1 then\n\
+                         dt = dt * 0.8\n\
+                       elseif err * dt < 0.01 then\n\
+                         dt = dt * 1.25\n\
+                       endif\n\
+                       dt = min(dt, 2.0)\n\
+                       dt = max(dt, 0.001)\n\
+                       s = s + dt\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, s, e\n\
+                     integer i\n\
+                     begin\n\
+                     s = 0\n\
+                     e = 0.004\n\
+                     do i = 1, 10\n\
+                       s = s + pastem(12, 0.5, e)\n\
+                       e = e * 1.5\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "prophy",
+            origin: "doduc: physical property evaluation (piecewise correlations)",
+            entry: "drv",
+            source: "function prophy(t)\n\
+                     real prophy, t, rho, mu, k\n\
+                     begin\n\
+                     if t < 273.0 then\n\
+                       rho = 1000.0\n\
+                       mu = 0.0018\n\
+                     elseif t < 373.0 then\n\
+                       rho = 1000.0 - 0.2 * (t - 273.0)\n\
+                       mu = 0.0018 - 0.00001 * (t - 273.0)\n\
+                     else\n\
+                       rho = 960.0 - 0.5 * (t - 373.0)\n\
+                       mu = 0.0008\n\
+                     endif\n\
+                     k = 0.55 + 0.001 * t - 0.000001 * t * t\n\
+                     return rho * k / (mu * 1000.0)\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, s, t\n\
+                     integer i\n\
+                     begin\n\
+                     s = 0\n\
+                     t = 250.0\n\
+                     do i = 1, 16\n\
+                       s = s + prophy(t)\n\
+                       t = t + 12.5\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "repvid",
+            origin: "doduc: void-fraction replacement over channels",
+            entry: "drv",
+            source: "function repvid(n, m, alpha)\n\
+                     integer n, m, i, j\n\
+                     real repvid, alpha(16, 8), s, a\n\
+                     begin\n\
+                     s = 0\n\
+                     do j = 1, m\n\
+                       do i = 1, n\n\
+                         a = alpha(i, j)\n\
+                         a = a + 0.1 * (0.5 - a) * a * (1.0 - a)\n\
+                         alpha(i, j) = a\n\
+                         s = s + a\n\
+                       enddo\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, alpha(16, 8), s\n\
+                     integer i, j, k\n\
+                     begin\n\
+                     do j = 1, 8\n\
+                       do i = 1, 16\n\
+                         alpha(i, j) = mod(0.13 * i + 0.29 * j, 1.0)\n\
+                       enddo\n\
+                     enddo\n\
+                     s = 0\n\
+                     do k = 1, 5\n\
+                       s = s + repvid(16, 8, alpha)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "saturr",
+            origin: "doduc: saturation temperature table with Newton refinement",
+            entry: "drv",
+            source: "function saturr(p)\n\
+                     real saturr, p, t, f, df\n\
+                     integer i\n\
+                     begin\n\
+                     t = 373.0 + 10.0 * log(p)\n\
+                     do i = 1, 4\n\
+                       f = exp((t - 373.0) / 20.0) - p\n\
+                       df = exp((t - 373.0) / 20.0) / 20.0\n\
+                       t = t - f / df\n\
+                     enddo\n\
+                     return t\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, s, p\n\
+                     integer i\n\
+                     begin\n\
+                     s = 0\n\
+                     p = 0.5\n\
+                     do i = 1, 10\n\
+                       s = s + saturr(p)\n\
+                       p = p + 0.4\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "si",
+            origin: "doduc: cubic interpolation helper (the paper's 206-op row)",
+            entry: "drv",
+            source: "function si(u, x1, x2, f1, f2, d1, d2)\n\
+                     real si, u, x1, x2, f1, f2, d1, d2, h, t, a, b\n\
+                     begin\n\
+                     h = x2 - x1\n\
+                     t = (u - x1) / h\n\
+                     a = f1 * (1.0 + 2.0 * t) * (1.0 - t) * (1.0 - t) + f2 * t * t * (3.0 - 2.0 * t)\n\
+                     b = d1 * h * t * (1.0 - t) * (1.0 - t) - d2 * h * t * t * (1.0 - t)\n\
+                     return a + b\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, s, u\n\
+                     integer i\n\
+                     begin\n\
+                     s = 0\n\
+                     u = 0.1\n\
+                     do i = 1, 8\n\
+                       s = s + si(u, 0.0, 1.0, 2.0, 3.0, 0.5, -0.5)\n\
+                       u = u + 0.1\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "supp",
+            origin: "doduc: support/suppression sweep over assemblies",
+            entry: "drv",
+            source: "function supp(n, w)\n\
+                     integer n, i\n\
+                     real supp, w(*), s\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 1, n\n\
+                       if w(i) > 0.0 then\n\
+                         s = s + sqrt(w(i))\n\
+                       else\n\
+                         s = s + w(i) * w(i)\n\
+                       endif\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, w(34), s\n\
+                     integer i\n\
+                     begin\n\
+                     do i = 1, 34\n\
+                       w(i) = sin(0.5 * i)\n\
+                     enddo\n\
+                     s = supp(34, w)\n\
+                     return s + supp(34, w)\n\
+                     end\n",
+        },
+        Routine {
+            name: "subb",
+            origin: "doduc: subassembly bookkeeping (loop with early classes)",
+            entry: "drv",
+            source: "function subb(n, a, b)\n\
+                     integer n, i\n\
+                     real subb, a(*), b(*), s\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 1, n\n\
+                       b(i) = a(i) * 0.5 + 1.0\n\
+                       s = s + b(i) * a(i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, a(40), b(40), s\n\
+                     integer i\n\
+                     begin\n\
+                     do i = 1, 40\n\
+                       a(i) = 0.05 * i\n\
+                     enddo\n\
+                     s = subb(40, a, b)\n\
+                     return s + subb(40, b, a)\n\
+                     end\n",
+        },
+        Routine {
+            name: "tvldrv",
+            origin: "doduc: top-level transient driver (calls several kernels)",
+            entry: "drv",
+            source: "function step(n, u, dt)\n\
+                     integer n, i\n\
+                     real step, u(*), dt, s\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 2, n - 1\n\
+                       u(i) = u(i) + dt * (u(i + 1) - 2.0 * u(i) + u(i - 1))\n\
+                       s = s + u(i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function tvldrv(n, nstep)\n\
+                     integer n, nstep, k, i\n\
+                     real tvldrv, u(40), s, dt\n\
+                     begin\n\
+                     do i = 1, n\n\
+                       u(i) = 1.0 + sin(0.25 * i)\n\
+                     enddo\n\
+                     dt = 0.2\n\
+                     s = 0\n\
+                     do k = 1, nstep\n\
+                       s = s + step(n, u, dt)\n\
+                       if mod(k, 4) == 0 then\n\
+                         dt = dt * 0.95\n\
+                       endif\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv\n\
+                     begin\n\
+                     return tvldrv(40, 25)\n\
+                     end\n",
+        },
+    ]
+}

@@ -1,0 +1,449 @@
+//! Routines modeled on Forsythe, Malcolm & Moler, *Computer Methods for
+//! Mathematical Computations* (the paper's reference [16]): `fmin`,
+//! `zeroin`, `spline`, `seval`, `decomp`, `solve`, `svd`, `rkf45`,
+//! `rkfs`, `fehl`, `urand`.
+
+use crate::Routine;
+
+/// The FMM group.
+pub fn routines() -> Vec<Routine> {
+    vec![
+        Routine {
+            name: "fmin",
+            origin: "FMM ch.8: golden-section/parabolic minimization",
+            entry: "drv",
+            source: "function ffn(x)\n\
+                     real x\n\
+                     begin\n\
+                     return (x - 1.6) * (x - 1.6) + 0.3\n\
+                     end\n\
+                     function fmin(ax, bx, tol)\n\
+                     real ax, bx, tol, a, b, c, xl, xr, fl, fr\n\
+                     begin\n\
+                     c = 0.381966011\n\
+                     a = ax\n\
+                     b = bx\n\
+                     while b - a > tol do\n\
+                       xl = a + c * (b - a)\n\
+                       xr = b - c * (b - a)\n\
+                       fl = ffn(xl)\n\
+                       fr = ffn(xr)\n\
+                       if fl < fr then\n\
+                         b = xr\n\
+                       else\n\
+                         a = xl\n\
+                       endif\n\
+                     endwhile\n\
+                     return 0.5 * (a + b)\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, xmin\n\
+                     begin\n\
+                     xmin = fmin(0.0, 4.0, 0.0001)\n\
+                     return xmin + ffn(xmin)\n\
+                     end\n",
+        },
+        Routine {
+            name: "zeroin",
+            origin: "FMM ch.7: root finding (bisection/secant hybrid)",
+            entry: "drv",
+            source: "function gfn(x)\n\
+                     real x\n\
+                     begin\n\
+                     return x * x * x - 2.0 * x - 5.0\n\
+                     end\n\
+                     function zeroin(ax, bx, tol)\n\
+                     real ax, bx, tol, a, b, fa, fb, m, fm, s\n\
+                     begin\n\
+                     a = ax\n\
+                     b = bx\n\
+                     fa = gfn(a)\n\
+                     fb = gfn(b)\n\
+                     while b - a > tol do\n\
+                       m = 0.5 * (a + b)\n\
+                       ! secant proposal, clipped to the bracket\n\
+                       if abs(fb - fa) > 0.000001 then\n\
+                         s = b - fb * (b - a) / (fb - fa)\n\
+                         if s > a .and. s < b then\n\
+                           m = s\n\
+                         endif\n\
+                       endif\n\
+                       fm = gfn(m)\n\
+                       if sign(1.0, fm) == sign(1.0, fa) then\n\
+                         a = m\n\
+                         fa = fm\n\
+                       else\n\
+                         b = m\n\
+                         fb = fm\n\
+                       endif\n\
+                     endwhile\n\
+                     return 0.5 * (a + b)\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, r\n\
+                     begin\n\
+                     r = zeroin(2.0, 3.0, 0.00001)\n\
+                     return r + gfn(r)\n\
+                     end\n",
+        },
+        Routine {
+            name: "spline",
+            origin: "FMM ch.4: cubic spline coefficient setup",
+            entry: "drv",
+            source: "subroutine spline(n, x, y, b, c, d)\n\
+                     integer n, i\n\
+                     real x(*), y(*), b(*), c(*), d(*), t\n\
+                     begin\n\
+                     d(1) = x(2) - x(1)\n\
+                     c(2) = (y(2) - y(1)) / d(1)\n\
+                     do i = 2, n - 1\n\
+                       d(i) = x(i + 1) - x(i)\n\
+                       b(i) = 2.0 * (d(i - 1) + d(i))\n\
+                       c(i + 1) = (y(i + 1) - y(i)) / d(i)\n\
+                       c(i) = c(i + 1) - c(i)\n\
+                     enddo\n\
+                     ! forward elimination of the tridiagonal system\n\
+                     do i = 3, n - 1\n\
+                       t = d(i - 1) / b(i - 1)\n\
+                       b(i) = b(i) - t * d(i - 1)\n\
+                       c(i) = c(i) - t * c(i - 1)\n\
+                     enddo\n\
+                     c(n - 1) = c(n - 1) / b(n - 1)\n\
+                     do i = n - 2, 2, -1\n\
+                       c(i) = (c(i) - d(i) * c(i + 1)) / b(i)\n\
+                     enddo\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, x(24), y(24), b(24), c(24), d(24), s\n\
+                     integer i\n\
+                     begin\n\
+                     do i = 1, 24\n\
+                       x(i) = 0.25 * i\n\
+                       y(i) = x(i) * x(i) - 3.0 * x(i)\n\
+                     enddo\n\
+                     call spline(24, x, y, b, c, d)\n\
+                     s = 0\n\
+                     do i = 2, 23\n\
+                       s = s + c(i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "seval",
+            origin: "FMM ch.4: spline evaluation with interval search",
+            entry: "drv",
+            source: "function seval(n, u, x, y, b, c, d)\n\
+                     integer n, i, j, k\n\
+                     real seval, u, x(*), y(*), b(*), c(*), d(*), dx\n\
+                     begin\n\
+                     i = 1\n\
+                     j = n + 1\n\
+                     while j > i + 1 do\n\
+                       k = (i + j) / 2\n\
+                       if u < x(k) then\n\
+                         j = k\n\
+                       else\n\
+                         i = k\n\
+                       endif\n\
+                     endwhile\n\
+                     dx = u - x(i)\n\
+                     return y(i) + dx * (b(i) + dx * (c(i) + dx * d(i)))\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, x(16), y(16), b(16), c(16), d(16), s, u\n\
+                     integer i\n\
+                     begin\n\
+                     do i = 1, 16\n\
+                       x(i) = 1.0 * i\n\
+                       y(i) = 0.5 * i * i\n\
+                       b(i) = 0.1 * i\n\
+                       c(i) = 0.01 * i\n\
+                       d(i) = 0.001 * i\n\
+                     enddo\n\
+                     s = 0\n\
+                     u = 0.5\n\
+                     do i = 1, 20\n\
+                       s = s + seval(16, u, x, y, b, c, d)\n\
+                       u = u + 0.7\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "decomp",
+            origin: "FMM ch.3: LU decomposition (diagonally dominant, no pivoting)",
+            entry: "drv",
+            source: "subroutine decomp(n, a)\n\
+                     integer n, i, j, k\n\
+                     real a(12, 12), t\n\
+                     begin\n\
+                     do k = 1, n - 1\n\
+                       do i = k + 1, n\n\
+                         t = a(i, k) / a(k, k)\n\
+                         a(i, k) = t\n\
+                         do j = k + 1, n\n\
+                           a(i, j) = a(i, j) - t * a(k, j)\n\
+                         enddo\n\
+                       enddo\n\
+                     enddo\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, a(12, 12), s\n\
+                     integer i, j\n\
+                     begin\n\
+                     do i = 1, 12\n\
+                       do j = 1, 12\n\
+                         a(i, j) = 1.0 / (i + j)\n\
+                       enddo\n\
+                       a(i, i) = a(i, i) + 4.0\n\
+                     enddo\n\
+                     call decomp(12, a)\n\
+                     s = 0\n\
+                     do i = 1, 12\n\
+                       s = s + a(i, i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "solve",
+            origin: "FMM ch.3: forward/back substitution after decomp",
+            entry: "drv",
+            source: "subroutine solve(n, a, b)\n\
+                     integer n, i, j\n\
+                     real a(12, 12), b(*), t\n\
+                     begin\n\
+                     do i = 2, n\n\
+                       t = b(i)\n\
+                       do j = 1, i - 1\n\
+                         t = t - a(i, j) * b(j)\n\
+                       enddo\n\
+                       b(i) = t\n\
+                     enddo\n\
+                     do i = n, 1, -1\n\
+                       t = b(i)\n\
+                       do j = i + 1, n\n\
+                         t = t - a(i, j) * b(j)\n\
+                       enddo\n\
+                       b(i) = t / a(i, i)\n\
+                     enddo\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, a(12, 12), b(12), s\n\
+                     integer i, j\n\
+                     begin\n\
+                     do i = 1, 12\n\
+                       do j = 1, 12\n\
+                         a(i, j) = 1.0 / (i + j)\n\
+                       enddo\n\
+                       a(i, i) = a(i, i) + 4.0\n\
+                       b(i) = 1.0 * i\n\
+                     enddo\n\
+                     call solve(12, a, b)\n\
+                     s = 0\n\
+                     do i = 1, 12\n\
+                       s = s + b(i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "svd",
+            origin: "FMM ch.9 flavor: one-sided Jacobi orthogonalization sweeps",
+            entry: "drv",
+            source: "function svd(n, a)\n\
+                     integer n, i, j, k, sweep\n\
+                     real svd, a(10, 10), p, q, r, c, s, t, ai, aj\n\
+                     begin\n\
+                     do sweep = 1, 3\n\
+                       do j = 2, n\n\
+                         do i = 1, j - 1\n\
+                           p = 0\n\
+                           q = 0\n\
+                           r = 0\n\
+                           do k = 1, n\n\
+                             p = p + a(k, i) * a(k, j)\n\
+                             q = q + a(k, i) * a(k, i)\n\
+                             r = r + a(k, j) * a(k, j)\n\
+                           enddo\n\
+                           if abs(p) > 0.000001 * sqrt(q * r) then\n\
+                             t = (r - q) / (2.0 * p)\n\
+                             s = sign(1.0, t) / (abs(t) + sqrt(1.0 + t * t))\n\
+                             c = 1.0 / sqrt(1.0 + s * s)\n\
+                             s = c * s\n\
+                             do k = 1, n\n\
+                               ai = a(k, i)\n\
+                               aj = a(k, j)\n\
+                               a(k, i) = c * ai - s * aj\n\
+                               a(k, j) = s * ai + c * aj\n\
+                             enddo\n\
+                           endif\n\
+                         enddo\n\
+                       enddo\n\
+                     enddo\n\
+                     t = 0\n\
+                     do j = 1, n\n\
+                       q = 0\n\
+                       do k = 1, n\n\
+                         q = q + a(k, j) * a(k, j)\n\
+                       enddo\n\
+                       t = t + sqrt(q)\n\
+                     enddo\n\
+                     return t\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, a(10, 10)\n\
+                     integer i, j\n\
+                     begin\n\
+                     do i = 1, 8\n\
+                       do j = 1, 8\n\
+                         a(i, j) = 1.0 / (i + j - 1)\n\
+                       enddo\n\
+                     enddo\n\
+                     return svd(8, a)\n\
+                     end\n",
+        },
+        Routine {
+            name: "fehl",
+            origin: "FMM ch.6: the 6-stage Runge-Kutta-Fehlberg step",
+            entry: "drv",
+            source: "function fprime(t, y)\n\
+                     real fprime, t, y\n\
+                     begin\n\
+                     return -2.0 * t * y\n\
+                     end\n\
+                     function fehl(t, y, h)\n\
+                     real fehl, t, y, h, k1, k2, k3, k4, k5, k6\n\
+                     begin\n\
+                     k1 = h * fprime(t, y)\n\
+                     k2 = h * fprime(t + 0.25 * h, y + 0.25 * k1)\n\
+                     k3 = h * fprime(t + 0.375 * h, y + 0.09375 * k1 + 0.28125 * k2)\n\
+                     k4 = h * fprime(t + 0.9230769 * h, y + 0.8793810 * k1 - 3.2771961 * k2 + 3.3208921 * k3)\n\
+                     k5 = h * fprime(t + h, y + 2.0324074 * k1 - 8.0 * k2 + 7.1734892 * k3 - 0.2058966 * k4)\n\
+                     k6 = h * fprime(t + 0.5 * h, y - 0.2962962 * k1 + 2.0 * k2 - 1.3816764 * k3 + 0.4529727 * k4 - 0.275 * k5)\n\
+                     return y + 0.1185185 * k1 + 0.5189863 * k3 + 0.5061314 * k4 - 0.18 * k5 + 0.0363636 * k6\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, t, y, h\n\
+                     integer i\n\
+                     begin\n\
+                     t = 0\n\
+                     y = 1.0\n\
+                     h = 0.1\n\
+                     do i = 1, 10\n\
+                       y = fehl(t, y, h)\n\
+                       t = t + h\n\
+                     enddo\n\
+                     return y\n\
+                     end\n",
+        },
+        Routine {
+            name: "rkfs",
+            origin: "FMM ch.6: RKF stepping driver with error control",
+            entry: "drv",
+            source: "function gprime(t, y)\n\
+                     real gprime, t, y\n\
+                     begin\n\
+                     return y - t * t + 1.0\n\
+                     end\n\
+                     function rkfs(t0, t1, y0, tol)\n\
+                     real rkfs, t0, t1, y0, tol, t, y, h, k1, k2, k3, k4, y4, y5, err\n\
+                     begin\n\
+                     t = t0\n\
+                     y = y0\n\
+                     h = 0.25\n\
+                     while t < t1 do\n\
+                       if t + h > t1 then\n\
+                         h = t1 - t\n\
+                       endif\n\
+                       k1 = h * gprime(t, y)\n\
+                       k2 = h * gprime(t + 0.5 * h, y + 0.5 * k1)\n\
+                       k3 = h * gprime(t + 0.5 * h, y + 0.5 * k2)\n\
+                       k4 = h * gprime(t + h, y + k3)\n\
+                       y4 = y + (k1 + 2.0 * k2 + 2.0 * k3 + k4) / 6.0\n\
+                       y5 = y + (k1 + 4.0 * k2 + k4) / 6.0\n\
+                       err = abs(y5 - y4)\n\
+                       if err < tol then\n\
+                         t = t + h\n\
+                         y = y4\n\
+                         h = h * 1.5\n\
+                       else\n\
+                         h = h * 0.5\n\
+                       endif\n\
+                     endwhile\n\
+                     return y\n\
+                     end\n\
+                     function drv()\n\
+                     real drv\n\
+                     begin\n\
+                     return rkfs(0.0, 2.0, 0.5, 0.01)\n\
+                     end\n",
+        },
+        Routine {
+            name: "rkf45",
+            origin: "FMM ch.6: user-level RKF45 wrapper (re-entry protocol)",
+            entry: "drv",
+            source: "function hprime(t, y)\n\
+                     real hprime, t, y\n\
+                     begin\n\
+                     return 0.25 * y * (1.0 - y / 20.0)\n\
+                     end\n\
+                     function rkstep(t, y, h)\n\
+                     real rkstep, t, y, h, k1, k2, k3, k4\n\
+                     begin\n\
+                     k1 = h * hprime(t, y)\n\
+                     k2 = h * hprime(t + 0.5 * h, y + 0.5 * k1)\n\
+                     k3 = h * hprime(t + 0.5 * h, y + 0.5 * k2)\n\
+                     k4 = h * hprime(t + h, y + k3)\n\
+                     return y + (k1 + 2.0 * k2 + 2.0 * k3 + k4) / 6.0\n\
+                     end\n\
+                     function rkf45(t0, t1, y0, nstep)\n\
+                     real rkf45, t0, t1, y0, t, y, h\n\
+                     integer nstep, i\n\
+                     begin\n\
+                     h = (t1 - t0) / nstep\n\
+                     t = t0\n\
+                     y = y0\n\
+                     do i = 1, nstep\n\
+                       y = rkstep(t, y, h)\n\
+                       t = t + h\n\
+                     enddo\n\
+                     return y\n\
+                     end\n\
+                     function drv()\n\
+                     real drv\n\
+                     begin\n\
+                     return rkf45(0.0, 10.0, 1.0, 8)\n\
+                     end\n",
+        },
+        Routine {
+            name: "urand",
+            origin: "FMM ch.10: linear congruential uniform generator",
+            entry: "drv",
+            source: "function urand(iy)\n\
+                     real urand\n\
+                     integer iy, ia, ic, m\n\
+                     begin\n\
+                     ia = 1103\n\
+                     ic = 28411\n\
+                     m = 134456\n\
+                     iy = mod(iy * ia + ic, m)\n\
+                     return float(iy) / 134456.0\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, s, u\n\
+                     integer iy, i\n\
+                     begin\n\
+                     iy = 12345\n\
+                     s = 0\n\
+                     do i = 1, 25\n\
+                       iy = mod(iy * 1103 + 28411, 134456)\n\
+                       u = float(iy) / 134456.0\n\
+                       s = s + u\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+    ]
+}

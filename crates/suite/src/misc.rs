@@ -1,0 +1,239 @@
+//! The remaining Spec-derived rows: table generation (`gamgen`,
+//! `fmtset`, `fmtgen`), initialization (`iniset`, `inithx`), the
+//! expression-heavy `fpppp`, and the small kernels `x21y21` and `yeh`.
+
+use crate::Routine;
+
+/// The table-generation and miscellaneous group.
+pub fn routines() -> Vec<Routine> {
+    vec![
+        Routine {
+            name: "gamgen",
+            origin: "doduc: gamma-function/decay-heat table generation",
+            entry: "drv",
+            source: "function gamgen(n, tab)\n\
+                     integer n, i, j\n\
+                     real gamgen, tab(24, 4), s, t, g\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 1, n\n\
+                       t = 0.25 * i\n\
+                       do j = 1, 4\n\
+                         g = exp(-t * j) * (1.0 + t / j) * pow(t, 0.5 * j)\n\
+                         tab(i, j) = g\n\
+                         s = s + g\n\
+                       enddo\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, tab(24, 4), s\n\
+                     integer k\n\
+                     begin\n\
+                     s = 0\n\
+                     do k = 1, 3\n\
+                       s = s + gamgen(24, tab)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "fmtset",
+            origin: "Spec: format table setup (integer index arithmetic)",
+            entry: "drv",
+            source: "function fmtset(n, w)\n\
+                     integer fmtset, n, i, k, w(*)\n\
+                     begin\n\
+                     k = 0\n\
+                     do i = 1, n\n\
+                       w(i) = 10 * (i / 4) + mod(i, 4) + 1\n\
+                       k = k + w(i)\n\
+                     enddo\n\
+                     return k\n\
+                     end\n\
+                     function drv()\n\
+                     integer drv, w(24), k, t\n\
+                     begin\n\
+                     k = 0\n\
+                     do t = 1, 3\n\
+                       k = k + fmtset(24, w)\n\
+                     enddo\n\
+                     return k\n\
+                     end\n",
+        },
+        Routine {
+            name: "fmtgen",
+            origin: "Spec: format generation (digit decomposition)",
+            entry: "drv",
+            source: "function fmtgen(num)\n\
+                     integer fmtgen, num, n, d, s\n\
+                     begin\n\
+                     n = num\n\
+                     s = 0\n\
+                     while n > 0 do\n\
+                       d = mod(n, 10)\n\
+                       s = s * 10 + d\n\
+                       n = n / 10\n\
+                     endwhile\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     integer drv, k, i\n\
+                     begin\n\
+                     k = 0\n\
+                     do i = 1, 8\n\
+                       k = k + fmtgen(1000 + 137 * i)\n\
+                     enddo\n\
+                     return k\n\
+                     end\n",
+        },
+        Routine {
+            name: "iniset",
+            origin: "doduc: bulk array initialization",
+            entry: "drv",
+            source: "function iniset(n, a, b, c)\n\
+                     integer n, i\n\
+                     real iniset, a(*), b(*), c(*), s\n\
+                     begin\n\
+                     do i = 1, n\n\
+                       a(i) = 0.0\n\
+                       b(i) = 1.0\n\
+                       c(i) = 0.5 * i\n\
+                     enddo\n\
+                     s = 0\n\
+                     do i = 1, n\n\
+                       s = s + a(i) + b(i) + c(i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, a(48), b(48), c(48), s\n\
+                     integer t\n\
+                     begin\n\
+                     s = 0\n\
+                     do t = 1, 3\n\
+                       s = s + iniset(48, a, b, c)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "inithx",
+            origin: "doduc: heat-exchanger geometry initialization",
+            entry: "drv",
+            source: "function inithx(n, m, geo)\n\
+                     integer n, m, i, j\n\
+                     real inithx, geo(20, 6), s, r, dz\n\
+                     begin\n\
+                     dz = 2.5 / n\n\
+                     s = 0\n\
+                     do i = 1, n\n\
+                       r = 0.05 + 0.002 * i\n\
+                       geo(i, 1) = dz * i\n\
+                       geo(i, 2) = 3.14159265 * r * r\n\
+                       geo(i, 3) = 2.0 * 3.14159265 * r * dz\n\
+                       geo(i, 4) = geo(i, 2) * dz\n\
+                       geo(i, 5) = geo(i, 3) / geo(i, 2)\n\
+                       geo(i, 6) = 1.0 / geo(i, 5)\n\
+                       do j = 1, m\n\
+                         s = s + geo(i, j)\n\
+                       enddo\n\
+                     enddo\n\
+                     return s\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, geo(20, 6)\n\
+                     begin\n\
+                     return inithx(20, 6, geo)\n\
+                     end\n",
+        },
+        Routine {
+            name: "fpppp",
+            origin: "Spec: two-electron integral kernel (expression-heavy straight-line code)",
+            entry: "drv",
+            source: "function fpppp(a, b, c, d)\n\
+                     real fpppp, a, b, c, d\n\
+                     real p, q, r, s, t, u, v, w, e1, e2, e3, e4\n\
+                     begin\n\
+                     p = a + b\n\
+                     q = c + d\n\
+                     r = a * b / p\n\
+                     s = c * d / q\n\
+                     t = p * q / (p + q)\n\
+                     u = (a * c + b * d) / (p * q)\n\
+                     v = (a * d + b * c) / (p * q)\n\
+                     w = u - v\n\
+                     e1 = exp(-r * w * w)\n\
+                     e2 = exp(-s * w * w)\n\
+                     e3 = sqrt(t) * e1 * e2\n\
+                     e4 = e3 * (1.0 + w * w * (r + s) / (1.0 + t))\n\
+                     return e4 + e3 * u + e1 * v + e2 * w\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, s, x\n\
+                     integer i, j\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 1, 5\n\
+                       do j = 1, 5\n\
+                         x = 0.1 * i\n\
+                         s = s + fpppp(1.0 + x, 2.0 - x, 0.5 + 0.1 * j, 1.5)\n\
+                       enddo\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "x21y21",
+            origin: "Spec: tiny polynomial kernel (the paper's smallest routine)",
+            entry: "drv",
+            source: "function x21y21(x, y)\n\
+                     real x21y21, x, y, x2, y2\n\
+                     begin\n\
+                     x2 = x * x\n\
+                     y2 = y * y\n\
+                     return (x2 + y2) * (x2 - y2) + 2.0 * x2 * y2\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, s\n\
+                     integer i\n\
+                     begin\n\
+                     s = 0\n\
+                     do i = 1, 6\n\
+                       s = s + x21y21(0.5 * i, 2.0 - 0.2 * i)\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+        Routine {
+            name: "yeh",
+            origin: "doduc: critical-flow correlation (Yeh)",
+            entry: "drv",
+            source: "function yeh(p, h)\n\
+                     real yeh, p, h, g, x\n\
+                     begin\n\
+                     x = (h - 400.0) / 2000.0\n\
+                     if x < 0.0 then\n\
+                       x = 0.0\n\
+                     endif\n\
+                     g = 1000.0 * sqrt(p) * (1.0 - x) + 500.0 * x * x * p\n\
+                     if g < 0.0 then\n\
+                       g = 0.0\n\
+                     endif\n\
+                     return g\n\
+                     end\n\
+                     function drv()\n\
+                     real drv, s, p\n\
+                     integer i\n\
+                     begin\n\
+                     s = 0\n\
+                     p = 1.0\n\
+                     do i = 1, 10\n\
+                       s = s + yeh(p, 300.0 + 150.0 * i)\n\
+                       p = p + 0.6\n\
+                     enddo\n\
+                     return s\n\
+                     end\n",
+        },
+    ]
+}

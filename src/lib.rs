@@ -1,0 +1,4 @@
+//! Root crate: re-exports the whole Effective PRE workspace; the
+//! examples/ and tests/ directories of the repository hang off this
+//! package. See the `epre` crate for the primary API.
+pub use epre::*;
