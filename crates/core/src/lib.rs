@@ -43,7 +43,9 @@
 pub mod pipeline;
 pub mod stages;
 pub mod stats;
+pub mod verify_each;
 
 pub use pipeline::{OptLevel, Optimizer};
 pub use stages::{run_staged, Stage, StagedOutput};
 pub use stats::{measure, measure_module, Measurement};
+pub use verify_each::{run_passes_verified, PassBlame, PipelineViolation};

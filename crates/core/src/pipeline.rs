@@ -99,10 +99,19 @@ impl Optimizer {
     }
 
     /// Optimize one function in place.
+    ///
+    /// Debug builds verify the IR after every pass; a violation panics
+    /// naming the pass, the function, and the exact verifier error. For a
+    /// non-panicking variant with per-pass blame see
+    /// [`Optimizer::optimize_function_verified`].
     pub fn optimize_function(&self, f: &mut Function) {
         for pass in self.passes() {
             pass.run(f);
-            debug_assert!(f.verify().is_ok(), "pass `{}` broke `{}`:\n{f}", pass.name(), f.name);
+            if cfg!(debug_assertions) {
+                if let Err(e) = f.verify() {
+                    panic!("pass `{}` broke function `{}`: {e}\n{f}", pass.name(), f.name);
+                }
+            }
         }
     }
 

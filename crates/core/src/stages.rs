@@ -50,6 +50,16 @@ impl StagedOutput {
     }
 }
 
+/// Debug-build verification between stages, naming the stage and the
+/// function so a broken snapshot is attributable at a glance.
+fn debug_verify_stage(f: &Function, stage: Stage) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = f.verify() {
+            panic!("stage {stage:?} broke function `{}`: {e}\n{f}", f.name);
+        }
+    }
+}
+
 /// Run the `distribution`-level pipeline over `f`, capturing the IR after
 /// each of the paper's walkthrough stages.
 pub fn run_staged(f: &Function, distribute: bool) -> StagedOutput {
@@ -61,15 +71,19 @@ pub fn run_staged(f: &Function, distribute: bool) -> StagedOutput {
     // internally, so reproduce the snapshot on a scratch copy.
     let mut ssa_view = cur.clone();
     build_ssa(&mut ssa_view, SsaOptions { fold_copies: true });
+    debug_verify_stage(&ssa_view, Stage::PrunedSsa);
     snapshots.push((Stage::PrunedSsa, Stage::ALL[1].1, ssa_view));
 
     Reassociate { distribute }.run(&mut cur);
+    debug_verify_stage(&cur, Stage::Reassociated);
     snapshots.push((Stage::Reassociated, Stage::ALL[2].1, cur.clone()));
 
     Gvn.run(&mut cur);
+    debug_verify_stage(&cur, Stage::ValueNumbered);
     snapshots.push((Stage::ValueNumbered, Stage::ALL[3].1, cur.clone()));
 
     Pre.run(&mut cur);
+    debug_verify_stage(&cur, Stage::AfterPre);
     snapshots.push((Stage::AfterPre, Stage::ALL[4].1, cur.clone()));
 
     ConstProp.run(&mut cur);
@@ -77,6 +91,7 @@ pub fn run_staged(f: &Function, distribute: bool) -> StagedOutput {
     Dce.run(&mut cur);
     Coalesce.run(&mut cur);
     Clean.run(&mut cur);
+    debug_verify_stage(&cur, Stage::Final);
     snapshots.push((Stage::Final, Stage::ALL[5].1, cur));
 
     StagedOutput { snapshots }

@@ -61,4 +61,4 @@ pub use function::{Block, Function, Module, Terminator};
 pub use inst::{BinOp, Inst, UnOp};
 pub use parse::{parse_function, parse_module, ParseError};
 pub use types::{BlockId, Const, Reg, Ty};
-pub use verify::VerifyError;
+pub use verify::{verify_function, verify_function_all, VerifyError, VerifyErrorKind};

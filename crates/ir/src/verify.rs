@@ -13,6 +13,11 @@
 //!
 //! It does **not** check SSA single-assignment (that is `epre-ssa`'s
 //! verifier) because most of the pipeline operates on non-SSA ILOC.
+//!
+//! Two entry points share one walk: [`verify_function_all`] accumulates
+//! **every** violation (the lint engine's preferred form), while
+//! [`verify_function`] keeps the historical fail-fast `Result` contract by
+//! returning the first accumulated error.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -21,6 +26,30 @@ use crate::function::{Function, Terminator};
 use crate::inst::Inst;
 use crate::types::{BlockId, Reg, Ty};
 
+/// Classification of a structural invariant violation, so downstream
+/// tooling (the lint engine) can map each error onto a stable rule code
+/// without parsing the message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifyErrorKind {
+    /// The function has no basic blocks at all.
+    NoBlocks,
+    /// A terminator or φ names a block id outside the function.
+    DanglingTarget,
+    /// A register appears that was never allocated in `reg_ty`.
+    UnallocatedRegister,
+    /// Operand or result type disagrees with the instruction's declared type.
+    TypeMismatch,
+    /// A φ-node appears after a non-φ instruction in its block.
+    PhiNotPrefix,
+    /// A φ-node input names a block that is not a CFG predecessor.
+    PhiNonPredecessor,
+    /// A `cbr` condition register is not of `Int` type.
+    BranchCondNotInt,
+    /// A `ret` disagrees with the function signature (wrong type, or a
+    /// value returned from a subroutine).
+    ReturnMismatch,
+}
+
 /// A structural invariant violation found by [`verify_function`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
@@ -28,6 +57,8 @@ pub struct VerifyError {
     pub function: String,
     /// Block where the violation was found.
     pub block: BlockId,
+    /// Which invariant was broken.
+    pub kind: VerifyErrorKind,
     /// Human-readable description.
     pub message: String,
 }
@@ -43,90 +74,193 @@ impl std::error::Error for VerifyError {}
 /// Check the structural invariants of `f`. See the module docs for the list.
 ///
 /// # Errors
-/// Returns the first violation found.
+/// Returns the first violation found ([`verify_function_all`] collects all
+/// of them).
 pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
-    let fail = |block: BlockId, message: String| {
-        Err(VerifyError { function: f.name.clone(), block, message })
+    match verify_function_all(f).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Check the structural invariants of `f`, accumulating **every** violation
+/// instead of stopping at the first. An empty vector means the function is
+/// structurally sound.
+///
+/// Checks that would be meaningless (or would panic) once an earlier
+/// violation is known are skipped: type checks are suppressed for
+/// instructions naming unallocated registers, and nothing beyond the
+/// "no blocks" error is reported for an empty function.
+pub fn verify_function_all(f: &Function) -> Vec<VerifyError> {
+    let mut errs: Vec<VerifyError> = Vec::new();
+    let fail = |errs: &mut Vec<VerifyError>,
+                    block: BlockId,
+                    kind: VerifyErrorKind,
+                    message: String| {
+        errs.push(VerifyError { function: f.name.clone(), block, kind, message });
     };
     let reg_ok = |r: Reg| r.index() < f.reg_ty.len();
 
     if f.blocks.is_empty() {
-        return fail(BlockId::ENTRY, "function has no blocks".into());
+        fail(&mut errs, BlockId::ENTRY, VerifyErrorKind::NoBlocks, "function has no blocks".into());
+        return errs;
     }
     for &p in &f.params {
         if !reg_ok(p) {
-            return fail(BlockId::ENTRY, format!("parameter {p} not allocated"));
+            fail(
+                &mut errs,
+                BlockId::ENTRY,
+                VerifyErrorKind::UnallocatedRegister,
+                format!("parameter {p} not allocated"),
+            );
         }
     }
 
-    // Compute predecessors for φ checking.
+    // Compute predecessors for φ checking; dangling targets are reported
+    // and skipped so the remaining checks still run.
     let mut preds: Vec<HashSet<BlockId>> = vec![HashSet::new(); f.blocks.len()];
     for (id, b) in f.iter_blocks() {
         for s in b.term.successors() {
             if s.index() >= f.blocks.len() {
-                return fail(id, format!("terminator targets missing block {s}"));
+                fail(
+                    &mut errs,
+                    id,
+                    VerifyErrorKind::DanglingTarget,
+                    format!("terminator targets missing block {s}"),
+                );
+            } else {
+                preds[s.index()].insert(id);
             }
-            preds[s.index()].insert(id);
         }
     }
 
     for (id, b) in f.iter_blocks() {
         let mut seen_non_phi = false;
         for inst in &b.insts {
+            // Registers of this instruction all allocated? Type checks
+            // would panic on out-of-range registers, so they are gated.
+            let mut inst_regs_ok = true;
             match inst {
                 Inst::Phi { dst, args } => {
                     if seen_non_phi {
-                        return fail(id, format!("φ for {dst} after non-φ instruction"));
+                        fail(
+                            &mut errs,
+                            id,
+                            VerifyErrorKind::PhiNotPrefix,
+                            format!("φ for {dst} after non-φ instruction"),
+                        );
                     }
                     for &(pb, r) in args {
                         if pb.index() >= f.blocks.len() {
-                            return fail(id, format!("φ names missing block {pb}"));
-                        }
-                        if !preds[id.index()].contains(&pb) {
-                            return fail(id, format!("φ input block {pb} is not a predecessor"));
+                            fail(
+                                &mut errs,
+                                id,
+                                VerifyErrorKind::DanglingTarget,
+                                format!("φ names missing block {pb}"),
+                            );
+                        } else if !preds[id.index()].contains(&pb) {
+                            fail(
+                                &mut errs,
+                                id,
+                                VerifyErrorKind::PhiNonPredecessor,
+                                format!("φ input block {pb} is not a predecessor"),
+                            );
                         }
                         if !reg_ok(r) {
-                            return fail(id, format!("φ uses unallocated register {r}"));
+                            inst_regs_ok = false;
+                            fail(
+                                &mut errs,
+                                id,
+                                VerifyErrorKind::UnallocatedRegister,
+                                format!("φ uses unallocated register {r}"),
+                            );
                         }
                     }
                     if !reg_ok(*dst) {
-                        return fail(id, format!("φ defines unallocated register {dst}"));
+                        inst_regs_ok = false;
+                        fail(
+                            &mut errs,
+                            id,
+                            VerifyErrorKind::UnallocatedRegister,
+                            format!("φ defines unallocated register {dst}"),
+                        );
                     }
                 }
-                _ => seen_non_phi = true,
-            }
-            for u in inst.uses() {
-                if !reg_ok(u) {
-                    return fail(id, format!("use of unallocated register {u} in `{inst}`"));
+                _ => {
+                    seen_non_phi = true;
+                    for u in inst.uses() {
+                        if !reg_ok(u) {
+                            inst_regs_ok = false;
+                            fail(
+                                &mut errs,
+                                id,
+                                VerifyErrorKind::UnallocatedRegister,
+                                format!("use of unallocated register {u} in `{inst}`"),
+                            );
+                        }
+                    }
+                    if let Some(d) = inst.dst() {
+                        if !reg_ok(d) {
+                            inst_regs_ok = false;
+                            fail(
+                                &mut errs,
+                                id,
+                                VerifyErrorKind::UnallocatedRegister,
+                                format!("def of unallocated register {d} in `{inst}`"),
+                            );
+                        }
+                    }
                 }
             }
-            if let Some(d) = inst.dst() {
-                if !reg_ok(d) {
-                    return fail(id, format!("def of unallocated register {d} in `{inst}`"));
+            if inst_regs_ok {
+                if let Some(msg) = type_check(f, inst) {
+                    fail(&mut errs, id, VerifyErrorKind::TypeMismatch, msg);
                 }
-            }
-            if let Some(msg) = type_check(f, inst) {
-                return fail(id, msg);
             }
         }
         match &b.term {
             Terminator::Branch { cond, .. } => {
                 if !reg_ok(*cond) {
-                    return fail(id, format!("branch condition {cond} not allocated"));
-                }
-                if f.ty_of(*cond) != Ty::Int {
-                    return fail(id, format!("branch condition {cond} must be Int"));
+                    fail(
+                        &mut errs,
+                        id,
+                        VerifyErrorKind::UnallocatedRegister,
+                        format!("branch condition {cond} not allocated"),
+                    );
+                } else if f.ty_of(*cond) != Ty::Int {
+                    fail(
+                        &mut errs,
+                        id,
+                        VerifyErrorKind::BranchCondNotInt,
+                        format!("branch condition {cond} must be Int"),
+                    );
                 }
             }
             Terminator::Return { value: Some(v) } => {
                 if !reg_ok(*v) {
-                    return fail(id, format!("return of unallocated register {v}"));
-                }
-                match f.ret_ty {
-                    None => return fail(id, "value returned from subroutine".into()),
-                    Some(rt) => {
-                        if f.ty_of(*v) != rt {
-                            return fail(id, format!("return type mismatch on {v}"));
+                    fail(
+                        &mut errs,
+                        id,
+                        VerifyErrorKind::UnallocatedRegister,
+                        format!("return of unallocated register {v}"),
+                    );
+                } else {
+                    match f.ret_ty {
+                        None => fail(
+                            &mut errs,
+                            id,
+                            VerifyErrorKind::ReturnMismatch,
+                            "value returned from subroutine".into(),
+                        ),
+                        Some(rt) => {
+                            if f.ty_of(*v) != rt {
+                                fail(
+                                    &mut errs,
+                                    id,
+                                    VerifyErrorKind::ReturnMismatch,
+                                    format!("return type mismatch on {v}"),
+                                );
+                            }
                         }
                     }
                 }
@@ -134,7 +268,20 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
             _ => {}
         }
     }
-    Ok(())
+    errs
+}
+
+/// Whether the reported kinds make further CFG- or type-based analysis of
+/// the function unsafe (block ids may be out of range, registers may have
+/// no entry in `reg_ty`). The lint engine consults this before building a
+/// CFG or running dataflow over a function with structural errors.
+pub fn is_fatal(kind: VerifyErrorKind) -> bool {
+    matches!(
+        kind,
+        VerifyErrorKind::NoBlocks
+            | VerifyErrorKind::DanglingTarget
+            | VerifyErrorKind::UnallocatedRegister
+    )
 }
 
 /// Type-check one instruction against the function's register types.
@@ -244,6 +391,7 @@ mod tests {
         f.add_block(blk);
         let e = f.verify().unwrap_err();
         assert!(e.message.contains("expected i"));
+        assert_eq!(e.kind, VerifyErrorKind::TypeMismatch);
     }
 
     #[test]
@@ -265,6 +413,7 @@ mod tests {
         f.add_block(Block::new(Terminator::Jump { target: BlockId(9) }));
         let e = f.verify().unwrap_err();
         assert!(e.message.contains("missing block"));
+        assert_eq!(e.kind, VerifyErrorKind::DanglingTarget);
     }
 
     #[test]
@@ -287,6 +436,7 @@ mod tests {
         f.add_block(blk);
         let e = f.verify().unwrap_err();
         assert!(e.message.contains("after non-φ"));
+        assert_eq!(e.kind, VerifyErrorKind::PhiNotPrefix);
     }
 
     #[test]
@@ -324,5 +474,38 @@ mod tests {
         f.add_block(blk);
         let e = f.verify().unwrap_err();
         assert!(e.message.contains("subroutine"));
+    }
+
+    #[test]
+    fn collects_multiple_violations() {
+        // Dangling target in b0 AND a type mismatch in b1: fail-fast
+        // reports one, collect-all reports both.
+        let mut f = Function::new("multi", None);
+        let a = f.new_reg(Ty::Int);
+        let b = f.new_reg(Ty::Float);
+        let d = f.new_reg(Ty::Int);
+        f.add_block(Block::new(Terminator::Jump { target: BlockId(9) }));
+        let mut b1 = Block::new(Terminator::Return { value: None });
+        b1.insts.push(Inst::Bin { op: BinOp::Add, ty: Ty::Int, dst: d, lhs: a, rhs: b });
+        f.add_block(b1);
+        let all = verify_function_all(&f);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].kind, VerifyErrorKind::DanglingTarget);
+        assert_eq!(all[1].kind, VerifyErrorKind::TypeMismatch);
+        // The wrapper still reports exactly the first of them.
+        assert_eq!(f.verify().unwrap_err(), all[0]);
+    }
+
+    #[test]
+    fn unallocated_register_suppresses_type_check() {
+        // `r5 <- copy r6` with neither allocated must report the register
+        // errors without panicking inside the type checker.
+        let mut f = Function::new("bad", None);
+        let mut blk = Block::new(Terminator::Return { value: None });
+        blk.insts.push(Inst::Copy { dst: Reg(5), src: Reg(6) });
+        f.add_block(blk);
+        let all = verify_function_all(&f);
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|e| e.kind == VerifyErrorKind::UnallocatedRegister));
     }
 }

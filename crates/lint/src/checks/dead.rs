@@ -1,0 +1,45 @@
+//! `L032-dead-pure-value`: a side-effect-free instruction whose result is
+//! never used anywhere in the function — a computation DCE would delete.
+
+use std::collections::HashSet;
+
+use epre_cfg::Cfg;
+use epre_ir::{Function, Reg};
+
+use crate::diag::{Location, Report};
+use crate::purity::is_removable;
+use crate::rules::Rule;
+
+/// Report every removable instruction whose destination register is never
+/// used by any instruction or terminator. Uses in unreachable blocks
+/// still count as uses (conservative); only reachable definitions are
+/// flagged.
+pub fn check(f: &Function, cfg: &Cfg, out: &mut Report) {
+    let mut used: HashSet<Reg> = HashSet::new();
+    for (_, block) in f.iter_blocks() {
+        for inst in &block.insts {
+            used.extend(inst.uses());
+        }
+        used.extend(block.term.uses());
+    }
+    let reach = cfg.reachable();
+    for (bid, block) in f.iter_blocks() {
+        if !reach[bid.index()] {
+            continue;
+        }
+        for (i, inst) in block.insts.iter().enumerate() {
+            if !is_removable(inst) {
+                continue;
+            }
+            if let Some(d) = inst.dst() {
+                if !used.contains(&d) {
+                    out.push(
+                        Rule::DeadPureValue,
+                        Location::inst(&f.name, bid, i),
+                        format!("result {d} of `{inst}` is never used"),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! `L020-use-before-def`: must-defined reaching-definitions analysis for
+//! non-SSA ILOC.
+//!
+//! A register use is sound only if a definition of that register reaches
+//! it along **every** path from the entry; otherwise some execution reads
+//! an uninitialized register. This is the forward/∩ gen-kill problem with
+//! `gen[b]` = registers defined in `b` (plus the parameters at the entry)
+//! and an empty kill set — a definition, once made, is never unmade.
+//!
+//! Only reachable blocks are walked: unreachable code cannot execute and
+//! is reported separately by `L030`.
+
+use epre_analysis::{solve, BitSet, Direction, Meet};
+use epre_cfg::Cfg;
+use epre_ir::{BlockId, Function};
+
+use crate::diag::{Location, Report};
+use crate::rules::Rule;
+
+/// Run the use-before-def check, appending one diagnostic per unsound use.
+pub fn check(f: &Function, cfg: &Cfg, out: &mut Report) {
+    let nregs = f.reg_count();
+    let reach = cfg.reachable();
+
+    let mut gen = vec![BitSet::new(nregs); cfg.len()];
+    let kill = vec![BitSet::new(nregs); cfg.len()];
+    for &p in &f.params {
+        gen[BlockId::ENTRY.index()].insert(p.index());
+    }
+    for (bid, block) in f.iter_blocks() {
+        for inst in &block.insts {
+            if let Some(d) = inst.dst() {
+                gen[bid.index()].insert(d.index());
+            }
+        }
+    }
+    let sol = solve(cfg, Direction::Forward, Meet::Intersection, &gen, &kill);
+
+    for (bid, block) in f.iter_blocks() {
+        if !reach[bid.index()] {
+            continue;
+        }
+        // Definitions that reach the top of the block on every path; the
+        // entry's boundary fact is ∅, so its parameters are seeded here.
+        let mut defined = sol.ins[bid.index()].clone();
+        if bid == BlockId::ENTRY {
+            for &p in &f.params {
+                defined.insert(p.index());
+            }
+        }
+        for (i, inst) in block.insts.iter().enumerate() {
+            for u in inst.uses() {
+                if !defined.contains(u.index()) {
+                    out.push(
+                        Rule::UseBeforeDef,
+                        Location::inst(&f.name, bid, i),
+                        format!("use of {u} in `{inst}` before any definition reaches it"),
+                    );
+                }
+            }
+            if let Some(d) = inst.dst() {
+                defined.insert(d.index());
+            }
+        }
+        for u in block.term.uses() {
+            if !defined.contains(u.index()) {
+                out.push(
+                    Rule::UseBeforeDef,
+                    Location::block(&f.name, bid),
+                    format!(
+                        "use of {u} in terminator `{}` before any definition reaches it",
+                        block.term
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! CFG hygiene rules: `L030-unreachable-block` and
+//! `L031-unsplit-critical-edge`.
+
+use epre_cfg::Cfg;
+use epre_ir::Function;
+
+use crate::diag::{Location, Report};
+use crate::rules::Rule;
+
+/// Report every block unreachable from the entry.
+pub fn check_unreachable(f: &Function, cfg: &Cfg, out: &mut Report) {
+    for (bid, ok) in cfg.reachable().iter().enumerate() {
+        if !ok {
+            out.push(
+                Rule::UnreachableBlock,
+                Location::block(&f.name, epre_ir::BlockId(bid as u32)),
+                format!("block b{bid} is unreachable from the entry"),
+            );
+        }
+    }
+}
+
+/// Report every critical edge (multi-successor source into
+/// multi-predecessor target). PRE can only place computations on such an
+/// edge after splitting it, so a pipeline that wants edge placements must
+/// run the splitter first.
+pub fn check_critical_edges(f: &Function, cfg: &Cfg, out: &mut Report) {
+    for (from, to) in cfg.edges() {
+        if cfg.is_critical(from, to) {
+            out.push(
+                Rule::CriticalEdge,
+                Location::block(&f.name, from),
+                format!("edge {from} -> {to} is critical and unsplit"),
+            );
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! The analysis rules behind the registry in [`crate::rules`].
+//!
+//! Each submodule implements one rule family as a function appending
+//! diagnostics to a [`crate::diag::Report`]; the engine
+//! ([`crate::engine`]) decides which families apply to a given function
+//! (SSA vs. non-SSA, structural soundness gating) and in what order.
+
+pub mod dead;
+pub mod defs;
+pub mod hygiene;
+pub mod redundancy;
+pub mod ssa;
+pub mod structural;

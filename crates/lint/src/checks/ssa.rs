@@ -1,0 +1,28 @@
+//! SSA rule family (`L010`–`L012`): single assignment and dominance of
+//! uses, via the collect-all SSA verifier of `epre-ssa`.
+//!
+//! These rules only apply to functions in SSA form; the engine gates them
+//! on the presence of φ-nodes (non-SSA ILOC legitimately redefines
+//! registers, and gets the `L020` reaching-definitions check instead).
+
+use epre_ir::Function;
+use epre_ssa::{verify_ssa_all, SsaErrorKind};
+
+use crate::diag::{Location, Report};
+use crate::rules::Rule;
+
+/// Run the SSA checks, appending one diagnostic per violation.
+pub fn check(f: &Function, out: &mut Report) {
+    for e in verify_ssa_all(f) {
+        let rule = match e.kind {
+            SsaErrorKind::MultipleDefinition => Rule::SsaDoubleDef,
+            SsaErrorKind::UndefinedUse => Rule::SsaUndefinedUse,
+            SsaErrorKind::UseNotDominated => Rule::SsaUseNotDominated,
+        };
+        let loc = match e.block {
+            Some(b) => Location::block(&e.function, b),
+            None => Location::function(&e.function),
+        };
+        out.push(rule, loc, e.message);
+    }
+}

@@ -1,0 +1,37 @@
+//! Structural rule family (`L001`–`L008`): the collect-all structural
+//! verifier of `epre-ir`, mapped onto stable rule codes.
+
+use epre_ir::verify::is_fatal;
+use epre_ir::{verify_function_all, Function, VerifyErrorKind};
+
+use crate::diag::{Location, Report};
+use crate::rules::Rule;
+
+/// Run the structural checks, appending one diagnostic per violation.
+///
+/// Returns `true` when at least one violation is **fatal** for deeper
+/// analysis — block ids may be out of range or registers unallocated, so
+/// the engine must not build a CFG or run dataflow over the function.
+pub fn check(f: &Function, out: &mut Report) -> bool {
+    let mut fatal = false;
+    for e in verify_function_all(f) {
+        fatal |= is_fatal(e.kind);
+        let rule = match e.kind {
+            VerifyErrorKind::NoBlocks => Rule::NoBlocks,
+            VerifyErrorKind::DanglingTarget => Rule::DanglingTarget,
+            VerifyErrorKind::UnallocatedRegister => Rule::UnallocatedRegister,
+            VerifyErrorKind::TypeMismatch => Rule::TypeMismatch,
+            VerifyErrorKind::PhiNotPrefix => Rule::PhiNotPrefix,
+            VerifyErrorKind::PhiNonPredecessor => Rule::PhiNonPredecessor,
+            VerifyErrorKind::BranchCondNotInt => Rule::BranchCondNotInt,
+            VerifyErrorKind::ReturnMismatch => Rule::ReturnMismatch,
+        };
+        let loc = if e.kind == VerifyErrorKind::NoBlocks {
+            Location::function(&e.function)
+        } else {
+            Location::block(&e.function, e.block)
+        };
+        out.push(rule, loc, e.message);
+    }
+    fatal
+}

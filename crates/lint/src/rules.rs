@@ -1,0 +1,205 @@
+//! The rule registry: every lint rule, its stable code, and its invariant.
+//!
+//! Codes are stable across releases and grouped by family:
+//!
+//! * `L00x` — structural IR invariants (the collect-all form of
+//!   `epre_ir::verify_function_all`),
+//! * `L01x` — SSA invariants (`epre_ssa::verify_ssa_all`, only checked when
+//!   the function carries φ-nodes),
+//! * `L02x` — data-flow invariants on non-SSA ILOC,
+//! * `L03x` — CFG hygiene and dead-code findings,
+//! * `L04x` — optimization-quality audits.
+
+use crate::diag::Severity;
+
+/// Every rule the lint engine can fire, with stable metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `L001`: a function must contain at least one basic block.
+    NoBlocks,
+    /// `L002`: every terminator and φ-input block id names an existing
+    /// block.
+    DanglingTarget,
+    /// `L003`: every register named anywhere was allocated in the
+    /// function's register type table.
+    UnallocatedRegister,
+    /// `L004`: operand and result types agree with each instruction's
+    /// declared type.
+    TypeMismatch,
+    /// `L005`: φ-nodes appear only as a prefix of their block.
+    PhiNotPrefix,
+    /// `L006`: every φ-input block is an actual CFG predecessor.
+    PhiNonPredecessor,
+    /// `L007`: a `cbr` condition register has `Int` type.
+    BranchCondNotInt,
+    /// `L008`: a `ret` agrees with the function signature.
+    ReturnMismatch,
+    /// `L010`: in SSA form, every register has exactly one definition.
+    SsaDoubleDef,
+    /// `L011`: in SSA form, every use names a defined register.
+    SsaUndefinedUse,
+    /// `L012`: in SSA form, every use is dominated by its definition.
+    SsaUseNotDominated,
+    /// `L020`: on non-SSA ILOC, a definition of every used register
+    /// reaches the use along **every** path from the entry
+    /// (must-defined reaching-definitions analysis).
+    UseBeforeDef,
+    /// `L030`: every block is reachable from the entry.
+    UnreachableBlock,
+    /// `L031`: no CFG edge is critical (multi-successor source into
+    /// multi-predecessor target); PRE can only place computations on such
+    /// an edge after splitting it.
+    CriticalEdge,
+    /// `L032`: the result of a side-effect-free instruction is used
+    /// somewhere (otherwise the computation is dead and DCE missed it).
+    DeadPureValue,
+    /// `L040`: no expression recomputes a value that global value
+    /// numbering proves available along every path to it — a fully
+    /// redundant computation the optimizer left behind.
+    RedundantExpr,
+}
+
+impl Rule {
+    /// All rules, in code order — the registry the engine and the CLI
+    /// `rules` listing iterate over.
+    pub const ALL: [Rule; 16] = [
+        Rule::NoBlocks,
+        Rule::DanglingTarget,
+        Rule::UnallocatedRegister,
+        Rule::TypeMismatch,
+        Rule::PhiNotPrefix,
+        Rule::PhiNonPredecessor,
+        Rule::BranchCondNotInt,
+        Rule::ReturnMismatch,
+        Rule::SsaDoubleDef,
+        Rule::SsaUndefinedUse,
+        Rule::SsaUseNotDominated,
+        Rule::UseBeforeDef,
+        Rule::UnreachableBlock,
+        Rule::CriticalEdge,
+        Rule::DeadPureValue,
+        Rule::RedundantExpr,
+    ];
+
+    /// The stable short code, e.g. `"L020"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::NoBlocks => "L001",
+            Rule::DanglingTarget => "L002",
+            Rule::UnallocatedRegister => "L003",
+            Rule::TypeMismatch => "L004",
+            Rule::PhiNotPrefix => "L005",
+            Rule::PhiNonPredecessor => "L006",
+            Rule::BranchCondNotInt => "L007",
+            Rule::ReturnMismatch => "L008",
+            Rule::SsaDoubleDef => "L010",
+            Rule::SsaUndefinedUse => "L011",
+            Rule::SsaUseNotDominated => "L012",
+            Rule::UseBeforeDef => "L020",
+            Rule::UnreachableBlock => "L030",
+            Rule::CriticalEdge => "L031",
+            Rule::DeadPureValue => "L032",
+            Rule::RedundantExpr => "L040",
+        }
+    }
+
+    /// The stable kebab-case name, e.g. `"use-before-def"`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::NoBlocks => "no-blocks",
+            Rule::DanglingTarget => "dangling-branch-target",
+            Rule::UnallocatedRegister => "unallocated-register",
+            Rule::TypeMismatch => "type-mismatch",
+            Rule::PhiNotPrefix => "phi-not-prefix",
+            Rule::PhiNonPredecessor => "phi-non-predecessor",
+            Rule::BranchCondNotInt => "branch-condition-not-int",
+            Rule::ReturnMismatch => "return-mismatch",
+            Rule::SsaDoubleDef => "ssa-double-def",
+            Rule::SsaUndefinedUse => "ssa-undefined-use",
+            Rule::SsaUseNotDominated => "ssa-use-not-dominated",
+            Rule::UseBeforeDef => "use-before-def",
+            Rule::UnreachableBlock => "unreachable-block",
+            Rule::CriticalEdge => "unsplit-critical-edge",
+            Rule::DeadPureValue => "dead-pure-value",
+            Rule::RedundantExpr => "redundant-expression",
+        }
+    }
+
+    /// The severity findings of this rule carry.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::NoBlocks
+            | Rule::DanglingTarget
+            | Rule::UnallocatedRegister
+            | Rule::TypeMismatch
+            | Rule::PhiNotPrefix
+            | Rule::PhiNonPredecessor
+            | Rule::BranchCondNotInt
+            | Rule::ReturnMismatch
+            | Rule::SsaDoubleDef
+            | Rule::SsaUndefinedUse
+            | Rule::SsaUseNotDominated
+            | Rule::UseBeforeDef => Severity::Error,
+            Rule::UnreachableBlock | Rule::RedundantExpr => Severity::Warning,
+            Rule::CriticalEdge | Rule::DeadPureValue => Severity::Info,
+        }
+    }
+
+    /// One-sentence statement of the invariant the rule enforces (used by
+    /// the CLI rule listing and the docs).
+    pub fn invariant(self) -> &'static str {
+        match self {
+            Rule::NoBlocks => "a function contains at least one basic block",
+            Rule::DanglingTarget => {
+                "every terminator target and φ-input block names an existing block"
+            }
+            Rule::UnallocatedRegister => {
+                "every register named anywhere is allocated in the register type table"
+            }
+            Rule::TypeMismatch => {
+                "operand and result types agree with each instruction's declared type"
+            }
+            Rule::PhiNotPrefix => "φ-nodes appear only as a prefix of their block",
+            Rule::PhiNonPredecessor => "every φ-input block is a CFG predecessor",
+            Rule::BranchCondNotInt => "a cbr condition register has Int type",
+            Rule::ReturnMismatch => {
+                "a ret agrees with the function signature (type; no value from a subroutine)"
+            }
+            Rule::SsaDoubleDef => "in SSA form, every register has exactly one definition",
+            Rule::SsaUndefinedUse => "in SSA form, every use names a defined register",
+            Rule::SsaUseNotDominated => "in SSA form, every use is dominated by its definition",
+            Rule::UseBeforeDef => {
+                "a definition of every used register reaches the use on every path from the entry"
+            }
+            Rule::UnreachableBlock => "every block is reachable from the entry",
+            Rule::CriticalEdge => "no CFG edge is critical (PRE insertions would need a split)",
+            Rule::DeadPureValue => "the result of every side-effect-free instruction is used",
+            Rule::RedundantExpr => {
+                "no expression recomputes a value available (by GVN congruence) on every path"
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        let codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), Rule::ALL.len(), "duplicate rule code");
+        assert_eq!(codes, sorted, "registry not in code order");
+    }
+
+    #[test]
+    fn slugs_are_unique() {
+        let mut slugs: Vec<&str> = Rule::ALL.iter().map(|r| r.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), Rule::ALL.len(), "duplicate rule slug");
+    }
+}

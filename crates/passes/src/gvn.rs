@@ -36,6 +36,20 @@ pub fn run(f: &mut Function) {
     destroy_ssa(f);
 }
 
+/// Congruence class of every register of `f` (indexed by register
+/// number), as computed by AWZ optimistic partition refinement — the
+/// analysis half of [`run`], without the renaming.
+///
+/// `f` must be in SSA form: the partition keys each register by its
+/// unique definition, so a register defined twice would silently keep
+/// only its last definition's key. Registers with no definition map to
+/// singleton classes. Two registers share a class number exactly when
+/// GVN can prove they always hold the same value; this is the raw
+/// material for value-based redundancy audits (see `epre-lint`).
+pub fn value_classes(f: &Function) -> Vec<u32> {
+    congruence_classes(f)
+}
+
 /// Initial partition key.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 enum InitKey {

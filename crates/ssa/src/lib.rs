@@ -54,4 +54,4 @@ pub mod verify;
 
 pub use construct::{build_ssa, SsaOptions};
 pub use destruct::destroy_ssa;
-pub use verify::{verify_ssa, SsaError};
+pub use verify::{verify_ssa, verify_ssa_all, SsaError, SsaErrorKind};

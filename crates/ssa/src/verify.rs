@@ -1,4 +1,8 @@
 //! SSA verification: single assignment and dominance of uses.
+//!
+//! [`verify_ssa_all`] accumulates **every** violation (the lint engine's
+//! preferred form); [`verify_ssa`] keeps the historical fail-fast `Result`
+//! contract by returning the first accumulated error.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -6,11 +10,29 @@ use std::fmt;
 use epre_cfg::{Cfg, Dominators};
 use epre_ir::{BlockId, Function, Inst, Reg};
 
+/// Classification of an SSA invariant violation, so downstream tooling
+/// (the lint engine) can map each error onto a stable rule code without
+/// parsing the message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SsaErrorKind {
+    /// A register (or parameter) has more than one definition.
+    MultipleDefinition,
+    /// A use names a register with no reachable definition.
+    UndefinedUse,
+    /// A use is not dominated by its definition (for φ inputs: the
+    /// definition does not reach the end of the named predecessor).
+    UseNotDominated,
+}
+
 /// An SSA invariant violation found by [`verify_ssa`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SsaError {
     /// Function name.
     pub function: String,
+    /// Block where the violation was found (`None` for parameter errors).
+    pub block: Option<BlockId>,
+    /// Which invariant was broken.
+    pub kind: SsaErrorKind,
     /// Human-readable description.
     pub message: String,
 }
@@ -33,17 +55,48 @@ impl std::error::Error for SsaError {}
 /// Unreachable blocks are ignored (passes drop them independently).
 ///
 /// # Errors
-/// Returns the first violation found.
+/// Returns the first violation found ([`verify_ssa_all`] collects all of
+/// them).
 pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
-    let fail = |message: String| Err(SsaError { function: f.name.clone(), message });
+    match verify_ssa_all(f).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Check the SSA invariants of `f`, accumulating **every** violation
+/// instead of stopping at the first. An empty vector means the function is
+/// a well-formed SSA program.
+///
+/// On a multiple-definition violation the **first** definition stays in
+/// force for the subsequent dominance checks, so one double definition
+/// does not cascade into spurious dominance errors for every use of the
+/// register.
+pub fn verify_ssa_all(f: &Function) -> Vec<SsaError> {
+    let mut errs: Vec<SsaError> = Vec::new();
+    let fail = |errs: &mut Vec<SsaError>,
+                    block: Option<BlockId>,
+                    kind: SsaErrorKind,
+                    message: String| {
+        errs.push(SsaError { function: f.name.clone(), block, kind, message });
+    };
     let cfg = Cfg::new(f);
     let dom = Dominators::new(f, &cfg);
 
     // Definition points: block + instruction index (params: entry, -1).
+    // The first definition wins; later ones are reported, not recorded.
     let mut defs: HashMap<Reg, (BlockId, isize)> = HashMap::new();
     for &p in &f.params {
-        if defs.insert(p, (BlockId::ENTRY, -1)).is_some() {
-            return fail(format!("parameter {p} defined twice"));
+        match defs.entry(p) {
+            std::collections::hash_map::Entry::Occupied(_) => fail(
+                &mut errs,
+                Some(BlockId::ENTRY),
+                SsaErrorKind::MultipleDefinition,
+                format!("parameter {p} defined twice"),
+            ),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((BlockId::ENTRY, -1));
+            }
         }
     }
     for (bid, block) in f.iter_blocks() {
@@ -52,8 +105,16 @@ pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
         }
         for (i, inst) in block.insts.iter().enumerate() {
             if let Some(d) = inst.dst() {
-                if defs.insert(d, (bid, i as isize)).is_some() {
-                    return fail(format!("register {d} defined more than once"));
+                match defs.entry(d) {
+                    std::collections::hash_map::Entry::Occupied(_) => fail(
+                        &mut errs,
+                        Some(bid),
+                        SsaErrorKind::MultipleDefinition,
+                        format!("register {d} defined more than once"),
+                    ),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert((bid, i as isize));
+                    }
                 }
             }
         }
@@ -78,18 +139,24 @@ pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
                 Inst::Phi { args, dst } => {
                     for &(pb, r) in args {
                         match defs.get(&r) {
-                            None => {
-                                return fail(format!(
-                                    "φ {dst} uses undefined register {r}"
-                                ))
-                            }
+                            None => fail(
+                                &mut errs,
+                                Some(bid),
+                                SsaErrorKind::UndefinedUse,
+                                format!("φ {dst} uses undefined register {r}"),
+                            ),
                             Some(&d) => {
                                 // Must reach the end of pred block pb.
                                 let end = (pb, isize::MAX);
                                 if !(d.0 == pb || dominates_use(d, end)) {
-                                    return fail(format!(
-                                        "φ {dst} input {r} from {pb} not dominated by its definition"
-                                    ));
+                                    fail(
+                                        &mut errs,
+                                        Some(bid),
+                                        SsaErrorKind::UseNotDominated,
+                                        format!(
+                                            "φ {dst} input {r} from {pb} not dominated by its definition"
+                                        ),
+                                    );
                                 }
                             }
                         }
@@ -98,14 +165,22 @@ pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
                 _ => {
                     for r in inst.uses() {
                         match defs.get(&r) {
-                            None => {
-                                return fail(format!("`{inst}` uses undefined register {r}"))
-                            }
+                            None => fail(
+                                &mut errs,
+                                Some(bid),
+                                SsaErrorKind::UndefinedUse,
+                                format!("`{inst}` uses undefined register {r}"),
+                            ),
                             Some(&d) => {
                                 if !dominates_use(d, (bid, i as isize)) {
-                                    return fail(format!(
-                                        "use of {r} in `{inst}` not dominated by its definition"
-                                    ));
+                                    fail(
+                                        &mut errs,
+                                        Some(bid),
+                                        SsaErrorKind::UseNotDominated,
+                                        format!(
+                                            "use of {r} in `{inst}` not dominated by its definition"
+                                        ),
+                                    );
                                 }
                             }
                         }
@@ -115,18 +190,26 @@ pub fn verify_ssa(f: &Function) -> Result<(), SsaError> {
         }
         for r in block.term.uses() {
             match defs.get(&r) {
-                None => return fail(format!("terminator uses undefined register {r}")),
+                None => fail(
+                    &mut errs,
+                    Some(bid),
+                    SsaErrorKind::UndefinedUse,
+                    format!("terminator uses undefined register {r}"),
+                ),
                 Some(&d) => {
                     if !dominates_use(d, (bid, isize::MAX - 1)) {
-                        return fail(format!(
-                            "terminator use of {r} not dominated by its definition"
-                        ));
+                        fail(
+                            &mut errs,
+                            Some(bid),
+                            SsaErrorKind::UseNotDominated,
+                            format!("terminator use of {r} not dominated by its definition"),
+                        );
                     }
                 }
             }
         }
     }
-    Ok(())
+    errs
 }
 
 #[cfg(test)]
@@ -154,6 +237,7 @@ mod tests {
         let f = b.finish();
         let e = verify_ssa(&f).unwrap_err();
         assert!(e.message.contains("defined"));
+        assert_eq!(e.kind, SsaErrorKind::MultipleDefinition);
     }
 
     #[test]
@@ -187,6 +271,7 @@ mod tests {
         f.add_block(Block::new(Terminator::Return { value: Some(ghost) }));
         let e = verify_ssa(&f).unwrap_err();
         assert!(e.message.contains("undefined"));
+        assert_eq!(e.kind, SsaErrorKind::UndefinedUse);
     }
 
     #[test]
@@ -217,5 +302,21 @@ mod tests {
         f.add_block(Block::new(Terminator::Return { value: None }));
         assert!(f.verify().is_ok());
         assert!(verify_ssa(&f).is_ok());
+    }
+
+    #[test]
+    fn double_definition_does_not_cascade() {
+        // The first definition stays in force, so the later (otherwise
+        // well-placed) uses report nothing beyond the double definition.
+        let mut b = FunctionBuilder::new("dd2", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let one = b.loadi(Const::Int(1));
+        b.push(Inst::Bin { op: epre_ir::BinOp::Add, ty: Ty::Int, dst: one, lhs: x, rhs: x });
+        b.ret(Some(one));
+        let f = b.finish();
+        let all = verify_ssa_all(&f);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].kind, SsaErrorKind::MultipleDefinition);
+        assert_eq!(all[0].block, Some(BlockId::ENTRY));
     }
 }

@@ -1,0 +1,175 @@
+//! `epre` — the workspace's command-line driver.
+//!
+//! ```text
+//! epre lint <file.iloc|-> [--json] [--no-audit]   lint ILOC, print diagnostics
+//! epre rules                                      list the lint rule registry
+//! epre opt <file.iloc|-> [--level L] [--verify-each]
+//!                                                 optimize ILOC, print result
+//! ```
+//!
+//! `lint` exits 0 when no error-severity diagnostics were found, 1 when
+//! there were errors, 2 on usage or parse problems. `opt --verify-each`
+//! re-lints after every pass and aborts (exit 1) naming the pass that
+//! introduced an invariant violation.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use epre::{OptLevel, Optimizer};
+use epre_ir::parse_module;
+use epre_lint::{lint_module, LintOptions, Rule};
+
+const USAGE: &str = "usage:\n  \
+    epre lint <file.iloc|-> [--json] [--no-audit]\n  \
+    epre rules\n  \
+    epre opt <file.iloc|-> [--level baseline|partial|reassociation|distribution|distribution+lvn] [--verify-each]";
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))
+    }
+}
+
+fn parse_input(path: &str) -> Result<epre_ir::Module, String> {
+    let text = read_input(path)?;
+    parse_module(&text).map_err(|e| format!("parse error in `{path}`: {e}"))
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut json = false;
+    let mut opts = LintOptions::default();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--no-audit" => opts.audit_redundancy = false,
+            other if path.is_none() && (!other.starts_with('-') || other == "-") => {
+                path = Some(other);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let module = match parse_input(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = lint_module(&module, &opts);
+    if json {
+        println!("{}", report.to_json());
+    } else if report.diagnostics.is_empty() {
+        println!("clean: no diagnostics");
+    } else {
+        println!("{report}");
+    }
+    if report.has_errors() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_rules() -> ExitCode {
+    println!("{:<6} {:<26} {:<8} invariant", "code", "rule", "severity");
+    for rule in Rule::ALL {
+        println!(
+            "{:<6} {:<26} {:<8} {}",
+            rule.code(),
+            rule.slug(),
+            rule.severity().label(),
+            rule.invariant()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn level_by_label(label: &str) -> Option<OptLevel> {
+    [
+        OptLevel::Baseline,
+        OptLevel::Partial,
+        OptLevel::Reassociation,
+        OptLevel::Distribution,
+        OptLevel::DistributionLvn,
+    ]
+    .into_iter()
+    .find(|l| l.label() == label)
+}
+
+fn cmd_opt(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut level = OptLevel::Distribution;
+    let mut verify_each = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--verify-each" => verify_each = true,
+            "--level" => {
+                let Some(l) = it.next().and_then(|s| level_by_label(s)) else {
+                    eprintln!("--level needs one of: baseline partial reassociation distribution distribution+lvn");
+                    return ExitCode::from(2);
+                };
+                level = l;
+            }
+            other if path.is_none() && (!other.starts_with('-') || other == "-") => {
+                path = Some(other);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let module = match parse_input(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let opt = Optimizer::new(level);
+    let out = if verify_each {
+        match opt.optimize_verified(&module) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("verify-each: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        opt.optimize(&module)
+    };
+    print!("{out}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("rules") => cmd_rules(),
+        Some("opt") => cmd_opt(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
