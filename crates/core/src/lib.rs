@@ -40,12 +40,14 @@
 //! assert!(ip.counts().total < ib.counts().total);
 //! ```
 
+pub mod fault;
 pub mod pipeline;
 pub mod stages;
 pub mod stats;
 pub mod verify_each;
 
-pub use pipeline::{OptLevel, Optimizer};
-pub use stages::{run_staged, Stage, StagedOutput};
+pub use fault::{FaultKind, PassFault};
+pub use pipeline::{run_pass_checked, OptLevel, Optimizer};
+pub use stages::{run_staged, try_run_staged, Stage, StagedOutput};
 pub use stats::{measure, measure_module, Measurement};
 pub use verify_each::{run_passes_verified, PassBlame, PipelineViolation};

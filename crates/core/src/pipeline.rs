@@ -4,6 +4,8 @@ use epre_ir::{Function, Module};
 use epre_passes::passes::{Clean, Coalesce, ConstProp, Dce, Gvn, Lvn, Peephole, Pre, Reassociate};
 use epre_passes::Pass;
 
+use crate::fault::PassFault;
+
 /// The paper's four measured optimization levels, plus extension levels
 /// used by the ablation benchmarks.
 ///
@@ -98,21 +100,50 @@ impl Optimizer {
         seq
     }
 
+    /// Optimize one function in place, reporting a typed fault instead of
+    /// panicking.
+    ///
+    /// Debug builds verify the IR after every pass; a violation stops the
+    /// pipeline and returns a [`PassFault`] naming the pass, the function,
+    /// and the exact verifier error (release builds skip the verification,
+    /// as before, but share the same error route). `f` is left in the
+    /// faulting pass's broken state for inspection; the sandbox in
+    /// `epre-harness` builds rollback on top of this.
+    ///
+    /// # Errors
+    /// The first [`PassFault`] encountered, if any.
+    pub fn try_optimize_function(&self, f: &mut Function) -> Result<(), PassFault> {
+        for pass in self.passes() {
+            run_pass_checked(pass.as_ref(), f)?;
+        }
+        Ok(())
+    }
+
     /// Optimize one function in place.
     ///
     /// Debug builds verify the IR after every pass; a violation panics
-    /// naming the pass, the function, and the exact verifier error. For a
-    /// non-panicking variant with per-pass blame see
-    /// [`Optimizer::optimize_function_verified`].
+    /// with the [`PassFault`] naming the pass, the function, and the exact
+    /// verifier error. For non-panicking variants see
+    /// [`Optimizer::try_optimize_function`] (verifier route) and
+    /// [`Optimizer::optimize_function_verified`] (lint route with per-pass
+    /// blame).
     pub fn optimize_function(&self, f: &mut Function) {
-        for pass in self.passes() {
-            pass.run(f);
-            if cfg!(debug_assertions) {
-                if let Err(e) = f.verify() {
-                    panic!("pass `{}` broke function `{}`: {e}\n{f}", pass.name(), f.name);
-                }
-            }
+        if let Err(fault) = self.try_optimize_function(f) {
+            panic!("{fault}\n{f}");
         }
+    }
+
+    /// Optimize a copy of the module, reporting a typed fault instead of
+    /// panicking.
+    ///
+    /// # Errors
+    /// The first [`PassFault`] found in any function.
+    pub fn try_optimize(&self, module: &Module) -> Result<Module, PassFault> {
+        let mut out = module.clone();
+        for f in &mut out.functions {
+            self.try_optimize_function(f)?;
+        }
+        Ok(out)
     }
 
     /// Optimize a copy of the module.
@@ -123,6 +154,26 @@ impl Optimizer {
         }
         out
     }
+}
+
+/// Run one pass over `f`, verifying the result in debug builds.
+///
+/// This is the shared primitive under every pipeline mode: the plain
+/// pipeline panics on the returned fault, `verify_each` substitutes the
+/// lint suite, and the `epre-harness` sandbox adds `catch_unwind` and
+/// rollback around it.
+///
+/// # Errors
+/// A [`PassFault`] with [`FaultKind::Verify`](crate::fault::FaultKind) when
+/// the debug-build verifier rejects the pass's output.
+pub fn run_pass_checked(pass: &dyn Pass, f: &mut Function) -> Result<(), PassFault> {
+    pass.run(f);
+    if cfg!(debug_assertions) {
+        if let Err(e) = f.verify() {
+            return Err(PassFault::verify(pass.name(), &f.name, e.to_string()));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@ use epre_passes::passes::{Clean, Coalesce, ConstProp, Dce, Gvn, Peephole, Pre, R
 use epre_passes::Pass;
 use epre_ssa::{build_ssa, SsaOptions};
 
+use crate::fault::PassFault;
+
 /// A stage of the paper's walkthrough, matching its figure numbers.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Stage {
@@ -51,18 +53,25 @@ impl StagedOutput {
 }
 
 /// Debug-build verification between stages, naming the stage and the
-/// function so a broken snapshot is attributable at a glance.
-fn debug_verify_stage(f: &Function, stage: Stage) {
+/// function through the typed [`PassFault`] route so a broken snapshot is
+/// attributable at a glance.
+fn debug_verify_stage(f: &Function, stage: Stage) -> Result<(), PassFault> {
     if cfg!(debug_assertions) {
         if let Err(e) = f.verify() {
-            panic!("stage {stage:?} broke function `{}`: {e}\n{f}", f.name);
+            return Err(PassFault::verify(format!("stage {stage:?}"), &f.name, e.to_string()));
         }
     }
+    Ok(())
 }
 
 /// Run the `distribution`-level pipeline over `f`, capturing the IR after
-/// each of the paper's walkthrough stages.
-pub fn run_staged(f: &Function, distribute: bool) -> StagedOutput {
+/// each of the paper's walkthrough stages and reporting a typed fault
+/// instead of panicking.
+///
+/// # Errors
+/// The [`PassFault`] of the first stage whose snapshot fails debug-build
+/// verification.
+pub fn try_run_staged(f: &Function, distribute: bool) -> Result<StagedOutput, PassFault> {
     let mut snapshots = Vec::new();
     let mut cur = f.clone();
     snapshots.push((Stage::Intermediate, Stage::ALL[0].1, cur.clone()));
@@ -71,19 +80,19 @@ pub fn run_staged(f: &Function, distribute: bool) -> StagedOutput {
     // internally, so reproduce the snapshot on a scratch copy.
     let mut ssa_view = cur.clone();
     build_ssa(&mut ssa_view, SsaOptions { fold_copies: true });
-    debug_verify_stage(&ssa_view, Stage::PrunedSsa);
+    debug_verify_stage(&ssa_view, Stage::PrunedSsa)?;
     snapshots.push((Stage::PrunedSsa, Stage::ALL[1].1, ssa_view));
 
     Reassociate { distribute }.run(&mut cur);
-    debug_verify_stage(&cur, Stage::Reassociated);
+    debug_verify_stage(&cur, Stage::Reassociated)?;
     snapshots.push((Stage::Reassociated, Stage::ALL[2].1, cur.clone()));
 
     Gvn.run(&mut cur);
-    debug_verify_stage(&cur, Stage::ValueNumbered);
+    debug_verify_stage(&cur, Stage::ValueNumbered)?;
     snapshots.push((Stage::ValueNumbered, Stage::ALL[3].1, cur.clone()));
 
     Pre.run(&mut cur);
-    debug_verify_stage(&cur, Stage::AfterPre);
+    debug_verify_stage(&cur, Stage::AfterPre)?;
     snapshots.push((Stage::AfterPre, Stage::ALL[4].1, cur.clone()));
 
     ConstProp.run(&mut cur);
@@ -91,10 +100,24 @@ pub fn run_staged(f: &Function, distribute: bool) -> StagedOutput {
     Dce.run(&mut cur);
     Coalesce.run(&mut cur);
     Clean.run(&mut cur);
-    debug_verify_stage(&cur, Stage::Final);
+    debug_verify_stage(&cur, Stage::Final)?;
     snapshots.push((Stage::Final, Stage::ALL[5].1, cur));
 
-    StagedOutput { snapshots }
+    Ok(StagedOutput { snapshots })
+}
+
+/// Run the `distribution`-level pipeline over `f`, capturing the IR after
+/// each of the paper's walkthrough stages.
+///
+/// # Panics
+/// Panics with the [`PassFault`] rendering when a stage snapshot fails
+/// debug-build verification; see [`try_run_staged`] for the non-panicking
+/// route.
+pub fn run_staged(f: &Function, distribute: bool) -> StagedOutput {
+    match try_run_staged(f, distribute) {
+        Ok(out) => out,
+        Err(fault) => panic!("{fault}"),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,294 @@
+//! The fuzz campaign: seeded fault injection driving the full containment
+//! stack, with a machine-checkable "zero uncontained faults" verdict.
+//!
+//! Every iteration mutates a base module ([`crate::inject`]), then runs
+//! the hardened pipeline ([`crate::harden`]) over the mutant at every
+//! configured [`OptLevel`]. A run is *contained* when the emitted module
+//! is still runnable and still agrees with the mutant (the harness's
+//! reference) on the oracle's test vectors — i.e. whatever the injected
+//! fault provoked, the stack either rolled it back, caught it, or proved
+//! it harmless. Anything else is recorded as uncontained and fails the
+//! campaign.
+
+use epre::OptLevel;
+use epre_ir::Module;
+use epre_lint::{lint_function, LintOptions};
+
+use crate::harden::Harness;
+use crate::inject::mutate_module;
+use crate::oracle::{compare_modules, OracleConfig};
+use crate::rng::SplitMix64;
+use crate::sandbox::{catch_quiet, FaultPolicy};
+
+/// Every optimization level, the paper's four plus the LVN extension.
+pub const ALL_LEVELS: [OptLevel; 5] = [
+    OptLevel::Baseline,
+    OptLevel::Partial,
+    OptLevel::Reassociation,
+    OptLevel::Distribution,
+    OptLevel::DistributionLvn,
+];
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; fixes the entire campaign.
+    pub seed: u64,
+    /// Number of mutants generated.
+    pub iters: usize,
+    /// Fuel per oracle execution.
+    pub fuel: u64,
+    /// Levels each mutant is optimized at.
+    pub levels: Vec<OptLevel>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0xF00D,
+            iters: 200,
+            fuel: 200_000,
+            levels: ALL_LEVELS.to_vec(),
+        }
+    }
+}
+
+/// How one (mutant, level) run was handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Containment {
+    /// A pass faulted (panic or new lint error) and was rolled back by
+    /// the sandbox.
+    RolledBack,
+    /// The oracle saw divergence and the function was rolled back to the
+    /// mutant's version.
+    OracleCaught,
+    /// The mutant arrived with lint errors: the damage was visible to the
+    /// ingress lint before any pass ran.
+    IngressLint,
+    /// The mutation changed nothing observable; the pipeline ran clean.
+    Benign,
+}
+
+impl Containment {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Containment::RolledBack => "rolled-back",
+            Containment::OracleCaught => "oracle-caught",
+            Containment::IngressLint => "ingress-lint",
+            Containment::Benign => "benign",
+        }
+    }
+}
+
+/// The campaign's tally.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Mutants generated.
+    pub mutants: usize,
+    /// (mutant, level) runs performed.
+    pub runs: usize,
+    /// Runs where a pass fault was contained by sandbox rollback.
+    pub rolled_back: usize,
+    /// Runs where the oracle caught divergence and rolled the function back.
+    pub oracle_caught: usize,
+    /// Runs where the mutant was already lint-broken on arrival (and the
+    /// pipeline still emitted a runnable module).
+    pub ingress_lint: usize,
+    /// Runs where the mutation was harmless.
+    pub benign: usize,
+    /// Descriptions of uncontained faults. Must be empty for the campaign
+    /// to pass.
+    pub uncontained: Vec<String>,
+}
+
+impl CampaignReport {
+    /// Did the containment stack hold everywhere?
+    pub fn is_contained(&self) -> bool {
+        self.uncontained.is_empty()
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "fuzz campaign: {} mutants, {} runs", self.mutants, self.runs)?;
+        writeln!(f, "  rolled back (sandbox):   {}", self.rolled_back)?;
+        writeln!(f, "  oracle caught:           {}", self.oracle_caught)?;
+        writeln!(f, "  ingress lint:            {}", self.ingress_lint)?;
+        writeln!(f, "  benign:                  {}", self.benign)?;
+        if self.uncontained.is_empty() {
+            write!(f, "  uncontained:             0 — containment held")
+        } else {
+            writeln!(f, "  UNCONTAINED:             {}", self.uncontained.len())?;
+            for u in &self.uncontained {
+                writeln!(f, "    {u}")?;
+            }
+            write!(f, "containment FAILED")
+        }
+    }
+}
+
+/// Does any function of `m` carry error-severity invariant violations?
+fn has_lint_errors(m: &Module) -> bool {
+    let opts = LintOptions::invariants_only();
+    m.functions.iter().any(|f| lint_function(f, &opts).has_errors())
+}
+
+/// Run the campaign over `bases` under `cfg`.
+///
+/// Deterministic: equal `(bases, cfg)` produce equal reports. The
+/// hardened pipeline runs under [`FaultPolicy::BestEffort`] — the policy
+/// whose containment the campaign is designed to prove.
+pub fn run_campaign(bases: &[Module], cfg: &CampaignConfig) -> CampaignReport {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut report = CampaignReport::default();
+    if bases.is_empty() {
+        return report;
+    }
+    let oracle = OracleConfig { fuel: cfg.fuel, seed: cfg.seed, ..OracleConfig::default() };
+    for _ in 0..cfg.iters {
+        let base = &bases[rng.below(bases.len())];
+        let Some((mutant, mutation)) = mutate_module(base, &mut rng) else {
+            continue;
+        };
+        report.mutants += 1;
+        let ingress_broken = has_lint_errors(&mutant);
+        for &level in &cfg.levels {
+            report.runs += 1;
+            let harness =
+                Harness::new(level, FaultPolicy::BestEffort).with_oracle(oracle);
+            // The whole hardened run is itself guarded: a panic escaping
+            // the harness would be the worst possible containment failure.
+            let outcome = catch_quiet(|| harness.optimize(&mutant));
+            let out = match outcome {
+                Err(panic_msg) => {
+                    report.uncontained.push(format!(
+                        "[{}] {}: panic escaped the harness: {panic_msg}",
+                        level.label(),
+                        mutation
+                    ));
+                    continue;
+                }
+                // BestEffort never returns Err.
+                Ok(Err(fault)) => {
+                    report.uncontained.push(format!(
+                        "[{}] {}: unexpected fail-fast fault: {fault}",
+                        level.label(),
+                        mutation
+                    ));
+                    continue;
+                }
+                Ok(Ok(out)) => out,
+            };
+            // Containment proof, part 1: the emitted module must still
+            // agree with the mutant — the harness's reference — on the
+            // oracle's vectors (rollback restored anything that diverged).
+            let residual =
+                catch_quiet(|| compare_modules(&mutant, &out.module, &oracle));
+            match residual {
+                Err(panic_msg) => {
+                    report.uncontained.push(format!(
+                        "[{}] {}: interpreter panicked on emitted module: {panic_msg}",
+                        level.label(),
+                        mutation
+                    ));
+                    continue;
+                }
+                Ok(divs) if !divs.is_empty() => {
+                    report.uncontained.push(format!(
+                        "[{}] {}: emitted module still diverges: {}",
+                        level.label(),
+                        mutation,
+                        divs[0]
+                    ));
+                    continue;
+                }
+                Ok(_) => {}
+            }
+            // Containment proof, part 2: the emitted module must lint no
+            // worse than the mutant itself.
+            if !ingress_broken && has_lint_errors(&out.module) {
+                report.uncontained.push(format!(
+                    "[{}] {}: pipeline introduced lint errors into a clean mutant",
+                    level.label(),
+                    mutation
+                ));
+                continue;
+            }
+            // Classify the contained run.
+            let class = if !out.faults.is_empty() {
+                Containment::RolledBack
+            } else if !out.divergences.is_empty() {
+                Containment::OracleCaught
+            } else if ingress_broken {
+                Containment::IngressLint
+            } else {
+                Containment::Benign
+            };
+            match class {
+                Containment::RolledBack => report.rolled_back += 1,
+                Containment::OracleCaught => report.oracle_caught += 1,
+                Containment::IngressLint => report.ingress_lint += 1,
+                Containment::Benign => report.benign += 1,
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre_frontend::{compile, NamingMode};
+
+    fn bases() -> Vec<Module> {
+        let srcs = [
+            "function foo(y, z)\n\
+             integer y, z, s, i\n\
+             begin\n\
+             s = 0\n\
+             do i = 1, 8\n\
+               s = s + y * z + i\n\
+             enddo\n\
+             return s\nend\n",
+            "function bar(a, b)\n\
+             real a, b, x\n\
+             begin\n\
+             if a < b then\n\
+               x = a * 2 + b\n\
+             else\n\
+               x = b * 2 + a\n\
+             endif\n\
+             return x\nend\n",
+        ];
+        srcs.iter().map(|s| compile(s, NamingMode::Disciplined).unwrap()).collect()
+    }
+
+    #[test]
+    fn small_campaign_is_contained_and_deterministic() {
+        let bases = bases();
+        let cfg = CampaignConfig { iters: 20, ..CampaignConfig::default() };
+        let r1 = run_campaign(&bases, &cfg);
+        assert!(r1.is_contained(), "{r1}");
+        assert_eq!(r1.mutants, 20);
+        assert_eq!(r1.runs, 20 * ALL_LEVELS.len());
+        let r2 = run_campaign(&bases, &cfg);
+        assert_eq!(r1.rolled_back, r2.rolled_back);
+        assert_eq!(r1.oracle_caught, r2.oracle_caught);
+        assert_eq!(r1.ingress_lint, r2.ingress_lint);
+        assert_eq!(r1.benign, r2.benign);
+    }
+
+    #[test]
+    fn campaign_actually_exercises_the_stack() {
+        let bases = bases();
+        let cfg = CampaignConfig { iters: 40, ..CampaignConfig::default() };
+        let r = run_campaign(&bases, &cfg);
+        assert!(r.is_contained(), "{r}");
+        // A campaign where nothing was ever caught isn't testing anything.
+        assert!(
+            r.ingress_lint + r.oracle_caught + r.rolled_back > 0,
+            "no fault was ever caught: {r}"
+        );
+    }
+}

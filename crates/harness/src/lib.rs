@@ -1,0 +1,57 @@
+//! # epre-harness — the fault-tolerant optimizer harness
+//!
+//! Everything the pipeline needs to *survive its own bugs*, layered on
+//! the typed [`PassFault`](epre::fault::PassFault) route of `epre` and
+//! the invariant rules of `epre-lint`:
+//!
+//! * [`sandbox`] — every pass runs on a clone under
+//!   `std::panic::catch_unwind` and is re-linted; on panic or new
+//!   invariant violation the function rolls back to its pre-pass state
+//!   and the pipeline continues, per a [`FaultPolicy`],
+//! * [`oracle`] — differential execution of unoptimized vs. optimized
+//!   modules on seeded inputs under bounded fuel, reporting value or
+//!   error-variant divergence as a miscompile,
+//! * [`harden`] — the combination: sandboxed passes plus oracle-driven
+//!   *semantic* rollback of any function whose optimized form diverges,
+//! * [`inject`] — a seeded, deterministic fault-injection mutator
+//!   modelling realistic optimizer bugs,
+//! * [`fuzz`] — the campaign that proves the containment stack holds:
+//!   every injected fault is caught, rolled back, or shown harmless,
+//! * [`reduce`] — a ddmin-style reducer that shrinks a failing module
+//!   (functions, then instructions, then blocks, then operands) while a
+//!   [`FailureSpec`] keeps holding.
+//!
+//! ```
+//! use epre::OptLevel;
+//! use epre_frontend::{compile, NamingMode};
+//! use epre_harness::{FaultPolicy, Harness};
+//!
+//! let src = "function foo(y, z)\n\
+//!            real y, z, x\n\
+//!            begin\n\
+//!            x = y + z\n\
+//!            return x * x\nend\n";
+//! let module = compile(src, NamingMode::Disciplined).unwrap();
+//! let harness = Harness::new(OptLevel::Distribution, FaultPolicy::BestEffort);
+//! let out = harness.optimize(&module).unwrap();
+//! assert!(out.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod fuzz;
+pub mod harden;
+pub mod inject;
+pub mod oracle;
+pub mod reduce;
+pub mod rng;
+pub mod sandbox;
+
+pub use fuzz::{run_campaign, CampaignConfig, CampaignReport, Containment, ALL_LEVELS};
+pub use harden::{HardenedOutput, Harness};
+pub use inject::{mutate_module, Mutation, MutationKind};
+pub use oracle::{compare_modules, Divergence, Observed, OracleConfig};
+pub use reduce::{reduce, FailureSpec, ReduceStats};
+pub use rng::SplitMix64;
+pub use sandbox::{catch_quiet, run_passes_sandboxed, FaultPolicy, SandboxReport, SandboxedOptimizer};

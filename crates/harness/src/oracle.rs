@@ -1,0 +1,273 @@
+//! Differential execution oracle: run the unoptimized and optimized
+//! modules on the same seeded inputs under bounded fuel and compare.
+//!
+//! The lint layer catches *structural* damage; the oracle catches
+//! *semantic* damage — a module that is perfectly well-formed ILOC but
+//! computes the wrong answer. Divergence in either the returned value or
+//! the error variant is reported as a [`Divergence`] (a miscompile from
+//! the harness's point of view). Fuel exhaustion on either side is
+//! deliberately inconclusive: optimized code retires fewer operations, so
+//! under a shared budget the two sides may exhaust at different points of
+//! the same (possibly infinite) computation.
+
+use epre_interp::{ExecError, Interpreter, Value};
+use epre_ir::{Module, Ty};
+
+use crate::rng::SplitMix64;
+
+/// Relative tolerance for float comparison. Reassociation and distribution
+/// legitimately reorder float arithmetic, so bit-equality is the wrong
+/// question; answers must agree to within rounding noise.
+pub const FLOAT_TOLERANCE: f64 = 1e-9;
+
+/// Configuration for a differential run.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Fuel budget per execution. Kept modest: the oracle's job is to
+    /// compare many runs cheaply, not to finish long-running programs.
+    pub fuel: u64,
+    /// Seed for argument generation. Equal seeds generate equal vectors.
+    pub seed: u64,
+    /// Number of argument vectors tried per function.
+    pub vectors: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig { fuel: 200_000, seed: 0xE9_7E, vectors: 3 }
+    }
+}
+
+/// One observed behaviour of one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Observed {
+    /// Ran to completion with this return value.
+    Returned(Option<Value>),
+    /// Failed with this error.
+    Failed(ExecError),
+}
+
+impl std::fmt::Display for Observed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Observed::Returned(Some(v)) => write!(f, "returned {v}"),
+            Observed::Returned(None) => write!(f, "returned (void)"),
+            Observed::Failed(e) => write!(f, "failed: {e}"),
+        }
+    }
+}
+
+/// A behavioural difference between reference and candidate modules —
+/// the oracle's report of a miscompile.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The function whose behaviour differs.
+    pub function: String,
+    /// The argument vector that exposes the difference.
+    pub args: Vec<Value>,
+    /// What the reference (unoptimized) module did.
+    pub reference: Observed,
+    /// What the candidate (optimized) module did.
+    pub candidate: Observed,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "`{}`(", self.function)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "): reference {} but candidate {}", self.reference, self.candidate)
+    }
+}
+
+/// Whether two optional return values agree, with relative float
+/// tolerance.
+fn values_agree(a: &Option<Value>, b: &Option<Value>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(Value::Int(x)), Some(Value::Int(y))) => x == y,
+        (Some(Value::Float(x)), Some(Value::Float(y))) => {
+            if x == y || (x.is_nan() && y.is_nan()) {
+                return true;
+            }
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= FLOAT_TOLERANCE * scale
+        }
+        _ => false,
+    }
+}
+
+/// Whether two behaviours count as equivalent for the oracle.
+///
+/// Fuel exhaustion on *either* side makes the comparison inconclusive —
+/// treated as agreement, never as a miscompile.
+pub fn behaviors_agree(reference: &Observed, candidate: &Observed) -> bool {
+    if matches!(reference, Observed::Failed(ExecError::OutOfFuel { .. }))
+        || matches!(candidate, Observed::Failed(ExecError::OutOfFuel { .. }))
+    {
+        return true;
+    }
+    match (reference, candidate) {
+        (Observed::Returned(a), Observed::Returned(b)) => values_agree(a, b),
+        (Observed::Failed(a), Observed::Failed(b)) => a.same_variant(b),
+        _ => false,
+    }
+}
+
+/// Seeded argument vector for a parameter list. Small magnitudes keep
+/// loop trip counts (and thus fuel consumption) reasonable while still
+/// exercising sign and zero cases.
+fn gen_args(rng: &mut SplitMix64, param_tys: &[Ty]) -> Vec<Value> {
+    param_tys
+        .iter()
+        .map(|ty| match ty {
+            Ty::Int => Value::Int(rng.range_i64(-4, 12)),
+            Ty::Float => Value::Float(rng.range_i64(-40, 120) as f64 / 10.0),
+        })
+        .collect()
+}
+
+/// Execute `module::name(args)` once under `fuel`.
+pub fn observe(module: &Module, name: &str, args: &[Value], fuel: u64) -> Observed {
+    let mut interp = Interpreter::new(module).with_fuel(fuel);
+    match interp.run(name, args) {
+        Ok(v) => Observed::Returned(v),
+        Err(e) => Observed::Failed(e),
+    }
+}
+
+/// Differentially execute every function of `reference` against
+/// `candidate` on seeded inputs, returning all observed divergences.
+///
+/// Functions present in only one module are skipped (the pass pipeline
+/// never adds or removes functions; the fault injector can, and such
+/// damage is the lint layer's to catch).
+pub fn compare_modules(reference: &Module, candidate: &Module, cfg: &OracleConfig) -> Vec<Divergence> {
+    let mut divergences = Vec::new();
+    for f in &reference.functions {
+        if candidate.function(&f.name).is_none() {
+            continue;
+        }
+        // Per-function generator: a divergence report for function `g`
+        // stays stable when unrelated functions are added or removed.
+        let mut rng = SplitMix64::new(cfg.seed ^ fingerprint64(&f.name));
+        let param_tys: Vec<Ty> = f.params.iter().map(|&r| f.ty_of(r)).collect();
+        for _ in 0..cfg.vectors {
+            let args = gen_args(&mut rng, &param_tys);
+            let obs_ref = observe(reference, &f.name, &args, cfg.fuel);
+            let obs_cand = observe(candidate, &f.name, &args, cfg.fuel);
+            if !behaviors_agree(&obs_ref, &obs_cand) {
+                divergences.push(Divergence {
+                    function: f.name.clone(),
+                    args,
+                    reference: obs_ref,
+                    candidate: obs_cand,
+                });
+            }
+        }
+    }
+    divergences
+}
+
+/// FNV-1a over a function name: a stable 64-bit stream selector.
+fn fingerprint64(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre::{OptLevel, Optimizer};
+    use epre_frontend::{compile, NamingMode};
+
+    const SRC: &str = "function foo(y, z)\n\
+                       real y, z, s, x\n\
+                       integer i\n\
+                       begin\n\
+                       s = 0\n\
+                       x = y + z\n\
+                       do i = x, 100\n\
+                         s = i + s + x\n\
+                       enddo\n\
+                       return s\nend\n";
+
+    #[test]
+    fn optimized_module_agrees_with_reference() {
+        let m = compile(SRC, NamingMode::Disciplined).unwrap();
+        for level in [OptLevel::Baseline, OptLevel::Distribution] {
+            let opt = Optimizer::new(level).optimize(&m);
+            let d = compare_modules(&m, &opt, &OracleConfig::default());
+            assert!(d.is_empty(), "{level:?}: {:?}", d);
+        }
+    }
+
+    #[test]
+    fn wrong_constant_is_caught() {
+        let m = compile(SRC, NamingMode::Disciplined).unwrap();
+        let mut bad = m.clone();
+        // Corrupt a constant: turn some `loadi` payload into a different one.
+        let f = &mut bad.functions[0];
+        let mut corrupted = false;
+        for blk in &mut f.blocks {
+            for inst in &mut blk.insts {
+                if let epre_ir::Inst::LoadI { value, .. } = inst {
+                    if let epre_ir::Const::Int(v) = value {
+                        *v += 7;
+                        corrupted = true;
+                        break;
+                    }
+                }
+            }
+            if corrupted {
+                break;
+            }
+        }
+        assert!(corrupted, "expected an integer loadi to corrupt");
+        let d = compare_modules(&m, &bad, &OracleConfig::default());
+        assert!(!d.is_empty(), "oracle missed a corrupted constant");
+        assert_eq!(d[0].function, "foo");
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_inconclusive() {
+        let a = Observed::Failed(ExecError::OutOfFuel { budget: 10 });
+        let b = Observed::Returned(Some(Value::Int(3)));
+        assert!(behaviors_agree(&a, &b));
+        assert!(behaviors_agree(&b, &a));
+    }
+
+    #[test]
+    fn float_tolerance_absorbs_reassociation_noise() {
+        let a = Observed::Returned(Some(Value::Float(1.0e9)));
+        let b = Observed::Returned(Some(Value::Float(1.0e9 + 0.5)));
+        assert!(behaviors_agree(&a, &b));
+        let c = Observed::Returned(Some(Value::Float(2.0e9)));
+        assert!(!behaviors_agree(&a, &c));
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let m = compile(SRC, NamingMode::Disciplined).unwrap();
+        let mut bad = m.clone();
+        if let Some(epre_ir::Inst::LoadI { value: epre_ir::Const::Int(v), .. }) =
+            bad.functions[0].blocks[0].insts.first_mut()
+        {
+            *v += 1000;
+        }
+        let d1 = compare_modules(&m, &bad, &OracleConfig::default());
+        let d2 = compare_modules(&m, &bad, &OracleConfig::default());
+        assert_eq!(d1.len(), d2.len());
+        for (a, b) in d1.iter().zip(&d2) {
+            assert_eq!(a.args, b.args);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Pass sandboxing: run every pass on a clone under `catch_unwind`,
+//! re-lint the result, and roll back on panic or new invariant violation.
+//!
+//! The plain pipeline trusts its passes; `verify_each` distrusts them but
+//! fails fast. The sandbox goes the final step the ROADMAP's
+//! production-scale north star demands: a pass that panics or emits
+//! invalid ILOC is *contained* — the function rolls back to its pre-pass
+//! state, the incident is recorded as a typed [`PassFault`], and the rest
+//! of the pipeline keeps running. The [`FaultPolicy`] selects between
+//! fail-fast, best-effort, and retry-then-skip behaviour.
+
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use epre::fault::PassFault;
+use epre::{OptLevel, Optimizer};
+use epre_ir::{Function, Module};
+use epre_lint::{lint_function, Diagnostic, LintOptions, Report, Severity};
+use epre_passes::Pass;
+
+/// What to do when a pass faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Stop the pipeline and surface the fault as an error.
+    FailFast,
+    /// Roll the function back to its pre-pass state, record the fault, and
+    /// continue with the next pass.
+    BestEffort,
+    /// Retry the pass once on a fresh clone (a safeguard for passes with
+    /// internal state or allocation-dependent behaviour), then skip it as
+    /// in [`FaultPolicy::BestEffort`].
+    RetryThenSkip,
+}
+
+impl FaultPolicy {
+    /// The policy's CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultPolicy::FailFast => "fail-fast",
+            FaultPolicy::BestEffort => "best-effort",
+            FaultPolicy::RetryThenSkip => "retry-then-skip",
+        }
+    }
+}
+
+/// The outcome of a sandboxed pipeline run over one function.
+#[derive(Debug, Clone, Default)]
+pub struct SandboxReport {
+    /// Every contained fault, in pipeline order. A pass that faulted was
+    /// rolled back: its effect on the function is void.
+    pub faults: Vec<PassFault>,
+    /// How many faulting passes were re-run under
+    /// [`FaultPolicy::RetryThenSkip`] (whether or not the retry helped).
+    pub retries: usize,
+}
+
+impl SandboxReport {
+    /// Fold another report's tallies into this one.
+    pub fn merge(&mut self, other: SandboxReport) {
+        self.faults.extend(other.faults);
+        self.retries += other.retries;
+    }
+}
+
+thread_local! {
+    /// When set, the process-wide panic hook stays silent for panics on
+    /// this thread — the sandbox expects them and converts them to faults.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+/// Run `body`, catching any panic and returning its payload as a string.
+///
+/// The first call installs a process-wide panic-hook shim that suppresses
+/// hook output for panics occurring while this thread is inside
+/// `catch_quiet` — without it a fuzz campaign injecting thousands of
+/// faults would bury real output in backtrace noise. Panics on other
+/// threads keep the previous hook's behaviour.
+///
+/// # Errors
+/// The panic payload (downcast to a string where possible).
+pub fn catch_quiet<R>(body: impl FnOnce() -> R) -> Result<R, String> {
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(body));
+    QUIET_PANICS.with(|q| q.set(false));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+fn fingerprints(report: &Report) -> HashSet<String> {
+    report.diagnostics.iter().map(Diagnostic::fingerprint).collect()
+}
+
+/// Run `passes` over `f` in order, each invocation sandboxed.
+///
+/// Every pass runs on a clone of `f` under `catch_unwind`; the clone is
+/// then re-linted and diffed (by diagnostic fingerprint) against the
+/// pre-pass report. Only when the pass neither panicked nor introduced a
+/// new error-severity finding is the clone committed back to `f` —
+/// otherwise `f` keeps its pre-pass state (rollback) and a [`PassFault`]
+/// records the incident, subject to `policy`.
+///
+/// Pre-existing findings belong to the *input* and never fault a pass.
+///
+/// # Errors
+/// Under [`FaultPolicy::FailFast`], the first fault. The other policies
+/// always return the accumulated [`SandboxReport`].
+pub fn run_passes_sandboxed(
+    f: &mut Function,
+    passes: &[Box<dyn Pass>],
+    policy: FaultPolicy,
+    opts: &LintOptions,
+) -> Result<SandboxReport, PassFault> {
+    let mut seen = fingerprints(&lint_function(f, opts));
+    let mut out = SandboxReport::default();
+    for pass in passes {
+        let mut attempts = 0;
+        loop {
+            let base = &*f;
+            let run = catch_quiet(|| {
+                let mut candidate = base.clone();
+                pass.run(&mut candidate);
+                let report = lint_function(&candidate, opts);
+                (candidate, report)
+            });
+            let fault = match run {
+                Err(payload) => Some(PassFault::panic(pass.name(), &f.name, payload)),
+                Ok((candidate, report)) => {
+                    let new_errors: Vec<Diagnostic> = report
+                        .diagnostics
+                        .iter()
+                        .filter(|d| {
+                            d.severity() == Severity::Error && !seen.contains(&d.fingerprint())
+                        })
+                        .cloned()
+                        .collect();
+                    if new_errors.is_empty() {
+                        seen = fingerprints(&report);
+                        *f = candidate;
+                        None
+                    } else {
+                        Some(PassFault::lint(pass.name(), &f.name, new_errors))
+                    }
+                }
+            };
+            match fault {
+                None => break,
+                Some(fault) => match policy {
+                    FaultPolicy::FailFast => return Err(fault),
+                    FaultPolicy::RetryThenSkip if attempts == 0 => {
+                        attempts = 1;
+                        out.retries += 1;
+                        out.faults.push(fault);
+                    }
+                    _ => {
+                        out.faults.push(fault);
+                        break;
+                    }
+                },
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// An [`Optimizer`] wrapper whose every pass invocation is sandboxed.
+#[derive(Debug, Clone, Copy)]
+pub struct SandboxedOptimizer {
+    level: OptLevel,
+    policy: FaultPolicy,
+}
+
+impl SandboxedOptimizer {
+    /// A sandboxed optimizer at `level` under `policy`.
+    pub fn new(level: OptLevel, policy: FaultPolicy) -> Self {
+        SandboxedOptimizer { level, policy }
+    }
+
+    /// The wrapped level.
+    pub fn level(&self) -> OptLevel {
+        self.level
+    }
+
+    /// Optimize one function in place with per-pass sandboxing (invariant
+    /// lint rules only — intermediate pipeline states legitimately carry
+    /// critical edges, dead code, and remaining redundancy).
+    ///
+    /// # Errors
+    /// Under [`FaultPolicy::FailFast`], the first fault.
+    pub fn optimize_function(&self, f: &mut Function) -> Result<SandboxReport, PassFault> {
+        run_passes_sandboxed(
+            f,
+            &Optimizer::new(self.level).passes(),
+            self.policy,
+            &LintOptions::invariants_only(),
+        )
+    }
+
+    /// Optimize a copy of the module with per-pass sandboxing.
+    ///
+    /// # Errors
+    /// Under [`FaultPolicy::FailFast`], the first fault in any function.
+    pub fn optimize(&self, module: &Module) -> Result<(Module, SandboxReport), PassFault> {
+        let mut out = module.clone();
+        let mut report = SandboxReport::default();
+        for f in &mut out.functions {
+            report.merge(self.optimize_function(f)?);
+        }
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre::fault::FaultKind;
+    use epre_ir::{BinOp, FunctionBuilder, Inst, Ty};
+    use epre_passes::passes::{ConstProp, Dce};
+
+    fn sample() -> Function {
+        let mut b = FunctionBuilder::new("s", Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let y = b.bin(BinOp::Add, Ty::Int, x, x);
+        let z = b.bin(BinOp::Add, Ty::Int, y, x);
+        b.ret(Some(z));
+        b.finish()
+    }
+
+    /// A pass that always panics.
+    struct Bomb;
+    impl Pass for Bomb {
+        fn name(&self) -> &'static str {
+            "bomb"
+        }
+        fn run(&self, _f: &mut Function) {
+            panic!("deliberate detonation");
+        }
+    }
+
+    /// A pass that introduces a use of a never-defined register.
+    struct UseGhost;
+    impl Pass for UseGhost {
+        fn name(&self) -> &'static str {
+            "use-ghost"
+        }
+        fn run(&self, f: &mut Function) {
+            let dst = f.new_reg(Ty::Int);
+            let ghost = f.new_reg(Ty::Int);
+            f.blocks[0].insts.push(Inst::Copy { dst, src: ghost });
+        }
+    }
+
+    #[test]
+    fn panic_is_contained_and_rolled_back() {
+        let mut f = sample();
+        let before = f.clone();
+        let passes: Vec<Box<dyn Pass>> = vec![Box::new(Bomb), Box::new(ConstProp)];
+        let rep = run_passes_sandboxed(
+            &mut f,
+            &passes,
+            FaultPolicy::BestEffort,
+            &LintOptions::invariants_only(),
+        )
+        .unwrap();
+        assert_eq!(rep.faults.len(), 1);
+        assert_eq!(rep.faults[0].pass, "bomb");
+        assert!(matches!(&rep.faults[0].kind, FaultKind::Panic(p) if p.contains("detonation")));
+        // The bomb's (nonexistent) effect was rolled back; constprop still ran.
+        assert!(f.verify().is_ok());
+        assert_eq!(f.params, before.params);
+    }
+
+    #[test]
+    fn lint_violation_is_contained_and_rolled_back() {
+        let mut f = sample();
+        let before = f.clone();
+        let passes: Vec<Box<dyn Pass>> = vec![Box::new(UseGhost)];
+        let rep = run_passes_sandboxed(
+            &mut f,
+            &passes,
+            FaultPolicy::BestEffort,
+            &LintOptions::invariants_only(),
+        )
+        .unwrap();
+        assert_eq!(rep.faults.len(), 1);
+        assert!(matches!(&rep.faults[0].kind, FaultKind::Lint(errs) if !errs.is_empty()));
+        assert_eq!(f, before, "rollback must restore the pre-pass IR exactly");
+    }
+
+    #[test]
+    fn fail_fast_surfaces_the_fault() {
+        let mut f = sample();
+        let passes: Vec<Box<dyn Pass>> = vec![Box::new(Dce), Box::new(Bomb)];
+        let e = run_passes_sandboxed(
+            &mut f,
+            &passes,
+            FaultPolicy::FailFast,
+            &LintOptions::invariants_only(),
+        )
+        .unwrap_err();
+        assert_eq!(e.pass, "bomb");
+    }
+
+    #[test]
+    fn retry_then_skip_counts_the_retry() {
+        let mut f = sample();
+        let passes: Vec<Box<dyn Pass>> = vec![Box::new(Bomb)];
+        let rep = run_passes_sandboxed(
+            &mut f,
+            &passes,
+            FaultPolicy::RetryThenSkip,
+            &LintOptions::invariants_only(),
+        )
+        .unwrap();
+        assert_eq!(rep.retries, 1);
+        assert_eq!(rep.faults.len(), 2, "one fault per attempt");
+    }
+
+    #[test]
+    fn preexisting_violations_do_not_fault_passes() {
+        // A function that is already broken on input: the fault belongs to
+        // the input, and a well-behaved pass must not be blamed for it.
+        let mut f = Function::new("broken", None);
+        let dst = f.new_reg(Ty::Int);
+        let ghost = f.new_reg(Ty::Int);
+        let mut blk = epre_ir::Block::new(epre_ir::Terminator::Return { value: None });
+        blk.insts.push(Inst::Copy { dst, src: ghost });
+        f.add_block(blk);
+        struct Nop;
+        impl Pass for Nop {
+            fn name(&self) -> &'static str {
+                "nop"
+            }
+            fn run(&self, _f: &mut Function) {}
+        }
+        let passes: Vec<Box<dyn Pass>> = vec![Box::new(Nop)];
+        let rep = run_passes_sandboxed(
+            &mut f,
+            &passes,
+            FaultPolicy::BestEffort,
+            &LintOptions::invariants_only(),
+        )
+        .unwrap();
+        assert!(rep.faults.is_empty());
+    }
+
+    #[test]
+    fn sandboxed_optimizer_matches_plain_pipeline_on_clean_input() {
+        let mut m = Module::new();
+        m.functions.push(sample());
+        let sandboxed = SandboxedOptimizer::new(OptLevel::Distribution, FaultPolicy::BestEffort);
+        let (out, rep) = sandboxed.optimize(&m).unwrap();
+        assert!(rep.faults.is_empty(), "{:?}", rep.faults);
+        let plain = Optimizer::new(OptLevel::Distribution).optimize(&m);
+        assert_eq!(format!("{out}"), format!("{plain}"));
+    }
+}

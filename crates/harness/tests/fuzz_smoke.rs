@@ -1,0 +1,118 @@
+//! The fixed-seed fuzz smoke campaign (ISSUE acceptance): at least 200
+//! deterministic mutants, each optimized at every level, with **zero**
+//! uncontained faults — every injected fault must be caught by the lint
+//! layer, rolled back by the sandbox, or flagged (and semantically rolled
+//! back) by the differential oracle, and the pipeline must still emit a
+//! runnable module.
+
+use epre_frontend::{compile, NamingMode};
+use epre_harness::{run_campaign, CampaignConfig, ALL_LEVELS};
+use epre_ir::Module;
+
+/// Small, varied base programs: a scalar loop, a branchy float function,
+/// an array kernel (loads + stores), and a two-function module with a
+/// call. Loop trip counts are kept tiny so oracle runs stay cheap.
+fn bases() -> Vec<Module> {
+    let srcs = [
+        "function sloop(y, z)\n\
+         integer y, z, s, i\n\
+         begin\n\
+         s = 0\n\
+         do i = 1, 8\n\
+           s = s + y * z + i\n\
+         enddo\n\
+         return s\nend\n",
+        "function pick(a, b)\n\
+         real a, b, x\n\
+         begin\n\
+         if a < b then\n\
+           x = a * 2 + b\n\
+         else\n\
+           x = b * 2 + a\n\
+         endif\n\
+         return x\nend\n",
+        "function ksum(k)\n\
+         real m(6)\n\
+         integer i, k\n\
+         real s\n\
+         begin\n\
+         do i = 1, 6\n\
+           m(i) = i * k\n\
+         enddo\n\
+         s = 0\n\
+         do i = 1, 6\n\
+           s = s + m(i)\n\
+         enddo\n\
+         return s\nend\n",
+        "function sq(x)\n\
+         integer x, sq\n\
+         begin\n\
+         return x * x\n\
+         end\n\
+         function twice(a, b)\n\
+         integer a, b, twice\n\
+         begin\n\
+         return sq(a) + sq(b)\n\
+         end\n",
+    ];
+    srcs.iter().map(|s| compile(s, NamingMode::Disciplined).unwrap()).collect()
+}
+
+#[test]
+fn campaign_200_mutants_zero_uncontained() {
+    let cfg = CampaignConfig {
+        seed: 0xB1663C,
+        iters: 210,
+        fuel: 20_000,
+        levels: ALL_LEVELS.to_vec(),
+    };
+    let report = run_campaign(&bases(), &cfg);
+    assert!(report.is_contained(), "containment failed:\n{report}");
+    assert!(report.mutants >= 200, "only {} mutants generated", report.mutants);
+    assert_eq!(report.runs, report.mutants * ALL_LEVELS.len());
+    // The tally must be complete: every run classified exactly once.
+    assert_eq!(
+        report.rolled_back + report.oracle_caught + report.ingress_lint + report.benign,
+        report.runs,
+    );
+    // A campaign that never catches anything proves nothing: the injector
+    // must be producing real faults that the stack visibly contains.
+    assert!(
+        report.ingress_lint + report.rolled_back + report.oracle_caught > report.runs / 10,
+        "suspiciously few faults caught:\n{report}"
+    );
+}
+
+#[test]
+fn campaign_is_deterministic_across_repeats() {
+    let cfg = CampaignConfig {
+        seed: 0x5EED,
+        iters: 30,
+        fuel: 20_000,
+        levels: ALL_LEVELS.to_vec(),
+    };
+    let a = run_campaign(&bases(), &cfg);
+    let b = run_campaign(&bases(), &cfg);
+    assert_eq!(a.mutants, b.mutants);
+    assert_eq!(a.runs, b.runs);
+    assert_eq!(a.rolled_back, b.rolled_back);
+    assert_eq!(a.oracle_caught, b.oracle_caught);
+    assert_eq!(a.ingress_lint, b.ingress_lint);
+    assert_eq!(a.benign, b.benign);
+    assert_eq!(a.uncontained, b.uncontained);
+}
+
+#[test]
+fn different_seeds_explore_different_mutants() {
+    let mk = |seed| CampaignConfig { seed, iters: 30, fuel: 20_000, levels: ALL_LEVELS.to_vec() };
+    let a = run_campaign(&bases(), &mk(1));
+    let b = run_campaign(&bases(), &mk(2));
+    assert!(a.is_contained() && b.is_contained());
+    // Tallies almost surely differ across seeds; equality of *all four*
+    // would mean the seed is being ignored.
+    assert!(
+        (a.rolled_back, a.oracle_caught, a.ingress_lint, a.benign)
+            != (b.rolled_back, b.oracle_caught, b.ingress_lint, b.benign),
+        "seed appears to have no effect"
+    );
+}

@@ -1,0 +1,18 @@
+! Promoted from tests/equivalence_prop.proptest-regressions: proptest
+! shrank a random program to this nested pair of DO loops sharing the
+! index variable k1 — the inner loop clobbers the outer loop's counter
+! (the outer loop therefore never terminates), which once exposed a
+! divergence between optimization levels. Kept as a deterministic corpus
+! case: every level must exhaust an identical fuel budget with an
+! identical OutOfFuel error (args of interest: all zeros), and the
+! differential oracle must report no conclusive divergence.
+function f(v0, v1, v2, v3)
+integer f, v0, v1, v2, v3, k0, k1, k2
+begin
+do k1 = 1, 5
+  do k1 = 1, 2
+    v0 = v0
+  enddo
+enddo
+return v0 + 2 * v1 + 3 * v2 + 5 * v3
+end

@@ -41,8 +41,16 @@ pub enum ExecError {
     },
     /// Unknown callee (not a module function, not an intrinsic).
     UnknownCallee(String),
-    /// The fuel budget was exhausted (probable infinite loop).
-    OutOfFuel,
+    /// The fuel budget was exhausted (probable infinite loop), or the call
+    /// depth guard tripped (runaway recursion). Carries the configured fuel
+    /// budget — i.e. how many operations were allowed, all of which were
+    /// consumed — so the variant compares equal between an optimized and an
+    /// unoptimized run under the same budget even though the two retire
+    /// different operation counts per iteration.
+    OutOfFuel {
+        /// The fuel budget the interpreter was configured with.
+        budget: u64,
+    },
     /// An operand had the wrong type for its instruction.
     TypeMismatch {
         /// Description of the faulting operation.
@@ -69,9 +77,40 @@ impl fmt::Display for ExecError {
                 write!(f, "intrinsic `{name}` received wrong argument type")
             }
             ExecError::UnknownCallee(n) => write!(f, "unknown callee `{n}`"),
-            ExecError::OutOfFuel => write!(f, "fuel exhausted"),
+            ExecError::OutOfFuel { budget } => {
+                write!(f, "fuel exhausted after {budget} operations")
+            }
             ExecError::TypeMismatch { what } => write!(f, "type mismatch in {what}"),
         }
+    }
+}
+
+impl ExecError {
+    /// The variant's stable name, independent of its payload.
+    ///
+    /// The differential oracle in `epre-harness` and the §4.2 degradation
+    /// tests compare failures *by variant*: an optimized and an unoptimized
+    /// program must fail the same way, but payloads that legitimately track
+    /// dynamic details (the interpreter's configured budget aside, e.g. a
+    /// message string) should not distinguish them.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            ExecError::UnknownFunction(_) => "unknown-function",
+            ExecError::ArityMismatch { .. } => "arity-mismatch",
+            ExecError::UninitializedRegister(_) => "uninitialized-register",
+            ExecError::OutOfBounds { .. } => "out-of-bounds",
+            ExecError::DivisionByZero => "division-by-zero",
+            ExecError::PhiExecuted(_) => "phi-executed",
+            ExecError::IntrinsicType { .. } => "intrinsic-type",
+            ExecError::UnknownCallee(_) => "unknown-callee",
+            ExecError::OutOfFuel { .. } => "out-of-fuel",
+            ExecError::TypeMismatch { .. } => "type-mismatch",
+        }
+    }
+
+    /// Do two errors have the same variant (payloads ignored)?
+    pub fn same_variant(&self, other: &ExecError) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
     }
 }
 

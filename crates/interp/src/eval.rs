@@ -42,12 +42,15 @@ pub struct Interpreter<'m> {
     memory: Vec<Value>,
     counts: OpCounts,
     fuel: u64,
+    /// The configured budget `fuel` started from, reported by
+    /// [`ExecError::OutOfFuel`].
+    fuel_budget: u64,
     /// Remaining call depth (guards against runaway recursion).
     depth: u32,
 }
 
 /// Default fuel: enough for the full benchmark suite with room to spare.
-const DEFAULT_FUEL: u64 = 2_000_000_000;
+pub const DEFAULT_FUEL: u64 = 2_000_000_000;
 const DEFAULT_DEPTH: u32 = 128;
 
 impl<'m> Interpreter<'m> {
@@ -58,6 +61,7 @@ impl<'m> Interpreter<'m> {
             memory: vec![Value::Int(0); module.data_words],
             counts: OpCounts::default(),
             fuel: DEFAULT_FUEL,
+            fuel_budget: DEFAULT_FUEL,
             depth: DEFAULT_DEPTH,
         }
     }
@@ -65,7 +69,13 @@ impl<'m> Interpreter<'m> {
     /// Replace the fuel budget (operations until [`ExecError::OutOfFuel`]).
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
+        self.fuel_budget = fuel;
         self
+    }
+
+    /// The configured fuel budget.
+    pub fn fuel_budget(&self) -> u64 {
+        self.fuel_budget
     }
 
     /// The accumulated operation counts.
@@ -106,7 +116,7 @@ impl<'m> Interpreter<'m> {
             });
         }
         if self.depth == 0 {
-            return Err(ExecError::OutOfFuel);
+            return Err(ExecError::OutOfFuel { budget: self.fuel_budget });
         }
         self.depth -= 1;
         let result = self.exec_body(f, args);
@@ -146,7 +156,7 @@ impl<'m> Interpreter<'m> {
 
     fn spend(&mut self) -> Result<(), ExecError> {
         if self.fuel == 0 {
-            return Err(ExecError::OutOfFuel);
+            return Err(ExecError::OutOfFuel { budget: self.fuel_budget });
         }
         self.fuel -= 1;
         self.counts.total += 1;
@@ -485,7 +495,7 @@ mod tests {
         b.jump(l);
         let m = module_of(b.finish());
         let mut i = Interpreter::new(&m).with_fuel(1000);
-        assert_eq!(i.run("spin", &[]), Err(ExecError::OutOfFuel));
+        assert_eq!(i.run("spin", &[]), Err(ExecError::OutOfFuel { budget: 1000 }));
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod intrinsics;
 pub mod value;
 
 pub use error::ExecError;
-pub use eval::{Interpreter, OpCounts};
+pub use eval::{Interpreter, OpCounts, DEFAULT_FUEL};
 pub use value::Value;

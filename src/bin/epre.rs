@@ -3,26 +3,40 @@
 //! ```text
 //! epre lint <file.iloc|-> [--json] [--no-audit]   lint ILOC, print diagnostics
 //! epre rules                                      list the lint rule registry
-//! epre opt <file.iloc|-> [--level L] [--verify-each]
+//! epre opt <file.iloc|-> [--level L] [--verify-each] [--best-effort] [--fuel N]
 //!                                                 optimize ILOC, print result
+//! epre fuzz <file.iloc|-> [--seed N] [--iters N] [--fuel N] [--level L]
+//!                                                 seeded fault-injection campaign
+//! epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch)
+//!             [--level L] [--fuel N]              ddmin-shrink a failing module
 //! ```
 //!
 //! `lint` exits 0 when no error-severity diagnostics were found, 1 when
 //! there were errors, 2 on usage or parse problems. `opt --verify-each`
 //! re-lints after every pass and aborts (exit 1) naming the pass that
-//! introduced an invariant violation.
+//! introduced an invariant violation; `opt --best-effort` instead contains
+//! pass faults (rollback + continue) and reports them on stderr. `fuzz`
+//! exits 1 when any injected fault escaped containment. `reduce` prints
+//! the shrunk module on stdout and statistics on stderr, exiting 2 when
+//! the failure predicate does not even hold on the input.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use epre::{OptLevel, Optimizer};
+use epre_harness::{
+    reduce as ddmin_reduce, run_campaign, CampaignConfig, FailureSpec, FaultPolicy, Harness,
+    OracleConfig,
+};
 use epre_ir::parse_module;
 use epre_lint::{lint_module, LintOptions, Rule};
 
 const USAGE: &str = "usage:\n  \
     epre lint <file.iloc|-> [--json] [--no-audit]\n  \
     epre rules\n  \
-    epre opt <file.iloc|-> [--level baseline|partial|reassociation|distribution|distribution+lvn] [--verify-each]";
+    epre opt <file.iloc|-> [--level baseline|partial|reassociation|distribution|distribution+lvn] [--verify-each] [--best-effort] [--fuel N]\n  \
+    epre fuzz <file.iloc|-> [--seed N] [--iters N] [--fuel N] [--level L]\n  \
+    epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch) [--level L] [--fuel N]";
 
 fn read_input(path: &str) -> Result<String, String> {
     if path == "-" {
@@ -110,14 +124,31 @@ fn level_by_label(label: &str) -> Option<OptLevel> {
     .find(|l| l.label() == label)
 }
 
+fn parse_u64(flag: &str, v: Option<&String>) -> Result<u64, ExitCode> {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(n) => Ok(n),
+        None => {
+            eprintln!("{flag} needs a non-negative integer");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
 fn cmd_opt(args: &[String]) -> ExitCode {
     let mut path: Option<&str> = None;
     let mut level = OptLevel::Distribution;
     let mut verify_each = false;
+    let mut best_effort = false;
+    let mut fuel = OracleConfig::default().fuel;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--verify-each" => verify_each = true,
+            "--best-effort" => best_effort = true,
+            "--fuel" => match parse_u64("--fuel", it.next()) {
+                Ok(n) => fuel = n,
+                Err(code) => return code,
+            },
             "--level" => {
                 let Some(l) = it.next().and_then(|s| level_by_label(s)) else {
                     eprintln!("--level needs one of: baseline partial reassociation distribution distribution+lvn");
@@ -145,6 +176,26 @@ fn cmd_opt(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if best_effort {
+        let oracle = OracleConfig { fuel, ..OracleConfig::default() };
+        let harness = Harness::new(level, FaultPolicy::BestEffort).with_oracle(oracle);
+        let out = harness.optimize(&module).expect("best-effort never fails fast");
+        for f in &out.faults {
+            eprintln!("contained: {f}");
+        }
+        for d in &out.divergences {
+            eprintln!("rolled back after divergence: {d}");
+        }
+        if !out.is_clean() {
+            eprintln!(
+                "best-effort: {} fault(s) contained, {} function(s) rolled back",
+                out.faults.len(),
+                out.divergences.len()
+            );
+        }
+        print!("{}", out.module);
+        return ExitCode::SUCCESS;
+    }
     let opt = Optimizer::new(level);
     let out = if verify_each {
         match opt.optimize_verified(&module) {
@@ -161,12 +212,156 @@ fn cmd_opt(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut cfg = CampaignConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match parse_u64("--seed", it.next()) {
+                Ok(n) => cfg.seed = n,
+                Err(code) => return code,
+            },
+            "--iters" => match parse_u64("--iters", it.next()) {
+                Ok(n) => cfg.iters = n as usize,
+                Err(code) => return code,
+            },
+            "--fuel" => match parse_u64("--fuel", it.next()) {
+                Ok(n) => cfg.fuel = n,
+                Err(code) => return code,
+            },
+            "--level" => {
+                let Some(l) = it.next().and_then(|s| level_by_label(s)) else {
+                    eprintln!("--level needs one of: baseline partial reassociation distribution distribution+lvn");
+                    return ExitCode::from(2);
+                };
+                cfg.levels = vec![l];
+            }
+            other if path.is_none() && (!other.starts_with('-') || other == "-") => {
+                path = Some(other);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let module = match parse_input(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_campaign(&[module], &cfg);
+    println!("{report}");
+    if report.is_contained() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_reduce(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut level = OptLevel::Distribution;
+    let mut fuel = OracleConfig::default().fuel;
+    let mut panic_needle: Option<String> = None;
+    let mut lint_code: Option<String> = None;
+    let mut oracle_mismatch = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--panic-contains" => {
+                let Some(s) = it.next() else {
+                    eprintln!("--panic-contains needs a substring");
+                    return ExitCode::from(2);
+                };
+                panic_needle = Some(s.clone());
+            }
+            "--lint-code" => {
+                let Some(s) = it.next() else {
+                    eprintln!("--lint-code needs a rule code such as L020");
+                    return ExitCode::from(2);
+                };
+                lint_code = Some(s.clone());
+            }
+            "--oracle-mismatch" => oracle_mismatch = true,
+            "--fuel" => match parse_u64("--fuel", it.next()) {
+                Ok(n) => fuel = n,
+                Err(code) => return code,
+            },
+            "--level" => {
+                let Some(l) = it.next().and_then(|s| level_by_label(s)) else {
+                    eprintln!("--level needs one of: baseline partial reassociation distribution distribution+lvn");
+                    return ExitCode::from(2);
+                };
+                level = l;
+            }
+            other if path.is_none() && (!other.starts_with('-') || other == "-") => {
+                path = Some(other);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let spec = match (panic_needle, lint_code, oracle_mismatch) {
+        (Some(needle), None, false) => FailureSpec::PanicContains { level, needle },
+        (None, Some(code), false) => FailureSpec::LintCode { code },
+        (None, None, true) => FailureSpec::OracleMismatch {
+            level,
+            oracle: OracleConfig { fuel, ..OracleConfig::default() },
+        },
+        _ => {
+            eprintln!(
+                "reduce needs exactly one of --panic-contains, --lint-code, --oracle-mismatch"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let module = match parse_input(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (small, stats) = ddmin_reduce(&module, &|m| spec.holds(m));
+    if !stats.held {
+        eprintln!("the failure predicate does not hold on the input module");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "reduced {} -> {} instructions ({:.0}% smaller), {} -> {} function(s), {} predicate test(s)",
+        stats.initial_insts,
+        stats.final_insts,
+        stats.reduction() * 100.0,
+        stats.initial_functions,
+        stats.final_functions,
+        stats.tests
+    );
+    print!("{small}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
         Some("rules") => cmd_rules(),
         Some("opt") => cmd_opt(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("reduce") => cmd_reduce(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)

@@ -5,7 +5,7 @@
 
 use epre::{Optimizer, OptLevel};
 use epre_frontend::{compile, NamingMode};
-use epre_interp::{Interpreter, Value};
+use epre_interp::{ExecError, Interpreter, Value};
 use epre_ir::Module;
 
 fn counts(m: &Module, entry: &str, args: &[Value], level: OptLevel) -> (Option<Value>, u64) {
@@ -13,6 +13,40 @@ fn counts(m: &Module, entry: &str, args: &[Value], level: OptLevel) -> (Option<V
     let mut i = Interpreter::new(&opt);
     let r = i.run(entry, args).unwrap();
     (r, i.counts().total)
+}
+
+/// Run at `level` under a fuel budget, returning whatever happened.
+fn observe(
+    m: &Module,
+    entry: &str,
+    args: &[Value],
+    level: OptLevel,
+    fuel: u64,
+) -> Result<Option<Value>, ExecError> {
+    let opt = Optimizer::new(level).optimize(m);
+    Interpreter::new(&opt).with_fuel(fuel).run(entry, args)
+}
+
+/// Error paths must degrade like value paths: *identically*. For a given
+/// failing input, every optimization level must fail with the same
+/// [`ExecError`] variant as the unoptimized program.
+fn assert_same_failure(m: &Module, entry: &str, args: &[Value], fuel: u64, expect: &str) {
+    let reference =
+        Interpreter::new(m).with_fuel(fuel).run(entry, args).expect_err("reference must fail");
+    assert_eq!(reference.variant_name(), expect, "unexpected reference failure: {reference}");
+    for level in [
+        OptLevel::Baseline,
+        OptLevel::Partial,
+        OptLevel::Reassociation,
+        OptLevel::Distribution,
+        OptLevel::DistributionLvn,
+    ] {
+        let got = observe(m, entry, args, level, fuel).expect_err("optimized must fail too");
+        assert!(
+            got.same_variant(&reference),
+            "{level:?}: failed with `{got}` but reference failed with `{reference}`"
+        );
+    }
 }
 
 /// §4.2 "Reassociation": sorting by rank can hide that `r0 + r1` was
@@ -35,6 +69,11 @@ fn reassociation_may_hide_cses_but_stays_correct() {
     // Loss bounded: straight-line code with one shared subexpression can
     // lose the sharing but no more.
     assert!(c_reas <= c_base + 4, "unbounded degradation: {c_reas} vs {c_base}");
+    // Error path: under a fuel budget too small for anyone, every level
+    // fails with the same `OutOfFuel { budget }` — the error carries the
+    // *configured* budget precisely so that optimized and unoptimized
+    // runs compare equal.
+    assert_same_failure(&m, "f", &args, 2, "out-of-fuel");
 }
 
 /// §4.2 "Distribution": the paper's 4×(ri−1) / 8×(ri−1) example. After
@@ -64,6 +103,10 @@ fn distribution_array_stride_example() {
     let (r_dist, c_dist) = counts(&m, "f", &[Value::Int(32)], OptLevel::Distribution);
     assert_eq!(r_reas, r_dist, "distribution must not change values");
     assert!(c_dist > 0);
+    // Error path: a trip count past the arrays' bounds must fail as
+    // out-of-bounds at every level — distribution may reshape the address
+    // arithmetic, but not where it faults.
+    assert_same_failure(&m, "f", &[Value::Int(100)], 1_000_000, "out-of-bounds");
 }
 
 /// §4.2 "Forward Propagation": `n = j + k` computed before a loop and
@@ -93,6 +136,26 @@ fn forward_propagation_into_loop_stays_correct() {
         let (r_dist, _) = counts(&m, "f", &args, OptLevel::Distribution);
         assert_eq!(r_base, r_dist, "m = {mv}");
     }
+    // Error path: the same forward-propagated expression used as a
+    // divisor must trap identically everywhere it lands. `n / m` divides
+    // by zero when m = 0, wherever propagation placed the computation.
+    let src = "function g(j, k, m)\n\
+               integer g, j, k, m, n, i, s\n\
+               begin\n\
+               n = j + k\n\
+               s = 0\n\
+               i = 0\n\
+               while i < 100 do\n\
+                 if i == m then\n\
+                   s = s + n / m\n\
+                 endif\n\
+                 i = i + 1\n\
+               endwhile\n\
+               return s\n\
+               end\n";
+    let m = compile(src, NamingMode::Disciplined).unwrap();
+    let args = [Value::Int(3), Value::Int(4), Value::Int(0)];
+    assert_same_failure(&m, "g", &args, 1_000_000, "division-by-zero");
 }
 
 /// The paper's overall safety claim distilled: whatever the level does to
@@ -125,4 +188,51 @@ fn degradation_is_never_miscompilation() {
             );
         }
     }
+}
+
+/// Degradation is never mis-*failure* either: for every §4.2-style error
+/// path — fuel exhaustion, out-of-bounds, division by zero — the exact
+/// `OutOfFuel` error (including its budget payload) and the variant of
+/// the other errors agree across every optimization level.
+#[test]
+fn error_paths_fail_identically_across_levels() {
+    // Fuel: carries the configured budget, so errors compare *equal*,
+    // not merely same-variant.
+    let src = "function f(a, b)\n\
+               real a, b, u\n\
+               begin\n\
+               u = a + b\n\
+               return u * u\n\
+               end\n";
+    let m = compile(src, NamingMode::Disciplined).unwrap();
+    let args = [Value::Float(1.0), Value::Float(2.0)];
+    let budget = 1u64;
+    let reference = Interpreter::new(&m).with_fuel(budget).run("f", &args);
+    assert_eq!(reference, Err(ExecError::OutOfFuel { budget }));
+    for level in [OptLevel::Baseline, OptLevel::Distribution, OptLevel::DistributionLvn] {
+        assert_eq!(
+            observe(&m, "f", &args, level, budget),
+            Err(ExecError::OutOfFuel { budget }),
+            "{level:?}"
+        );
+    }
+    // Out-of-bounds: a direct store past the data segment.
+    let src = "function h(i)\n\
+               real a(4)\n\
+               integer i\n\
+               begin\n\
+               a(i) = 1.0\n\
+               return a(i)\n\
+               end\n";
+    let m = compile(src, NamingMode::Disciplined).unwrap();
+    assert_same_failure(&m, "h", &[Value::Int(9)], 1_000_000, "out-of-bounds");
+    // Division by zero, reached through a value PRE is keen to move.
+    let src = "function q(a, b)\n\
+               integer q, a, b, t\n\
+               begin\n\
+               t = a + b\n\
+               return t / (a - a)\n\
+               end\n";
+    let m = compile(src, NamingMode::Disciplined).unwrap();
+    assert_same_failure(&m, "q", &[Value::Int(2), Value::Int(5)], 1_000_000, "division-by-zero");
 }
