@@ -37,10 +37,14 @@ impl BitSet {
     }
 
     fn trim(&mut self) {
-        let extra = self.words.len() * 64 - self.capacity;
-        if extra > 0 {
+        // Defensive form: never subtracts below zero and never shifts by 64,
+        // so `capacity == 0` (empty-function universes from the reducer
+        // corpus) and word-aligned capacities are both safe.
+        self.words.truncate(self.capacity.div_ceil(64));
+        let used = self.capacity % 64;
+        if used != 0 {
             if let Some(last) = self.words.last_mut() {
-                *last &= !0u64 >> extra;
+                *last &= !0u64 >> (64 - used);
             }
         }
     }
@@ -124,6 +128,57 @@ impl BitSet {
         let mut changed = false;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             let new = *a & !b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Overwrite `self` with the contents of `other`, reusing the existing
+    /// word storage (no allocation when capacities match).
+    ///
+    /// ```
+    /// use epre_analysis::BitSet;
+    /// let mut scratch = BitSet::new(100);
+    /// scratch.insert(7);
+    /// let mut src = BitSet::new(100);
+    /// src.insert(64);
+    /// scratch.assign_from(&src);
+    /// assert_eq!(scratch.iter().collect::<Vec<_>>(), vec![64]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics (debug) if the capacities differ.
+    pub fn assign_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// `self ∪= (add − minus)` in one in-place sweep; returns true if
+    /// `self` changed. This is the data-flow transfer step
+    /// `out ∪= gen ∪ (in − kill)` without the intermediate clone.
+    ///
+    /// ```
+    /// use epre_analysis::BitSet;
+    /// let mut out = BitSet::new(8);
+    /// let mut inn = BitSet::new(8);
+    /// let mut kill = BitSet::new(8);
+    /// inn.insert(1);
+    /// inn.insert(2);
+    /// kill.insert(2);
+    /// assert!(out.union_with_minus(&inn, &kill));
+    /// assert_eq!(out.iter().collect::<Vec<_>>(), vec![1]);
+    /// assert!(!out.union_with_minus(&inn, &kill)); // already a fixed point
+    /// ```
+    ///
+    /// # Panics
+    /// Panics (debug) if the capacities differ.
+    pub fn union_with_minus(&mut self, add: &BitSet, minus: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, add.capacity);
+        debug_assert_eq!(self.capacity, minus.capacity);
+        let mut changed = false;
+        for ((a, b), m) in self.words.iter_mut().zip(&add.words).zip(&minus.words) {
+            let new = *a | (b & !m);
             changed |= new != *a;
             *a = new;
         }
@@ -233,6 +288,58 @@ mod tests {
         // No-change operations report false.
         assert!(!u.union_with(&a));
         assert!(!i.intersect_with(&a));
+    }
+
+    #[test]
+    fn full_and_trim_handle_zero_and_aligned_capacities() {
+        // Regression: the old trim computed `words.len()*64 - capacity` and
+        // shifted by it, which is shift-overflow-prone at the boundaries.
+        for cap in [0usize, 1, 63, 64, 65, 127, 128] {
+            let s = BitSet::full(cap);
+            assert_eq!(s.len(), cap, "full({cap})");
+            assert_eq!(s.capacity(), cap);
+            if cap > 0 {
+                assert!(s.contains(cap - 1));
+            }
+            assert!(!s.contains(cap));
+        }
+        let e = BitSet::full(0);
+        assert!(e.is_empty());
+        assert_eq!(e.iter().count(), 0);
+        // Set algebra on the empty universe must not panic either.
+        let mut a = BitSet::full(0);
+        let b = BitSet::new(0);
+        assert!(!a.union_with(&b));
+        assert!(!a.union_with_minus(&b, &b));
+        a.assign_from(&b);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn assign_from_and_union_with_minus() {
+        let mut scratch = BitSet::new(130);
+        scratch.insert(5);
+        let mut src = BitSet::new(130);
+        src.insert(129);
+        scratch.assign_from(&src);
+        assert_eq!(scratch.iter().collect::<Vec<_>>(), vec![129]);
+
+        let mut out = BitSet::new(130);
+        out.insert(0);
+        let mut add = BitSet::new(130);
+        let mut minus = BitSet::new(130);
+        for i in [3, 64, 100] {
+            add.insert(i);
+        }
+        minus.insert(64);
+        assert!(out.union_with_minus(&add, &minus));
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![0, 3, 100]);
+        // Equivalent to the clone-based formulation.
+        let mut reference = add.clone();
+        reference.difference_with(&minus);
+        reference.insert(0);
+        assert_eq!(out, reference);
+        assert!(!out.union_with_minus(&add, &minus));
     }
 
     #[test]

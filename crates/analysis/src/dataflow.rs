@@ -83,57 +83,60 @@ pub fn solve(cfg: &Cfg, dir: Direction, meet: Meet, gen: &[BitSet], kill: &[BitS
     };
 
     // Unreachable blocks keep ⊤ (they impose no constraints); we simply
-    // never visit them.
+    // never visit them. The two scratch sets below are the only buffers the
+    // whole fixed-point iteration touches: every sweep computes the meet and
+    // the transfer in place and swaps, so no per-iteration allocation.
+    let mut scratch_meet = BitSet::new(universe);
+    let mut scratch_flow = BitSet::new(universe);
     let mut changed = true;
     while changed {
         changed = false;
         for &b in &order {
             let bi = b.index();
-            match dir {
-                Direction::Forward => {
-                    let new_in = meet_over(cfg.preds(b), &outs, meet, &empty, &top);
-                    let mut new_out = gen[bi].clone();
-                    let mut passed = new_in.clone();
-                    passed.difference_with(&kill[bi]);
-                    new_out.union_with(&passed);
-                    if new_in != ins[bi] || new_out != outs[bi] {
-                        ins[bi] = new_in;
-                        outs[bi] = new_out;
-                        changed = true;
-                    }
-                }
-                Direction::Backward => {
-                    let new_out = meet_over(cfg.succs(b), &ins, meet, &empty, &top);
-                    let mut new_in = gen[bi].clone();
-                    let mut passed = new_out.clone();
-                    passed.difference_with(&kill[bi]);
-                    new_in.union_with(&passed);
-                    if new_in != ins[bi] || new_out != outs[bi] {
-                        ins[bi] = new_in;
-                        outs[bi] = new_out;
-                        changed = true;
-                    }
-                }
+            let neighbors = match dir {
+                Direction::Forward => cfg.preds(b),
+                Direction::Backward => cfg.succs(b),
+            };
+            {
+                let facts = match dir {
+                    Direction::Forward => &outs,
+                    Direction::Backward => &ins,
+                };
+                meet_into(&mut scratch_meet, neighbors, facts, meet, &empty);
+            }
+            // Transfer: flow = gen ∪ (meet − kill).
+            scratch_flow.assign_from(&gen[bi]);
+            scratch_flow.union_with_minus(&scratch_meet, &kill[bi]);
+            let (block_in, block_out) = match dir {
+                Direction::Forward => (&mut ins[bi], &mut outs[bi]),
+                Direction::Backward => (&mut outs[bi], &mut ins[bi]),
+            };
+            if scratch_meet != *block_in || scratch_flow != *block_out {
+                std::mem::swap(block_in, &mut scratch_meet);
+                std::mem::swap(block_out, &mut scratch_flow);
+                changed = true;
             }
         }
     }
     Solution { ins, outs }
 }
 
-fn meet_over(
+/// Meet the neighbors' facts into `acc` (overwriting it) without
+/// allocating. Boundary blocks (no neighbors in the meet direction) get ∅:
+/// nothing is available on entry, nothing anticipated after an exit,
+/// nothing live after an exit.
+fn meet_into(
+    acc: &mut BitSet,
     neighbors: &[BlockId],
     facts: &[BitSet],
     meet: Meet,
     empty: &BitSet,
-    _top: &BitSet,
-) -> BitSet {
-    // Boundary blocks (no neighbors in the meet direction) get ∅: nothing
-    // is available on entry, nothing anticipated after an exit, nothing
-    // live after an exit.
-    if neighbors.is_empty() {
-        return empty.clone();
-    }
-    let mut acc = facts[neighbors[0].index()].clone();
+) {
+    let Some(&first) = neighbors.first() else {
+        acc.assign_from(empty);
+        return;
+    };
+    acc.assign_from(&facts[first.index()]);
     for &p in &neighbors[1..] {
         match meet {
             Meet::Union => {
@@ -144,7 +147,6 @@ fn meet_over(
             }
         }
     }
-    acc
 }
 
 #[cfg(test)]

@@ -92,7 +92,7 @@ impl ExprKey {
 /// occurrence. Under the §2.2 naming discipline every occurrence has the
 /// same destination; [`ExprUniverse::is_disciplined`] reports whether that
 /// held, and PRE refuses to transform expressions for which it did not.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExprUniverse {
     by_key: HashMap<ExprKey, ExprId>,
     keys: Vec<ExprKey>,

@@ -16,15 +16,20 @@
 //!   three-address expressions of a function, the domain of PRE (the paper's
 //!   naming discipline of §2.2 guarantees each has one canonical name),
 //! * [`local`] — the per-block local predicates `TRANSP`, `ANTLOC`, `COMP`
-//!   that seed PRE's global systems.
+//!   that seed PRE's global systems,
+//! * [`cache`] — the [`AnalysisCache`]: lazily-memoized per-function
+//!   CFG/orders/dominators/universe with pass-declared preservation, the
+//!   backbone of the pass manager.
 
 pub mod bitset;
+pub mod cache;
 pub mod dataflow;
 pub mod exprs;
 pub mod liveness;
 pub mod local;
 
 pub use bitset::BitSet;
+pub use cache::{AnalysisCache, CacheStats, PreservedAnalyses};
 pub use dataflow::{solve, Direction, Meet, Solution};
 pub use exprs::{ExprId, ExprKey, ExprUniverse};
 pub use liveness::Liveness;

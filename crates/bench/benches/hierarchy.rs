@@ -51,7 +51,9 @@ fn optimize(f: &mut Function, v: Variant) {
             Pre.run(f);
             Lvn.run(f);
         }
-        Variant::PreNoLvn => Pre.run(f),
+        Variant::PreNoLvn => {
+            Pre.run(f);
+        }
     }
     ConstProp.run(f);
     Peephole.run(f);

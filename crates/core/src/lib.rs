@@ -44,10 +44,12 @@ pub mod fault;
 pub mod pipeline;
 pub mod stages;
 pub mod stats;
+pub mod timings;
 pub mod verify_each;
 
 pub use fault::{FaultKind, PassFault};
-pub use pipeline::{run_pass_checked, OptLevel, Optimizer};
+pub use pipeline::{run_pass_cached, run_pass_checked, OptLevel, Optimizer};
 pub use stages::{run_staged, try_run_staged, Stage, StagedOutput};
 pub use stats::{measure, measure_module, Measurement};
+pub use timings::{ModuleTimings, PassTiming};
 pub use verify_each::{run_passes_verified, PassBlame, PipelineViolation};

@@ -1,0 +1,216 @@
+//! Wall-clock instrumentation of the pipeline: the `--timings` CLI mode
+//! and the `throughput` benchmark are both built on this module.
+//!
+//! The paper reports *dynamic operation counts* (Table 1); this module
+//! measures the optimizer itself — how long each pass takes, how often it
+//! reports a change, and how well the per-function [`AnalysisCache`]
+//! avoids recomputing CFGs, orders, dominators, and expression universes.
+//! Timing is serial by construction (per-pass attribution across worker
+//! threads would perturb the numbers it reports); module-level parallel
+//! speedups are measured end-to-end by the benchmark instead.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use epre_analysis::{AnalysisCache, CacheStats};
+use epre_ir::Module;
+
+use crate::fault::PassFault;
+use crate::pipeline::{run_pass_cached, Optimizer};
+
+/// Accumulated wall-clock cost of one pass across every function of a
+/// module.
+#[derive(Debug, Clone)]
+pub struct PassTiming {
+    /// The pass name, as reported by [`epre_passes::Pass::name`].
+    pub pass: &'static str,
+    /// Total time spent inside the pass (including its debug-build
+    /// verification when enabled).
+    pub duration: Duration,
+    /// How many functions the pass ran over.
+    pub invocations: usize,
+    /// In how many of those invocations the pass reported a change.
+    pub changed: usize,
+}
+
+/// The timing report for one full pipeline run over a module.
+#[derive(Debug, Clone)]
+pub struct ModuleTimings {
+    /// The optimization level's column label.
+    pub level: &'static str,
+    /// How many functions the module has.
+    pub functions: usize,
+    /// End-to-end wall time for the whole module.
+    pub total: Duration,
+    /// Per-pass breakdown, in pipeline order.
+    pub passes: Vec<PassTiming>,
+    /// Analysis-cache hit/miss tallies summed over all functions.
+    pub cache: CacheStats,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl ModuleTimings {
+    /// Render the report as a small JSON object (hand-rolled: the
+    /// workspace carries no serialization dependency). Durations are in
+    /// milliseconds.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\"level\":\"{}\",\"functions\":{},\"total_ms\":{:.3},",
+            self.level, self.functions, ms(self.total)
+        ));
+        s.push_str(&format!(
+            "\"cache\":{{\"hits\":{},\"misses\":{}}},\"passes\":[",
+            self.cache.hits, self.cache.misses
+        ));
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"pass\":\"{}\",\"ms\":{:.3},\"invocations\":{},\"changed\":{}}}",
+                p.pass,
+                ms(p.duration),
+                p.invocations,
+                p.changed
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl fmt::Display for ModuleTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "level {}: {} function(s), {:.3} ms total, cache {} hit(s) / {} miss(es)",
+            self.level,
+            self.functions,
+            ms(self.total),
+            self.cache.hits,
+            self.cache.misses
+        )?;
+        for p in &self.passes {
+            writeln!(
+                f,
+                "  {:<24} {:>9.3} ms  ({} run(s), {} changed)",
+                p.pass,
+                ms(p.duration),
+                p.invocations,
+                p.changed
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Optimizer {
+    /// Optimize a copy of the module serially, timing every pass, and
+    /// report a typed fault instead of panicking.
+    ///
+    /// The optimized output is identical to [`Optimizer::try_optimize`];
+    /// only the bookkeeping differs.
+    ///
+    /// # Errors
+    /// The first [`PassFault`] found in any function.
+    pub fn try_optimize_timed(&self, module: &Module) -> Result<(Module, ModuleTimings), PassFault> {
+        let passes = self.passes();
+        let mut timings: Vec<PassTiming> = passes
+            .iter()
+            .map(|p| PassTiming {
+                pass: p.name(),
+                duration: Duration::ZERO,
+                invocations: 0,
+                changed: 0,
+            })
+            .collect();
+        let mut cache_totals = CacheStats::default();
+        let mut out = module.clone();
+        let start = Instant::now();
+        for f in &mut out.functions {
+            let mut cache = AnalysisCache::new();
+            for (pass, timing) in passes.iter().zip(timings.iter_mut()) {
+                let t0 = Instant::now();
+                let changed = run_pass_cached(pass.as_ref(), f, &mut cache)?;
+                timing.duration += t0.elapsed();
+                timing.invocations += 1;
+                timing.changed += usize::from(changed);
+            }
+            cache_totals.merge(cache.stats());
+        }
+        let total = start.elapsed();
+        Ok((
+            out,
+            ModuleTimings {
+                level: self.level().label(),
+                functions: module.functions.len(),
+                total,
+                passes: timings,
+                cache: cache_totals,
+            },
+        ))
+    }
+
+    /// Optimize a copy of the module serially, timing every pass.
+    ///
+    /// See [`Optimizer::try_optimize_timed`] for the non-panicking route.
+    pub fn optimize_timed(&self, module: &Module) -> (Module, ModuleTimings) {
+        match self.try_optimize_timed(module) {
+            Ok(pair) => pair,
+            Err(fault) => panic!("{fault}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::OptLevel;
+    use epre_frontend::{compile, NamingMode};
+
+    const FOO: &str = "function foo(y, z)\n\
+                       real y, z, s, x\n\
+                       integer i\n\
+                       begin\n\
+                       s = 0\n\
+                       x = y + z\n\
+                       do i = x, 100\n\
+                         s = i + s + x\n\
+                       enddo\n\
+                       return s\nend\n";
+
+    #[test]
+    fn timed_run_matches_plain_and_reports_every_pass() {
+        let m = compile(FOO, NamingMode::Disciplined).unwrap();
+        let opt = Optimizer::new(OptLevel::Distribution);
+        let (timed, report) = opt.optimize_timed(&m);
+        let plain = opt.optimize(&m);
+        assert_eq!(format!("{timed}"), format!("{plain}"), "timing must not change the output");
+        assert_eq!(report.level, "distribution");
+        assert_eq!(report.functions, 1);
+        assert_eq!(report.passes.len(), opt.passes().len());
+        assert!(report.passes.iter().all(|p| p.invocations == 1));
+        assert!(report.total >= report.passes.iter().map(|p| p.duration).sum());
+        assert!(report.cache.hits + report.cache.misses > 0, "cache was consulted");
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed_enough() {
+        let m = compile(FOO, NamingMode::Disciplined).unwrap();
+        let (_, report) = Optimizer::new(OptLevel::Partial).optimize_timed(&m);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"level\":\"partial\""), "{json}");
+        assert!(json.contains("\"passes\":["), "{json}");
+        assert!(json.contains("\"pass\":\"pre\""), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+    }
+}

@@ -166,10 +166,11 @@ mod tests {
         fn name(&self) -> &'static str {
             "use-ghost"
         }
-        fn run(&self, f: &mut Function) {
+        fn run(&self, f: &mut Function) -> bool {
             let dst = f.new_reg(Ty::Int);
             let ghost = f.new_reg(Ty::Int);
             f.blocks[0].insts.push(Inst::Copy { dst, src: ghost });
+            true
         }
     }
 
@@ -194,7 +195,9 @@ mod tests {
         fn name(&self) -> &'static str {
             "nop"
         }
-        fn run(&self, _f: &mut Function) {}
+        fn run(&self, _f: &mut Function) -> bool {
+            false
+        }
     }
 
     #[test]

@@ -68,8 +68,20 @@ impl Harness {
     /// divergence never errors — the affected function is rolled back
     /// and reported.
     pub fn optimize(&self, module: &Module) -> Result<HardenedOutput, PassFault> {
+        self.optimize_jobs(module, 1)
+    }
+
+    /// [`Harness::optimize`] with up to `jobs` sandbox worker threads
+    /// (`epre opt --best-effort --jobs N`). The oracle comparison and
+    /// rollback stay serial; only the per-function pass pipelines run in
+    /// parallel. Output is deterministic — identical to the serial run.
+    ///
+    /// # Errors
+    /// Under [`FaultPolicy::FailFast`], the first pass fault in module
+    /// function order.
+    pub fn optimize_jobs(&self, module: &Module, jobs: usize) -> Result<HardenedOutput, PassFault> {
         let sandboxed = SandboxedOptimizer::new(self.level, self.policy);
-        let (mut out, report) = sandboxed.optimize(module)?;
+        let (mut out, report) = sandboxed.optimize_jobs(module, jobs)?;
         let SandboxReport { faults, retries } = report;
 
         let divergences = compare_modules(module, &out, &self.oracle);

@@ -219,12 +219,10 @@ mod tests {
         let mut corrupted = false;
         for blk in &mut f.blocks {
             for inst in &mut blk.insts {
-                if let epre_ir::Inst::LoadI { value, .. } = inst {
-                    if let epre_ir::Const::Int(v) = value {
-                        *v += 7;
-                        corrupted = true;
-                        break;
-                    }
+                if let epre_ir::Inst::LoadI { value: epre_ir::Const::Int(v), .. } = inst {
+                    *v += 7;
+                    corrupted = true;
+                    break;
                 }
             }
             if corrupted {

@@ -226,6 +226,60 @@ impl SandboxedOptimizer {
         }
         Ok((out, report))
     }
+
+    /// [`SandboxedOptimizer::optimize`] with up to `jobs` worker threads.
+    ///
+    /// Functions are distributed over a [`std::thread::scope`] pool and
+    /// reassembled in module order, so the output module — and, because
+    /// faults are collected per function before merging, the report's
+    /// fault order — is deterministic and identical to the serial run.
+    /// The panic-quieting hook in [`catch_quiet`] is keyed on a
+    /// thread-local flag, so each worker's contained panics stay silent
+    /// without affecting its siblings. `jobs <= 1` takes the exact serial
+    /// path.
+    ///
+    /// # Errors
+    /// Under [`FaultPolicy::FailFast`], the fault of the earliest faulting
+    /// function in module order.
+    pub fn optimize_jobs(
+        &self,
+        module: &Module,
+        jobs: usize,
+    ) -> Result<(Module, SandboxReport), PassFault> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let n = module.functions.len();
+        if jobs <= 1 || n <= 1 {
+            return self.optimize(module);
+        }
+        let next = AtomicUsize::new(0);
+        type Slot = Mutex<Option<Result<(Function, SandboxReport), PassFault>>>;
+        let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(n) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut f = module.functions[i].clone();
+                    let outcome = self.optimize_function(&mut f).map(|rep| (f, rep));
+                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        let mut out = module.clone();
+        out.functions.clear();
+        let mut report = SandboxReport::default();
+        for slot in slots {
+            let (f, rep) =
+                slot.into_inner().expect("result slot poisoned").expect("worker filled slot")?;
+            out.functions.push(f);
+            report.merge(rep);
+        }
+        Ok((out, report))
+    }
 }
 
 #[cfg(test)]
@@ -250,7 +304,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "bomb"
         }
-        fn run(&self, _f: &mut Function) {
+        fn run(&self, _f: &mut Function) -> bool {
             panic!("deliberate detonation");
         }
     }
@@ -261,10 +315,11 @@ mod tests {
         fn name(&self) -> &'static str {
             "use-ghost"
         }
-        fn run(&self, f: &mut Function) {
+        fn run(&self, f: &mut Function) -> bool {
             let dst = f.new_reg(Ty::Int);
             let ghost = f.new_reg(Ty::Int);
             f.blocks[0].insts.push(Inst::Copy { dst, src: ghost });
+            true
         }
     }
 
@@ -349,7 +404,9 @@ mod tests {
             fn name(&self) -> &'static str {
                 "nop"
             }
-            fn run(&self, _f: &mut Function) {}
+            fn run(&self, _f: &mut Function) -> bool {
+                false
+            }
         }
         let passes: Vec<Box<dyn Pass>> = vec![Box::new(Nop)];
         let rep = run_passes_sandboxed(

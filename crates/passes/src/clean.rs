@@ -12,28 +12,42 @@
 //! The pass requires φ-free code (it runs in the non-SSA parts of the
 //! pipeline) and renumbers blocks densely afterwards.
 
+use epre_analysis::AnalysisCache;
 use epre_ir::{Block, BlockId, Function, Terminator};
 
-/// Run the clean pass to a fixed point.
-pub fn run(f: &mut Function) {
+/// Run the clean pass to a fixed point. Returns true if anything changed.
+pub fn run(f: &mut Function) -> bool {
+    run_with_cache(f, &mut AnalysisCache::new())
+}
+
+/// [`run`] against a caller-owned [`AnalysisCache`]. One cache serves the
+/// whole fixed point: a quiescing round (the common case — the last round,
+/// and for already-clean functions the only one) builds the CFG once and
+/// the sub-passes that follow reuse it — and leave it for the pipeline.
+/// Each structural edit invalidates precisely what it breaks, so the
+/// cache is consistent on return.
+pub fn run_with_cache(f: &mut Function, cache: &mut AnalysisCache) -> bool {
     debug_assert!(
         f.blocks.iter().all(|b| b.phi_count() == 0),
         "clean expects φ-free code"
     );
+    let mut any = false;
     loop {
         let mut changed = false;
-        changed |= fold_redundant_branches(f);
-        changed |= remove_unreachable(f);
-        changed |= bypass_empty_blocks(f);
-        changed |= merge_straight_lines(f);
+        changed |= fold_redundant_branches(f, cache);
+        changed |= remove_unreachable(f, cache);
+        changed |= bypass_empty_blocks(f, cache);
+        changed |= merge_straight_lines(f, cache);
         if !changed {
             break;
         }
+        any = true;
     }
+    any
 }
 
 /// `cbr c -> x, x` becomes `jump x`.
-fn fold_redundant_branches(f: &mut Function) -> bool {
+fn fold_redundant_branches(f: &mut Function, cache: &mut AnalysisCache) -> bool {
     let mut changed = false;
     for b in &mut f.blocks {
         if let Terminator::Branch { then_to, else_to, .. } = b.term {
@@ -43,13 +57,15 @@ fn fold_redundant_branches(f: &mut Function) -> bool {
             }
         }
     }
+    if changed {
+        cache.invalidate_cfg();
+    }
     changed
 }
 
 /// Remove blocks unreachable from the entry, renumbering the rest.
-fn remove_unreachable(f: &mut Function) -> bool {
-    let cfg = epre_cfg::Cfg::new(f);
-    let reach = cfg.reachable();
+fn remove_unreachable(f: &mut Function, cache: &mut AnalysisCache) -> bool {
+    let reach = cache.cfg(f).reachable();
     if reach.iter().all(|&r| r) {
         return false;
     }
@@ -66,20 +82,20 @@ fn remove_unreachable(f: &mut Function) -> bool {
         block.term.retarget_map(|t| remap[t.index()].expect("reachable target"));
     }
     f.blocks = kept;
+    cache.invalidate_all();
     true
 }
 
 /// Bypass blocks that contain nothing but a jump.
-fn bypass_empty_blocks(f: &mut Function) -> bool {
+fn bypass_empty_blocks(f: &mut Function, cache: &mut AnalysisCache) -> bool {
     let n = f.blocks.len();
     // forward[b] = ultimate destination following chains of empty jumps.
     let mut forward: Vec<BlockId> = (0..n as u32).map(BlockId).collect();
-    for i in 0..n {
-        let id = BlockId(i as u32);
-        if f.blocks[i].insts.is_empty() {
-            if let Terminator::Jump { target } = f.blocks[i].term {
-                if target != id {
-                    forward[i] = target;
+    for (fwd, block) in forward.iter_mut().zip(&f.blocks) {
+        if block.insts.is_empty() {
+            if let Terminator::Jump { target } = block.term {
+                if target != *fwd {
+                    *fwd = target;
                 }
             }
         }
@@ -110,19 +126,27 @@ fn bypass_empty_blocks(f: &mut Function) -> bool {
         });
     }
     // Entry itself being an empty jump is handled by the merge step.
+    if changed {
+        cache.invalidate_cfg();
+    }
     changed
 }
 
 /// Merge `a -> b` when `a` jumps to `b` and `b` has exactly one predecessor.
-fn merge_straight_lines(f: &mut Function) -> bool {
-    let cfg = epre_cfg::Cfg::new(f);
+fn merge_straight_lines(f: &mut Function, cache: &mut AnalysisCache) -> bool {
+    let cfg = cache.cfg(f);
     let mut changed = false;
+    let mut merge: Option<(usize, BlockId)> = None;
     for i in 0..f.blocks.len() {
         let a = BlockId(i as u32);
         let Terminator::Jump { target: b } = f.blocks[i].term else { continue };
         if b == a || cfg.preds(b).len() != 1 {
             continue;
         }
+        merge = Some((i, b));
+        break; // one merge per round; the fixed-point loop re-runs us
+    }
+    if let Some((i, b)) = merge {
         // Concatenate b into a; b becomes unreachable and is swept by the
         // next remove_unreachable round.
         let mut moved = std::mem::take(&mut f.blocks[b.index()].insts);
@@ -131,7 +155,7 @@ fn merge_straight_lines(f: &mut Function) -> bool {
         f.blocks[i].insts.append(&mut moved);
         f.blocks[i].term = term;
         changed = true;
-        break; // CFG snapshot is stale; the fixed-point loop re-runs us.
+        cache.invalidate_all();
     }
     changed
 }

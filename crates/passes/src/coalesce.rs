@@ -14,23 +14,40 @@
 
 use std::collections::HashSet;
 
-use epre_analysis::Liveness;
-use epre_cfg::Cfg;
+use epre_analysis::{AnalysisCache, Liveness};
 use epre_ir::{Function, Inst, Reg};
 
-/// Run coalescing rounds until no copy can be merged.
-pub fn run(f: &mut Function) {
-    debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "coalesce expects φ-free code");
-    // Drop trivial self-copies first.
-    for b in &mut f.blocks {
-        b.insts.retain(|i| !matches!(i, Inst::Copy { dst, src } if dst == src));
-    }
-    while coalesce_round(f) {}
+/// Run coalescing rounds until no copy can be merged. Returns true if any
+/// copy was removed.
+pub fn run(f: &mut Function) -> bool {
+    run_with_cache(f, &mut AnalysisCache::new())
 }
 
-fn coalesce_round(f: &mut Function) -> bool {
-    let cfg = Cfg::new(f);
-    let live = Liveness::new(f, &cfg);
+/// [`run`] against a caller-owned [`AnalysisCache`]. Coalescing renames
+/// registers and deletes copies but never touches block structure: every
+/// round's liveness shares one cached CFG, which also survives the pass.
+/// The renames make any cached expression universe stale, so a changing
+/// run invalidates it before returning.
+pub fn run_with_cache(f: &mut Function, cache: &mut AnalysisCache) -> bool {
+    debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "coalesce expects φ-free code");
+    // Drop trivial self-copies first.
+    let mut any = false;
+    for b in &mut f.blocks {
+        let before = b.insts.len();
+        b.insts.retain(|i| !matches!(i, Inst::Copy { dst, src } if dst == src));
+        any |= b.insts.len() != before;
+    }
+    while coalesce_round(f, cache) {
+        any = true;
+    }
+    if any {
+        cache.invalidate_universe();
+    }
+    any
+}
+
+fn coalesce_round(f: &mut Function, cache: &mut AnalysisCache) -> bool {
+    let live = Liveness::new(f, cache.cfg(f));
     let interference = build_interference(f, &live);
 
     // Find one coalescable copy per round (liveness is invalidated by the

@@ -34,13 +34,14 @@ pub enum CseScope {
     Available,
 }
 
-/// Run global CSE with the given evidence scope.
-pub fn run(f: &mut Function, scope: CseScope) {
+/// Run global CSE with the given evidence scope. Returns true if any
+/// instruction was deleted.
+pub fn run(f: &mut Function, scope: CseScope) -> bool {
     debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "cse expects φ-free code");
     let cfg = Cfg::new(f);
     let universe = ExprUniverse::new(f);
     if universe.is_empty() {
-        return;
+        return false;
     }
     let cap = universe.len();
     let lp = LocalPredicates::new(f, &universe);
@@ -85,6 +86,7 @@ pub fn run(f: &mut Function, scope: CseScope) {
         s
     };
 
+    let mut changed = false;
     for bi in 0..f.blocks.len() {
         let bid = BlockId(bi as u32);
         if !dom.is_reachable(bid) {
@@ -100,6 +102,7 @@ pub fn run(f: &mut Function, scope: CseScope) {
                 if universe.is_disciplined(e) {
                     if have.contains(e.index()) {
                         keep[i] = false; // value already in its register
+                        changed = true;
                     } else {
                         have.insert(e.index());
                     }
@@ -114,16 +117,17 @@ pub fn run(f: &mut Function, scope: CseScope) {
         let mut it = keep.iter();
         block.insts.retain(|_| *it.next().unwrap());
     }
+    changed
 }
 
 /// Convenience wrapper: dominator-scoped CSE.
-pub fn run_dominator(f: &mut Function) {
-    run(f, CseScope::Dominators);
+pub fn run_dominator(f: &mut Function) -> bool {
+    run(f, CseScope::Dominators)
 }
 
 /// Convenience wrapper: available-expressions CSE.
-pub fn run_available(f: &mut Function) {
-    run(f, CseScope::Available);
+pub fn run_available(f: &mut Function) -> bool {
+    run(f, CseScope::Available)
 }
 
 #[cfg(test)]

@@ -10,17 +10,27 @@
 //! Calls and stores always survive; so do instructions feeding terminators
 //! transitively.
 
-use epre_analysis::Liveness;
-use epre_cfg::Cfg;
+use epre_analysis::{AnalysisCache, Liveness};
 use epre_ir::Function;
 
-/// Run DCE to a fixed point. Returns nothing; the deleted-ops count is
-/// observable through [`Function::static_op_count`].
-pub fn run(f: &mut Function) {
+/// Run DCE to a fixed point. Returns true if any instruction was deleted;
+/// the deleted-ops count is observable through
+/// [`Function::static_op_count`].
+pub fn run(f: &mut Function) -> bool {
+    run_with_cache(f, &mut AnalysisCache::new())
+}
+
+/// [`run`] against a caller-owned [`AnalysisCache`] (the pipeline's, when
+/// driven through `Pass::run_cached`). DCE deletes instructions but never
+/// blocks or edges: a cached CFG is reused across every liveness round of
+/// the fixed point — and survives the pass for its successors. The cache
+/// is left consistent: each deleting round invalidates the expression
+/// universe only.
+pub fn run_with_cache(f: &mut Function, cache: &mut AnalysisCache) -> bool {
     debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "dce expects φ-free code");
+    let mut any = false;
     loop {
-        let cfg = Cfg::new(f);
-        let live = Liveness::new(f, &cfg);
+        let live = Liveness::new(f, cache.cfg(f));
         let mut changed = false;
         for (bid, block) in f.blocks.iter_mut().enumerate() {
             // Walk backwards maintaining the live set.
@@ -54,7 +64,10 @@ pub fn run(f: &mut Function) {
         if !changed {
             break;
         }
+        any = true;
+        cache.invalidate_universe();
     }
+    any
 }
 
 #[cfg(test)]

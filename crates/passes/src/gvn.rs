@@ -28,12 +28,15 @@ use epre_ir::{Function, Inst, Reg};
 use epre_ssa::{build_ssa, destroy_ssa, SsaOptions};
 
 /// Run GVN + renaming on `f`. The function enters and leaves non-SSA form.
-pub fn run(f: &mut Function) {
+/// Returns `true` unconditionally: the SSA round trip renames registers
+/// even when no classes merge, so the function must be treated as changed.
+pub fn run(f: &mut Function) -> bool {
     build_ssa(f, SsaOptions { fold_copies: true });
     let classes = congruence_classes(f);
     rename(f, &classes);
     dedupe_phis(f);
     destroy_ssa(f);
+    true
 }
 
 /// Congruence class of every register of `f` (indexed by register
@@ -208,11 +211,11 @@ fn dedupe_phis(f: &mut Function) {
         let n = block.phi_count();
         let mut seen: Vec<Inst> = Vec::new();
         let mut keep = vec![true; block.insts.len()];
-        for i in 0..n {
-            if seen.contains(&block.insts[i]) {
-                keep[i] = false;
+        for (inst, k) in block.insts.iter().zip(&mut keep).take(n) {
+            if seen.contains(inst) {
+                *k = false;
             } else {
-                seen.push(block.insts[i].clone());
+                seen.push(inst.clone());
             }
         }
         let mut it = keep.iter();

@@ -36,6 +36,18 @@
 //! All passes preserve the structural verifier and the interpreter-observable
 //! semantics of the function; the property tests at the crate root check
 //! both on randomly generated programs.
+//!
+//! ## Change reporting and analysis preservation
+//!
+//! [`Pass::run`] returns whether the pass changed the function, and
+//! [`Pass::preserves`] declares which cached analyses survive a change —
+//! together they drive the pipeline's [`AnalysisCache`] so a pass boundary
+//! no longer implies recomputing the CFG, dominators, and expression
+//! universe from scratch. Passes that rebuild the function wholesale (the
+//! SSA round-trippers `gvn` and `reassoc`, and `sccp`) report `true`
+//! conservatively; over-reporting a change is always sound (it merely
+//! costs a recomputation), while under-reporting is a bug that the
+//! pipeline's debug-build cache validation catches and blames by name.
 
 pub mod clean;
 pub mod coalesce;
@@ -48,6 +60,7 @@ pub mod pre;
 pub mod reassoc;
 pub mod sccp;
 
+use epre_analysis::{AnalysisCache, PreservedAnalyses};
 use epre_ir::Function;
 
 /// A function-level optimization pass.
@@ -55,12 +68,39 @@ use epre_ir::Function;
 /// Passes are stateless filters; any analyses they need are computed
 /// internally, mirroring the paper's pass structure ("each pass performs a
 /// single optimization, including all the required control-flow and
-/// data-flow analyses").
+/// data-flow analyses") — or borrowed from the pipeline's
+/// [`AnalysisCache`] via [`Pass::run_cached`].
 pub trait Pass {
     /// Short, stable pass name (used in pipeline descriptions and logs).
     fn name(&self) -> &'static str;
-    /// Transform `f` in place.
-    fn run(&self, f: &mut Function);
+
+    /// Transform `f` in place. Returns `true` if the function may have
+    /// changed. Reporting `true` for an unchanged function is sound (it
+    /// costs cached-analysis recomputation); reporting `false` for a
+    /// changed function is a contract violation caught by the pipeline's
+    /// debug-build cache validation.
+    fn run(&self, f: &mut Function) -> bool;
+
+    /// The analyses this pass keeps valid **when it reports a change**.
+    /// (A pass reporting no change implicitly preserves everything.)
+    /// The default is the safe minimum: nothing survives.
+    fn preserves(&self) -> PreservedAnalyses {
+        PreservedAnalyses::none()
+    }
+
+    /// Transform `f` with access to the pipeline's analysis cache.
+    ///
+    /// Implementations MUST leave `cache` consistent with the function they
+    /// return: the default runs [`Pass::run`] and, on change, drops
+    /// everything outside [`Pass::preserves`]. Overrides may use the cache
+    /// during the transform and invalidate with finer grain.
+    fn run_cached(&self, f: &mut Function, cache: &mut AnalysisCache) -> bool {
+        let changed = self.run(f);
+        if changed {
+            cache.retain(self.preserves());
+        }
+        changed
+    }
 }
 
 /// The statistics-reporting pass objects used by the driver crate.
@@ -68,7 +108,7 @@ pub mod passes {
     use super::*;
 
     macro_rules! simple_pass {
-        ($(#[$doc:meta])* $name:ident, $label:literal, $fun:path) => {
+        ($(#[$doc:meta])* $name:ident, $label:literal, $fun:path $(, preserves: $pres:expr)?) => {
             $(#[$doc])*
             #[derive(Debug, Clone, Copy, Default)]
             pub struct $name;
@@ -76,9 +116,14 @@ pub mod passes {
                 fn name(&self) -> &'static str {
                     $label
                 }
-                fn run(&self, f: &mut Function) {
-                    $fun(f);
+                fn run(&self, f: &mut Function) -> bool {
+                    $fun(f)
                 }
+                $(
+                    fn preserves(&self) -> PreservedAnalyses {
+                        $pres
+                    }
+                )?
             }
         };
     }
@@ -89,30 +134,93 @@ pub mod passes {
         "constprop",
         crate::sccp::run
     );
-    simple_pass!(
-        /// Global peephole optimization.
-        Peephole,
-        "peephole",
-        crate::peephole::run
-    );
-    simple_pass!(
-        /// Dead code elimination.
-        Dce,
-        "dce",
-        crate::dce::run
-    );
-    simple_pass!(
-        /// Chaitin-style copy coalescing.
-        Coalesce,
-        "coalesce",
-        crate::coalesce::run
-    );
-    simple_pass!(
-        /// Empty-block elimination / CFG tidying.
-        Clean,
-        "clean",
-        crate::clean::run
-    );
+    /// Global peephole optimization. Instruction rewrites keep the CFG
+    /// intact; only folding a conditional branch changes block shape, and
+    /// `peephole::run_detailed` reports which happened, so `run_cached`
+    /// invalidates with finer grain than the trait default.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Peephole;
+
+    impl Pass for Peephole {
+        fn name(&self) -> &'static str {
+            "peephole"
+        }
+        fn run(&self, f: &mut Function) -> bool {
+            crate::peephole::run(f)
+        }
+        fn run_cached(&self, f: &mut Function, cache: &mut AnalysisCache) -> bool {
+            let outcome = crate::peephole::run_detailed(f);
+            if outcome.changed() {
+                if outcome.cfg_changed {
+                    cache.invalidate_cfg();
+                }
+                cache.invalidate_universe();
+            }
+            outcome.changed()
+        }
+    }
+    /// Dead code elimination. Deletes instructions only — never blocks
+    /// or edges — so the control-flow family survives. `run_cached` hands
+    /// the pipeline's cache straight to the pass: a CFG computed by an
+    /// earlier pass feeds every liveness round, and DCE's own invalidation
+    /// (universe only, per deleting round) keeps it consistent.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Dce;
+
+    impl Pass for Dce {
+        fn name(&self) -> &'static str {
+            "dce"
+        }
+        fn run(&self, f: &mut Function) -> bool {
+            crate::dce::run(f)
+        }
+        fn preserves(&self) -> PreservedAnalyses {
+            PreservedAnalyses::none().with_cfg()
+        }
+        fn run_cached(&self, f: &mut Function, cache: &mut AnalysisCache) -> bool {
+            crate::dce::run_with_cache(f, cache)
+        }
+    }
+
+    /// Chaitin-style copy coalescing. Renames registers and drops copies
+    /// within blocks; block structure is untouched, so `run_cached` shares
+    /// the pipeline cache's CFG with its liveness rounds and invalidates
+    /// only the expression universe on change.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Coalesce;
+
+    impl Pass for Coalesce {
+        fn name(&self) -> &'static str {
+            "coalesce"
+        }
+        fn run(&self, f: &mut Function) -> bool {
+            crate::coalesce::run(f)
+        }
+        fn preserves(&self) -> PreservedAnalyses {
+            PreservedAnalyses::none().with_cfg()
+        }
+        fn run_cached(&self, f: &mut Function, cache: &mut AnalysisCache) -> bool {
+            crate::coalesce::run_with_cache(f, cache)
+        }
+    }
+
+    /// Empty-block elimination / CFG tidying. `run_cached` shares the
+    /// pipeline cache across the fixed point; the quiescing final round
+    /// leaves a valid CFG behind for whatever runs next.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Clean;
+
+    impl Pass for Clean {
+        fn name(&self) -> &'static str {
+            "clean"
+        }
+        fn run(&self, f: &mut Function) -> bool {
+            crate::clean::run(f)
+        }
+        fn run_cached(&self, f: &mut Function, cache: &mut AnalysisCache) -> bool {
+            crate::clean::run_with_cache(f, cache)
+        }
+    }
     simple_pass!(
         /// Partial redundancy elimination (Drechsler–Stadel).
         Pre,
@@ -126,10 +234,12 @@ pub mod passes {
         crate::gvn::run
     );
     simple_pass!(
-        /// Hash-based local value numbering.
+        /// Hash-based local value numbering. Rewrites and deletes
+        /// instructions within blocks; the CFG is untouched.
         Lvn,
         "lvn",
-        crate::lvn::run
+        crate::lvn::run,
+        preserves: PreservedAnalyses::none().with_cfg()
     );
 
     /// Global reassociation (rank + forward propagation + sorting), with or
@@ -149,11 +259,14 @@ pub mod passes {
                 "reassociate"
             }
         }
-        fn run(&self, f: &mut Function) {
+        fn run(&self, f: &mut Function) -> bool {
             crate::reassoc::reassociate(
                 f,
                 crate::reassoc::ReassocOptions { distribute: self.distribute },
             );
+            // The SSA round trip renames registers even when nothing
+            // propagates; report a change conservatively.
+            true
         }
     }
 }

@@ -17,12 +17,15 @@ use epre_ir::{Const, Function, Inst, Reg};
 /// Value number.
 type Vn = u32;
 
-/// Run local value numbering over every block.
-pub fn run(f: &mut Function) {
+/// Run local value numbering over every block. Returns true if any
+/// instruction was rewritten or deleted.
+pub fn run(f: &mut Function) -> bool {
     debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "lvn expects φ-free code");
+    let mut changed = false;
     for block in &mut f.blocks {
-        number_block(block);
+        changed |= number_block(block);
     }
+    changed
 }
 
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -32,7 +35,8 @@ enum VnKey {
     Un(epre_ir::UnOp, epre_ir::Ty, Vn),
 }
 
-fn number_block(block: &mut epre_ir::Block) {
+fn number_block(block: &mut epre_ir::Block) -> bool {
+    let mut changed = false;
     let mut next: Vn = 0;
     // Value number currently held by each register.
     let mut vn_of_reg: HashMap<Reg, Vn> = HashMap::new();
@@ -103,6 +107,7 @@ fn number_block(block: &mut epre_ir::Block) {
                         } else {
                             *inst = Inst::Copy { dst: d, src: home };
                         }
+                        changed = true;
                         vn_of_reg.insert(d, vn);
                         continue;
                     }
@@ -131,6 +136,7 @@ fn number_block(block: &mut epre_ir::Block) {
     }
     let mut it = keep.iter();
     block.insts.retain(|_| *it.next().unwrap());
+    changed
 }
 
 #[cfg(test)]

@@ -22,15 +22,44 @@ use std::collections::HashMap;
 
 use epre_ir::{BinOp, Const, Function, Inst, Reg, Terminator, Ty, UnOp};
 
-/// Run the peephole pass once over every block.
-pub fn run(f: &mut Function) {
-    debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "peephole expects φ-free code");
-    for bi in 0..f.blocks.len() {
-        rewrite_block(f, bi);
+/// What one peephole run did to the function — consumed by the pass
+/// manager to invalidate cached analyses with edge-level precision.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Outcome {
+    /// Some instruction was rewritten, deleted, or replaced.
+    pub insts_changed: bool,
+    /// A constant conditional branch was folded into a jump (the only
+    /// peephole rewrite that edits the CFG).
+    pub cfg_changed: bool,
+}
+
+impl Outcome {
+    /// Did anything change at all?
+    pub fn changed(&self) -> bool {
+        self.insts_changed || self.cfg_changed
     }
 }
 
-fn rewrite_block(f: &mut Function, bi: usize) {
+/// Run the peephole pass once over every block. Returns true if anything
+/// changed.
+pub fn run(f: &mut Function) -> bool {
+    run_detailed(f).changed()
+}
+
+/// Run the peephole pass, reporting instruction and CFG changes
+/// separately.
+pub fn run_detailed(f: &mut Function) -> Outcome {
+    debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "peephole expects φ-free code");
+    let mut outcome = Outcome::default();
+    for bi in 0..f.blocks.len() {
+        let block = rewrite_block(f, bi);
+        outcome.insts_changed |= block.insts_changed;
+        outcome.cfg_changed |= block.cfg_changed;
+    }
+    outcome
+}
+
+fn rewrite_block(f: &mut Function, bi: usize) -> Outcome {
     // Local environment: constants and copy sources, invalidated on
     // redefinition.
     let mut consts: HashMap<Reg, Const> = HashMap::new();
@@ -38,15 +67,25 @@ fn rewrite_block(f: &mut Function, bi: usize) {
     // neg_of[d] = y when `d <- neg y` is the latest definition of d.
     let mut neg_of: HashMap<Reg, Reg> = HashMap::new();
 
+    let mut outcome = Outcome::default();
     let block = &mut f.blocks[bi];
     for inst in &mut block.insts {
         // Copy-propagate operands first.
-        inst.map_uses(|r| resolve(&copies, r));
+        inst.map_uses(|r| {
+            let resolved = resolve(&copies, r);
+            if resolved != r {
+                outcome.insts_changed = true;
+            }
+            resolved
+        });
 
         // Invalidate environment entries that depended on the defined reg
         // *after* computing the rewrite (the definition happens last).
         let rewritten = simplify(inst, &consts, &neg_of);
         if let Some(new) = rewritten {
+            if *inst != new {
+                outcome.insts_changed = true;
+            }
             *inst = new;
         }
 
@@ -77,13 +116,21 @@ fn rewrite_block(f: &mut Function, bi: usize) {
         }
     }
     // Terminator: copy-propagate and fold constant branches.
-    block.term.map_uses(|r| resolve(&copies, r));
+    block.term.map_uses(|r| {
+        let resolved = resolve(&copies, r);
+        if resolved != r {
+            outcome.insts_changed = true;
+        }
+        resolved
+    });
     if let Terminator::Branch { cond, then_to, else_to } = block.term {
         if let Some(c) = consts.get(&cond) {
             let target = if c.is_zero() { else_to } else { then_to };
             block.term = Terminator::Jump { target };
+            outcome.cfg_changed = true;
         }
     }
+    outcome
 }
 
 fn resolve(copies: &HashMap<Reg, Reg>, r: Reg) -> Reg {

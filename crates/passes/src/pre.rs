@@ -36,7 +36,8 @@ use epre_cfg::edit::split_critical_edges;
 use epre_cfg::Cfg;
 use epre_ir::{BlockId, Function, Inst};
 
-/// Run PRE to a fixed point.
+/// Run PRE to a fixed point. Returns true if any round changed the
+/// function (including critical-edge splitting, which edits the CFG).
 ///
 /// A single application exposes *second-order* opportunities: hoisting a
 /// `loadi` out of a block un-kills the expressions that consumed the
@@ -45,23 +46,26 @@ use epre_ir::{BlockId, Function, Inst};
 /// repetition). Each round only deletes or moves computations, so the
 /// iteration converges; a generous bound guards against pathological
 /// inputs.
-pub fn run(f: &mut Function) {
+pub fn run(f: &mut Function) -> bool {
+    let mut any = false;
     for _ in 0..10 {
         if !run_once(f) {
             break;
         }
+        any = true;
     }
+    any
 }
 
 /// One application of Drechsler–Stadel PRE; returns true if anything
-/// changed (insertions or deletions happened).
+/// changed (edges split, insertions, or deletions).
 pub fn run_once(f: &mut Function) -> bool {
     debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "PRE expects φ-free code");
-    split_critical_edges(f);
+    let splits = split_critical_edges(f);
     let cfg = Cfg::new(f);
     let universe = ExprUniverse::new(f);
     if universe.is_empty() {
-        return false;
+        return splits > 0;
     }
     let cap = universe.len();
     let lp = LocalPredicates::new(f, &universe);
@@ -74,9 +78,9 @@ pub fn run_once(f: &mut Function) -> bool {
         }
     }
     let n = f.blocks.len();
-    let mut antloc = lp.antloc.clone();
-    let mut comp = lp.comp.clone();
-    let transp = lp.transp.clone();
+    // Take the local predicates apart rather than cloning them: PRE owns
+    // `lp` and ANTLOC/COMP are masked in place.
+    let LocalPredicates { transp, mut antloc, mut comp } = lp;
     for b in 0..n {
         antloc[b].intersect_with(&disciplined);
         comp[b].intersect_with(&disciplined);
@@ -94,27 +98,35 @@ pub fn run_once(f: &mut Function) -> bool {
     let avail = solve(&cfg, Direction::Forward, Meet::Intersection, &comp, &kill);
     let antic = solve(&cfg, Direction::Backward, Meet::Intersection, &antloc, &kill);
 
-    // EARLIEST per edge.
+    // EARLIEST per edge. Rewritten from the textbook form into pure set
+    // subtraction so the only allocation is the stored result:
+    //   EARLIEST(i,j) = ANTIN(j) − AVOUT(i) − (TRANSP(i) ∩ ANTOUT(i))
+    // (the last term is dropped for the entry block, whose AVOUT boundary
+    // already handles it).
     let edges = cfg.edges();
+    let mut scratch = BitSet::new(cap);
     let mut earliest: Vec<BitSet> = Vec::with_capacity(edges.len());
     for &(i, j) in &edges {
         let mut e = antic.ins[j.index()].clone();
-        let mut not_avout = BitSet::full(cap);
-        not_avout.difference_with(&avail.outs[i.index()]);
-        e.intersect_with(&not_avout);
+        e.difference_with(&avail.outs[i.index()]);
         if i != BlockId::ENTRY {
-            // ¬TRANSP(i) ∪ ¬ANTOUT(i)
-            let mut guard = BitSet::full(cap);
-            guard.difference_with(&transp[i.index()]);
-            let mut not_antout = BitSet::full(cap);
-            not_antout.difference_with(&antic.outs[i.index()]);
-            guard.union_with(&not_antout);
-            e.intersect_with(&guard);
+            scratch.assign_from(&transp[i.index()]);
+            scratch.intersect_with(&antic.outs[i.index()]);
+            e.difference_with(&scratch);
         }
         earliest.push(e);
     }
 
-    // LATER / LATERIN to a fixed point.
+    // Incoming-edge index so the LATERIN meet visits each edge once per
+    // sweep instead of scanning the whole edge list per block.
+    let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (k, &(_, to)) in edges.iter().enumerate() {
+        in_edges[to.index()].push(k);
+    }
+
+    // LATER / LATERIN to a fixed point. Both systems are recomputed into a
+    // single scratch buffer and swapped in on change — no per-iteration
+    // allocation.
     let mut laterin: Vec<BitSet> = (0..n)
         .map(|b| if b == 0 { BitSet::new(cap) } else { BitSet::full(cap) })
         .collect();
@@ -122,32 +134,27 @@ pub fn run_once(f: &mut Function) -> bool {
     loop {
         let mut changed = false;
         for (k, &(i, _)) in edges.iter().enumerate() {
-            // LATER(i,j) = EARLIEST(i,j) ∪ (LATERIN(i) ∩ ¬ANTLOC(i))
-            let mut new = earliest[k].clone();
-            let mut pass = laterin[i.index()].clone();
-            pass.difference_with(&antloc[i.index()]);
-            new.union_with(&pass);
-            if new != later[k] {
-                later[k] = new;
+            // LATER(i,j) = EARLIEST(i,j) ∪ (LATERIN(i) − ANTLOC(i))
+            scratch.assign_from(&earliest[k]);
+            scratch.union_with_minus(&laterin[i.index()], &antloc[i.index()]);
+            if scratch != later[k] {
+                std::mem::swap(&mut later[k], &mut scratch);
                 changed = true;
             }
         }
         for j in 1..n {
-            // LATERIN(j) = ∩ over incoming edges.
-            let mut acc: Option<BitSet> = None;
-            for (k, &(_, to)) in edges.iter().enumerate() {
-                if to.index() == j {
-                    match &mut acc {
-                        None => acc = Some(later[k].clone()),
-                        Some(a) => {
-                            a.intersect_with(&later[k]);
-                        }
+            // LATERIN(j) = ∩ over incoming edges (∅ for unreachable blocks).
+            match in_edges[j].split_first() {
+                None => scratch.clear(),
+                Some((&first, rest)) => {
+                    scratch.assign_from(&later[first]);
+                    for &k in rest {
+                        scratch.intersect_with(&later[k]);
                     }
                 }
             }
-            let new = acc.unwrap_or_else(|| BitSet::new(cap)); // unreachable blocks
-            if new != laterin[j] {
-                laterin[j] = new;
+            if scratch != laterin[j] {
+                std::mem::swap(&mut laterin[j], &mut scratch);
                 changed = true;
             }
         }
@@ -157,19 +164,20 @@ pub fn run_once(f: &mut Function) -> bool {
     }
 
     // INSERT / DELETE.
-    let mut any_change = false;
+    let mut any_change = splits > 0;
     let mut insert: Vec<(BlockId, BlockId, Vec<ExprId>)> = Vec::new();
     for (k, &(i, j)) in edges.iter().enumerate() {
-        let mut ins = later[k].clone();
-        ins.difference_with(&laterin[j.index()]);
-        if !ins.is_empty() {
-            insert.push((i, j, ins.iter().map(|x| ExprId(x as u32)).collect()));
+        scratch.assign_from(&later[k]);
+        scratch.difference_with(&laterin[j.index()]);
+        if !scratch.is_empty() {
+            insert.push((i, j, scratch.iter().map(|x| ExprId(x as u32)).collect()));
         }
     }
 
     // Deletions first (they index the original instruction streams).
     for b in 1..n {
-        let mut del = antloc[b].clone();
+        let del = &mut scratch;
+        del.assign_from(&antloc[b]);
         del.difference_with(&laterin[b]);
         if del.is_empty() {
             continue;

@@ -369,8 +369,8 @@ fn flatten(tree: Tree) -> Tree {
     match tree {
         Tree::Bin(op, ty, l, r) if op.is_associative() => {
             let mut terms = Vec::new();
-            collect(op, ty, flatten(*l), false, &mut terms);
-            collect(op, ty, flatten(*r), false, &mut terms);
+            collect(op, flatten(*l), false, &mut terms);
+            collect(op, flatten(*r), false, &mut terms);
             if terms.len() == 1 {
                 let (t, neg) = terms.pop().unwrap();
                 if neg {
@@ -395,7 +395,7 @@ fn flatten(tree: Tree) -> Tree {
     }
 }
 
-fn collect(op: BinOp, ty: Ty, t: Tree, neg: bool, out: &mut Vec<(Tree, bool)>) {
+fn collect(op: BinOp, t: Tree, neg: bool, out: &mut Vec<(Tree, bool)>) {
     match t {
         Tree::Nary(o, _, terms) if o == op => {
             for (t, n) in terms {
@@ -405,7 +405,7 @@ fn collect(op: BinOp, ty: Ty, t: Tree, neg: bool, out: &mut Vec<(Tree, bool)>) {
             }
         }
         Tree::Un(UnOp::Neg, _, inner) if op == BinOp::Add => {
-            collect(op, ty, *inner, !neg, out);
+            collect(op, *inner, !neg, out);
         }
         other => out.push((other, neg)),
     }

@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use epre_analysis::AnalysisCache;
 use epre_ir::{BlockId, Const, Function, Inst, Reg, Terminator};
 use epre_ssa::{build_ssa, destroy_ssa, SsaOptions};
 
@@ -38,10 +39,11 @@ impl Lattice {
     }
 }
 
-/// Run SCCP on `f`.
-pub fn run(f: &mut Function) {
+/// Run SCCP on `f`. Returns `true` unconditionally: the internal SSA
+/// round trip renames registers even when no constant propagates, so the
+/// function must be treated as changed.
+pub fn run(f: &mut Function) -> bool {
     build_ssa(f, SsaOptions { fold_copies: true });
-    let cfg = epre_cfg::Cfg::new(f);
 
     let nregs = f.reg_count();
     let mut value: Vec<Lattice> = vec![Lattice::Top, Lattice::Top]
@@ -151,11 +153,14 @@ pub fn run(f: &mut Function) {
     }
 
     // Unreachable blocks may now contain φs naming removed edges; drop
-    // unreachable blocks before SSA destruction.
-    drop_unreachable_with_phis(f);
-    prune_phi_args_of_removed_edges(f);
+    // unreachable blocks before SSA destruction. Both cleanups need the
+    // post-folding CFG; one shared cache builds it at most twice (and only
+    // once when nothing was unreachable) instead of three times.
+    let mut cache = AnalysisCache::new();
+    drop_unreachable_with_phis(f, &mut cache);
+    prune_phi_args_of_removed_edges(f, &mut cache);
     destroy_ssa(f);
-    let _ = cfg;
+    true
 }
 
 fn visit_inst(
@@ -163,7 +168,7 @@ fn visit_inst(
     b: BlockId,
     _i: usize,
     inst: &Inst,
-    value: &mut Vec<Lattice>,
+    value: &mut [Lattice],
     ssa_work: &mut Vec<Reg>,
     edge_exec: &HashMap<(BlockId, BlockId), bool>,
 ) {
@@ -259,9 +264,8 @@ fn visit_terminator(
 
 /// Remove unreachable blocks (in SSA form, so φ inputs from removed blocks
 /// must also be pruned — done separately).
-fn drop_unreachable_with_phis(f: &mut Function) {
-    let cfg = epre_cfg::Cfg::new(f);
-    let reach = cfg.reachable();
+fn drop_unreachable_with_phis(f: &mut Function, cache: &mut AnalysisCache) {
+    let reach = cache.cfg(f).reachable();
     if reach.iter().all(|&r| r) {
         return;
     }
@@ -292,12 +296,13 @@ fn drop_unreachable_with_phis(f: &mut Function) {
         }
     }
     f.blocks = kept;
+    cache.invalidate_all();
 }
 
 /// After branch folding, a φ may name a predecessor that no longer reaches
 /// it; drop those inputs, and collapse single-input φs into copies.
-fn prune_phi_args_of_removed_edges(f: &mut Function) {
-    let cfg = epre_cfg::Cfg::new(f);
+fn prune_phi_args_of_removed_edges(f: &mut Function, cache: &mut AnalysisCache) {
+    let cfg = cache.cfg(f);
     for bi in 0..f.blocks.len() {
         let bid = BlockId(bi as u32);
         let preds: Vec<BlockId> = cfg.preds(bid).to_vec();
@@ -315,6 +320,9 @@ fn prune_phi_args_of_removed_edges(f: &mut Function) {
         // prefix by stable-sorting φs first.
         f.blocks[bi].insts.sort_by_key(|i| !matches!(i, Inst::Phi { .. }));
     }
+    // Instructions changed (φ→copy rewrites) but block structure did not:
+    // the cached CFG stays valid for any later user of this cache.
+    cache.invalidate_universe();
 }
 
 #[cfg(test)]

@@ -59,15 +59,15 @@ pub fn build_ssa(f: &mut Function, options: SsaOptions) {
     // 2. φ-placement on iterated dominance frontiers, pruned by liveness.
     // phi_for[b] = registers needing a φ in b.
     let mut phi_for: Vec<Vec<Reg>> = vec![Vec::new(); n_blocks];
-    for r in 0..n_regs {
+    for (r, sites) in def_sites.iter().enumerate().take(n_regs) {
         let reg = Reg(r as u32);
-        if def_sites[r].is_empty() {
+        if sites.is_empty() {
             continue;
         }
         let mut placed: Vec<bool> = vec![false; n_blocks];
         let mut on_work: Vec<bool> = vec![false; n_blocks];
         let mut work: Vec<BlockId> = Vec::new();
-        for &b in &def_sites[r] {
+        for &b in sites {
             if !on_work[b.index()] {
                 on_work[b.index()] = true;
                 work.push(b);

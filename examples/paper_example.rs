@@ -27,9 +27,9 @@ fn main() {
     // Figure 3's translation "does not conform to the naming discipline",
     // so lower with Simple naming, as the paper does.
     let module = compile(source, NamingMode::Simple).expect("compiles");
-    let foo = module.function("foo").unwrap();
+    let routine = module.function("foo").unwrap();
 
-    let staged = run_staged(foo, true);
+    let staged = run_staged(routine, true);
     for (_, description, f) in &staged.snapshots {
         println!("{description}\n\n{f}\n");
     }

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Smoke-run the optimizer-throughput benchmark (one repetition, one thread
+# count) and fail if it cannot complete. The full run — three repetitions,
+# jobs in {2,4,8} — is the same command without `--quick`; both rewrite
+# BENCH_OPT.json at the workspace root.
+set -eu
+cd "$(dirname "$0")/.."
+cargo bench -p epre-bench --bench throughput -- --quick

@@ -4,7 +4,7 @@
 //! epre lint <file.iloc|-> [--json] [--no-audit]   lint ILOC, print diagnostics
 //! epre rules                                      list the lint rule registry
 //! epre opt <file.iloc|-> [--level L] [--verify-each] [--best-effort] [--fuel N]
-//!                                                 optimize ILOC, print result
+//!          [--jobs N] [--timings]                 optimize ILOC, print result
 //! epre fuzz <file.iloc|-> [--seed N] [--iters N] [--fuel N] [--level L]
 //!                                                 seeded fault-injection campaign
 //! epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch)
@@ -34,7 +34,7 @@ use epre_lint::{lint_module, LintOptions, Rule};
 const USAGE: &str = "usage:\n  \
     epre lint <file.iloc|-> [--json] [--no-audit]\n  \
     epre rules\n  \
-    epre opt <file.iloc|-> [--level baseline|partial|reassociation|distribution|distribution+lvn] [--verify-each] [--best-effort] [--fuel N]\n  \
+    epre opt <file.iloc|-> [--level baseline|partial|reassociation|distribution|distribution+lvn] [--verify-each] [--best-effort] [--fuel N] [--jobs N] [--timings]\n  \
     epre fuzz <file.iloc|-> [--seed N] [--iters N] [--fuel N] [--level L]\n  \
     epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch) [--level L] [--fuel N]";
 
@@ -139,12 +139,23 @@ fn cmd_opt(args: &[String]) -> ExitCode {
     let mut level = OptLevel::Distribution;
     let mut verify_each = false;
     let mut best_effort = false;
+    let mut timings = false;
+    let mut jobs: usize = 1;
     let mut fuel = OracleConfig::default().fuel;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--verify-each" => verify_each = true,
             "--best-effort" => best_effort = true,
+            "--timings" => timings = true,
+            "--jobs" => match parse_u64("--jobs", it.next()) {
+                Ok(n) if n >= 1 => jobs = n as usize,
+                Ok(_) => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
             "--fuel" => match parse_u64("--fuel", it.next()) {
                 Ok(n) => fuel = n,
                 Err(code) => return code,
@@ -179,7 +190,7 @@ fn cmd_opt(args: &[String]) -> ExitCode {
     if best_effort {
         let oracle = OracleConfig { fuel, ..OracleConfig::default() };
         let harness = Harness::new(level, FaultPolicy::BestEffort).with_oracle(oracle);
-        let out = harness.optimize(&module).expect("best-effort never fails fast");
+        let out = harness.optimize_jobs(&module, jobs).expect("best-effort never fails fast");
         for f in &out.faults {
             eprintln!("contained: {f}");
         }
@@ -198,6 +209,9 @@ fn cmd_opt(args: &[String]) -> ExitCode {
     }
     let opt = Optimizer::new(level);
     let out = if verify_each {
+        if timings {
+            eprintln!("note: --timings is ignored under --verify-each");
+        }
         match opt.optimize_verified(&module) {
             Ok(m) => m,
             Err(e) => {
@@ -205,8 +219,14 @@ fn cmd_opt(args: &[String]) -> ExitCode {
                 return ExitCode::from(1);
             }
         }
+    } else if timings {
+        // Per-pass attribution requires the serial pipeline; --jobs is
+        // measured end-to-end by the `throughput` benchmark instead.
+        let (out, report) = opt.optimize_timed(&module);
+        eprint!("{report}");
+        out
     } else {
-        opt.optimize(&module)
+        opt.optimize_jobs(&module, jobs)
     };
     print!("{out}");
     ExitCode::SUCCESS
