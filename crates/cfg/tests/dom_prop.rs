@@ -1,3 +1,8 @@
+#![cfg(feature = "prop-tests")]
+// Gated: requires the proptest dev-dependency, which the offline build
+// environment cannot fetch. Restore it in Cargo.toml and build with
+// `--features prop-tests` to run these.
+
 //! Property test: the Cooper–Harvey–Kennedy dominator computation agrees
 //! with the naive O(n²) iterative definition on random control-flow
 //! graphs, including irreducible ones.

@@ -13,6 +13,7 @@
 use std::fmt;
 
 use epre_lint::Diagnostic;
+use epre_passes::BudgetExceeded;
 
 use crate::verify_each::PipelineViolation;
 
@@ -27,6 +28,9 @@ pub enum FaultKind {
     /// The lint suite found new error-severity violations in the pass's
     /// output (the diff against the pre-pass report).
     Lint(Vec<Diagnostic>),
+    /// The pass ran out of its resource budget (deadline, iteration cap,
+    /// or growth cap) and was stopped at a cooperative checkpoint.
+    Budget(BudgetExceeded),
 }
 
 /// A contained failure of one pass invocation on one function.
@@ -60,12 +64,26 @@ impl PassFault {
         PassFault { pass: pass.into(), function: function.into(), kind: FaultKind::Lint(errors) }
     }
 
+    /// A fault from an exhausted resource budget.
+    pub fn budget(
+        pass: impl Into<String>,
+        function: impl Into<String>,
+        exceeded: BudgetExceeded,
+    ) -> Self {
+        PassFault {
+            pass: pass.into(),
+            function: function.into(),
+            kind: FaultKind::Budget(exceeded),
+        }
+    }
+
     /// Short label for the fault category, for report summaries.
     pub fn kind_label(&self) -> &'static str {
         match self.kind {
             FaultKind::Panic(_) => "panic",
             FaultKind::Verify(_) => "verify",
             FaultKind::Lint(_) => "lint",
+            FaultKind::Budget(_) => "budget",
         }
     }
 }
@@ -91,6 +109,13 @@ impl fmt::Display for PassFault {
                     writeln!(f, "  {d}")?;
                 }
                 Ok(())
+            }
+            FaultKind::Budget(e) => {
+                write!(
+                    f,
+                    "pass `{}` exceeded its budget in function `{}`: {e}",
+                    self.pass, self.function
+                )
             }
         }
     }

@@ -47,8 +47,9 @@ pub mod stats;
 pub mod timings;
 pub mod verify_each;
 
+pub use epre_passes::{Budget, BudgetExceeded, BudgetKind};
 pub use fault::{FaultKind, PassFault};
-pub use pipeline::{run_pass_cached, run_pass_checked, OptLevel, Optimizer};
+pub use pipeline::{run_pass_budgeted, run_pass_cached, run_pass_checked, OptLevel, Optimizer};
 pub use stages::{run_staged, try_run_staged, Stage, StagedOutput};
 pub use stats::{measure, measure_module, Measurement};
 pub use timings::{ModuleTimings, PassTiming};

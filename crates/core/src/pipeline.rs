@@ -7,7 +7,7 @@ use std::sync::Mutex;
 use epre_analysis::AnalysisCache;
 use epre_ir::{Function, Module};
 use epre_passes::passes::{Clean, Coalesce, ConstProp, Dce, Gvn, Lvn, Peephole, Pre, Reassociate};
-use epre_passes::Pass;
+use epre_passes::{Budget, Pass};
 
 use crate::fault::PassFault;
 
@@ -59,12 +59,28 @@ impl OptLevel {
 #[derive(Debug, Clone, Copy)]
 pub struct Optimizer {
     level: OptLevel,
+    budget: Budget,
 }
 
 impl Optimizer {
-    /// An optimizer for the given level.
+    /// An optimizer for the given level, with an unlimited per-pass
+    /// budget (the historical behavior).
     pub fn new(level: OptLevel) -> Self {
-        Optimizer { level }
+        Optimizer { level, budget: Budget::UNLIMITED }
+    }
+
+    /// This optimizer with a per-pass-invocation resource budget. Every
+    /// pass of every function is held to `budget`; an over-budget pass
+    /// stops at its next cooperative checkpoint and surfaces as a
+    /// [`PassFault`] with kind `budget`.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured per-pass budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
     }
 
     /// The configured level.
@@ -120,7 +136,7 @@ impl Optimizer {
     pub fn try_optimize_function(&self, f: &mut Function) -> Result<(), PassFault> {
         let mut cache = AnalysisCache::new();
         for pass in self.passes() {
-            run_pass_cached(pass.as_ref(), f, &mut cache)?;
+            run_pass_budgeted(pass.as_ref(), f, &mut cache, &self.budget)?;
         }
         Ok(())
     }
@@ -272,7 +288,34 @@ pub fn run_pass_cached(
     f: &mut Function,
     cache: &mut AnalysisCache,
 ) -> Result<bool, PassFault> {
-    let changed = pass.run_cached(f, cache);
+    run_pass_budgeted(pass, f, cache, &Budget::UNLIMITED)
+}
+
+/// Run one pass over `f` through a shared [`AnalysisCache`], held to a
+/// resource [`Budget`] — [`run_pass_cached`] plus the governance layer.
+///
+/// The pass runs via [`Pass::run_budgeted`], so fixed-point passes stop at
+/// their cooperative checkpoints when over budget. A budget trip leaves
+/// `f` mid-transform (possibly in SSA form) and is reported as a
+/// [`PassFault`] with kind `budget`; the debug-build IR and cache
+/// verification is skipped for that outcome, since the half-transformed
+/// state is not a claim about correctness. Callers needing all-or-nothing
+/// semantics (the `epre-harness` sandbox) run on a clone and roll back,
+/// exactly as they do for panics.
+///
+/// # Errors
+/// A [`PassFault`] with kind `budget` when the pass exhausted its budget,
+/// or kind `verify` as in [`run_pass_cached`].
+pub fn run_pass_budgeted(
+    pass: &dyn Pass,
+    f: &mut Function,
+    cache: &mut AnalysisCache,
+    budget: &Budget,
+) -> Result<bool, PassFault> {
+    let changed = match pass.run_budgeted(f, cache, budget) {
+        Ok(changed) => changed,
+        Err(e) => return Err(PassFault::budget(pass.name(), &f.name, e)),
+    };
     if cfg!(debug_assertions) {
         if let Err(e) = f.verify() {
             return Err(PassFault::verify(pass.name(), &f.name, e.to_string()));

@@ -16,7 +16,7 @@ use epre_analysis::{AnalysisCache, CacheStats};
 use epre_ir::Module;
 
 use crate::fault::PassFault;
-use crate::pipeline::{run_pass_cached, Optimizer};
+use crate::pipeline::{run_pass_budgeted, Optimizer};
 
 /// Accumulated wall-clock cost of one pass across every function of a
 /// module.
@@ -135,7 +135,7 @@ impl Optimizer {
             let mut cache = AnalysisCache::new();
             for (pass, timing) in passes.iter().zip(timings.iter_mut()) {
                 let t0 = Instant::now();
-                let changed = run_pass_cached(pass.as_ref(), f, &mut cache)?;
+                let changed = run_pass_budgeted(pass.as_ref(), f, &mut cache, &self.budget())?;
                 timing.duration += t0.elapsed();
                 timing.invocations += 1;
                 timing.changed += usize::from(changed);

@@ -1,0 +1,164 @@
+//! Per-pass circuit breakers: after a pass has faulted `threshold` times
+//! across the functions of one module, stop invoking it for the rest of
+//! that module.
+//!
+//! The sandbox already contains each individual fault, but a pass that is
+//! broken *everywhere* — a miscompiled build, a bad interaction with one
+//! module's code shapes — would otherwise burn a clone, a `catch_unwind`,
+//! and a full re-lint on every remaining function just to fault again.
+//! The breaker converts that repeated cost into a single decision:
+//! quarantine the pass, record the quarantine in the fault report, and
+//! keep the rest of the pipeline running. Quarantine is scoped to one
+//! module run; a fresh [`CircuitBreaker`] starts closed.
+//!
+//! Fault counts are deterministic (they come from the sandbox's fault
+//! list, which is itself deterministic per function), so the breaker's
+//! trip point is reproducible — the parallel module driver exploits this
+//! by replaying the counts serially in module order; see
+//! [`crate::sandbox::SandboxedOptimizer::optimize_jobs`].
+
+use std::collections::BTreeMap;
+
+/// A pass quarantined by the breaker: the evidence for the decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantine {
+    /// The quarantined pass.
+    pub pass: String,
+    /// How many faults it had accumulated when the circuit opened.
+    pub faults: usize,
+    /// The function whose fault tripped the breaker.
+    pub tripped_in: String,
+}
+
+impl std::fmt::Display for Quarantine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pass `{}` quarantined after {} fault(s) (tripped in `{}`)",
+            self.pass, self.faults, self.tripped_in
+        )
+    }
+}
+
+/// Per-pass fault counters with a trip threshold.
+///
+/// Counts are capped at the threshold: once a pass's circuit is open,
+/// further [`CircuitBreaker::record`] calls for it are no-ops, so equal
+/// fault *prefixes* produce equal breaker states regardless of how many
+/// redundant faults a caller replays afterwards.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: usize,
+    counts: BTreeMap<String, usize>,
+    quarantined: Vec<Quarantine>,
+}
+
+impl CircuitBreaker {
+    /// Default trip threshold: faults from three distinct invocations are
+    /// a pattern, not an accident.
+    pub const DEFAULT_THRESHOLD: usize = 3;
+
+    /// A closed breaker tripping after `threshold` faults per pass.
+    /// `threshold = 0` is clamped to 1 (a breaker that starts open would
+    /// silently skip every pass).
+    pub fn new(threshold: usize) -> Self {
+        CircuitBreaker { threshold: threshold.max(1), counts: BTreeMap::new(), quarantined: Vec::new() }
+    }
+
+    /// The configured trip threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Is `pass`'s circuit open (the pass quarantined)?
+    pub fn is_open(&self, pass: &str) -> bool {
+        self.counts.get(pass).is_some_and(|&n| n >= self.threshold)
+    }
+
+    /// Is any circuit open?
+    pub fn any_open(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// Record one fault of `pass` while processing `function`. Returns
+    /// `true` exactly when this fault tripped the breaker (the pass is
+    /// quarantined from now on). No-op when the circuit is already open.
+    pub fn record(&mut self, pass: &str, function: &str) -> bool {
+        if self.is_open(pass) {
+            return false;
+        }
+        let n = self.counts.entry(pass.to_string()).or_insert(0);
+        *n += 1;
+        if *n >= self.threshold {
+            self.quarantined.push(Quarantine {
+                pass: pass.to_string(),
+                faults: *n,
+                tripped_in: function.to_string(),
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Every quarantine decision, in trip order.
+    pub fn quarantined(&self) -> &[Quarantine] {
+        &self.quarantined
+    }
+
+    /// Current fault count for `pass` (capped at the threshold).
+    pub fn faults_of(&self, pass: &str) -> usize {
+        self.counts.get(pass).copied().unwrap_or(0)
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(Self::DEFAULT_THRESHOLD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_exactly_at_threshold() {
+        let mut b = CircuitBreaker::new(3);
+        assert!(!b.record("gvn", "f1"));
+        assert!(!b.record("gvn", "f2"));
+        assert!(!b.is_open("gvn"));
+        assert!(b.record("gvn", "f3"), "third fault must trip");
+        assert!(b.is_open("gvn"));
+        assert_eq!(b.quarantined().len(), 1);
+        assert_eq!(b.quarantined()[0].tripped_in, "f3");
+        assert_eq!(b.quarantined()[0].faults, 3);
+    }
+
+    #[test]
+    fn counts_are_per_pass() {
+        let mut b = CircuitBreaker::new(2);
+        b.record("gvn", "f");
+        b.record("pre", "f");
+        assert!(!b.is_open("gvn") && !b.is_open("pre"));
+        b.record("gvn", "g");
+        assert!(b.is_open("gvn"));
+        assert!(!b.is_open("pre"));
+    }
+
+    #[test]
+    fn open_circuit_absorbs_further_faults() {
+        let mut b = CircuitBreaker::new(1);
+        assert!(b.record("dce", "f"));
+        assert!(!b.record("dce", "g"), "already open: no second trip");
+        assert_eq!(b.faults_of("dce"), 1, "count capped at threshold");
+        assert_eq!(b.quarantined().len(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped() {
+        let b = CircuitBreaker::new(0);
+        assert_eq!(b.threshold(), 1);
+        assert!(!b.is_open("anything"));
+    }
+}

@@ -1,24 +1,33 @@
 //! The fuzz campaign: seeded fault injection driving the full containment
 //! stack, with a machine-checkable "zero uncontained faults" verdict.
 //!
-//! Every iteration mutates a base module ([`crate::inject`]), then runs
-//! the hardened pipeline ([`crate::harden`]) over the mutant at every
+//! Phase 1 mutates a base module ([`crate::inject`]), then runs the
+//! hardened pipeline ([`crate::harden`]) over the mutant at every
 //! configured [`OptLevel`]. A run is *contained* when the emitted module
 //! is still runnable and still agrees with the mutant (the harness's
 //! reference) on the oracle's test vectors — i.e. whatever the injected
 //! fault provoked, the stack either rolled it back, caught it, or proved
-//! it harmless. Anything else is recorded as uncontained and fails the
-//! campaign.
+//! it harmless.
+//!
+//! Phase 2 attacks from the other axis: it splices an adversarial
+//! [`PassFaultModel`] — a pass that never converges, or one whose output
+//! grows without bound — into the real pipeline at a seeded position and
+//! demands that the resource [`Budget`] (and nothing else: these models
+//! neither panic nor emit invalid ILOC) stops it, rolls the function
+//! back, and leaves a budget-kind fault on the record. Anything else is
+//! recorded as uncontained and fails the campaign.
 
-use epre::OptLevel;
+use epre::fault::FaultKind;
+use epre::{Budget, OptLevel, Optimizer};
 use epre_ir::Module;
 use epre_lint::{lint_function, LintOptions};
 
+use crate::breaker::CircuitBreaker;
 use crate::harden::Harness;
-use crate::inject::mutate_module;
+use crate::inject::{mutate_module, PassFaultModel};
 use crate::oracle::{compare_modules, OracleConfig};
 use crate::rng::SplitMix64;
-use crate::sandbox::{catch_quiet, FaultPolicy};
+use crate::sandbox::{catch_quiet, run_module_governed, FaultPolicy};
 
 /// Every optimization level, the paper's four plus the LVN extension.
 pub const ALL_LEVELS: [OptLevel; 5] = [
@@ -40,6 +49,12 @@ pub struct CampaignConfig {
     pub fuel: u64,
     /// Levels each mutant is optimized at.
     pub levels: Vec<OptLevel>,
+    /// Resource budget governing phase 2 (and proving containment of the
+    /// adversarial pass models).
+    pub budget: Budget,
+    /// Phase-2 iterations: each splices one seeded [`PassFaultModel`]
+    /// into the pipeline at every configured level.
+    pub pass_fault_iters: usize,
 }
 
 impl Default for CampaignConfig {
@@ -49,6 +64,8 @@ impl Default for CampaignConfig {
             iters: 200,
             fuel: 200_000,
             levels: ALL_LEVELS.to_vec(),
+            budget: Budget::governed(),
+            pass_fault_iters: 10,
         }
     }
 }
@@ -97,6 +114,11 @@ pub struct CampaignReport {
     pub ingress_lint: usize,
     /// Runs where the mutation was harmless.
     pub benign: usize,
+    /// Phase-2 (model, level) runs performed.
+    pub pass_fault_runs: usize,
+    /// Phase-2 runs where the budget stopped the adversarial pass and the
+    /// rollback held.
+    pub budget_contained: usize,
     /// Descriptions of uncontained faults. Must be empty for the campaign
     /// to pass.
     pub uncontained: Vec<String>,
@@ -116,6 +138,8 @@ impl std::fmt::Display for CampaignReport {
         writeln!(f, "  oracle caught:           {}", self.oracle_caught)?;
         writeln!(f, "  ingress lint:            {}", self.ingress_lint)?;
         writeln!(f, "  benign:                  {}", self.benign)?;
+        writeln!(f, "  pass-fault runs:         {}", self.pass_fault_runs)?;
+        writeln!(f, "  budget contained:        {}", self.budget_contained)?;
         if self.uncontained.is_empty() {
             write!(f, "  uncontained:             0 — containment held")
         } else {
@@ -233,6 +257,99 @@ pub fn run_campaign(bases: &[Module], cfg: &CampaignConfig) -> CampaignReport {
             }
         }
     }
+    // Phase 2: adversarial pass models. Splice one misbehaving pass into
+    // the real pipeline at a seeded slot and run it at every level; only
+    // the budget can stop these, so only a budget-kind fault counts as
+    // contained.
+    let opts = LintOptions::invariants_only();
+    for _ in 0..cfg.pass_fault_iters {
+        if cfg.levels.is_empty() {
+            break;
+        }
+        let base = &bases[rng.below(bases.len())];
+        let model = PassFaultModel::ALL[rng.below(PassFaultModel::ALL.len())];
+        let slot_seed = rng.next_u64() as usize;
+        for &level in &cfg.levels {
+            report.pass_fault_runs += 1;
+            let pos = slot_seed % (Optimizer::new(level).passes().len() + 1);
+            let tag =
+                format!("[{}] injected `{}` at slot {pos}", level.label(), model.pass_name());
+            let passes_for = move || {
+                let mut ps = Optimizer::new(level).passes();
+                let at = pos.min(ps.len());
+                ps.insert(at, model.build());
+                ps
+            };
+            let outcome = catch_quiet(|| {
+                run_module_governed(
+                    base,
+                    &passes_for,
+                    FaultPolicy::BestEffort,
+                    &opts,
+                    &cfg.budget,
+                    CircuitBreaker::DEFAULT_THRESHOLD,
+                    1,
+                )
+            });
+            let (out, rep) = match outcome {
+                Err(panic_msg) => {
+                    report
+                        .uncontained
+                        .push(format!("{tag}: panic escaped the governed run: {panic_msg}"));
+                    continue;
+                }
+                Ok(Err(fault)) => {
+                    report
+                        .uncontained
+                        .push(format!("{tag}: unexpected fail-fast fault: {fault}"));
+                    continue;
+                }
+                Ok(Ok(pair)) => pair,
+            };
+            let model_faults: Vec<_> =
+                rep.faults.iter().filter(|ft| ft.pass == model.pass_name()).collect();
+            if model_faults.is_empty() {
+                report.uncontained.push(format!(
+                    "{tag}: escaped the budget — no fault recorded for the model pass"
+                ));
+                continue;
+            }
+            if let Some(ft) =
+                model_faults.iter().find(|ft| !matches!(ft.kind, FaultKind::Budget(_)))
+            {
+                report.uncontained.push(format!(
+                    "{tag}: stopped by the wrong layer ({}) — the budget was blind to it",
+                    ft.kind_label()
+                ));
+                continue;
+            }
+            // Residual checks, identical in spirit to phase 1: the emitted
+            // module must still agree with the base and lint clean.
+            match catch_quiet(|| compare_modules(base, &out, &oracle)) {
+                Err(panic_msg) => {
+                    report.uncontained.push(format!(
+                        "{tag}: interpreter panicked on emitted module: {panic_msg}"
+                    ));
+                    continue;
+                }
+                Ok(divs) if !divs.is_empty() => {
+                    report.uncontained.push(format!(
+                        "{tag}: emitted module diverges after rollback: {}",
+                        divs[0]
+                    ));
+                    continue;
+                }
+                Ok(_) => {}
+            }
+            if has_lint_errors(&out) {
+                report
+                    .uncontained
+                    .push(format!("{tag}: pipeline emitted lint errors after rollback"));
+                continue;
+            }
+            report.budget_contained += 1;
+        }
+    }
     report
 }
 
@@ -267,22 +384,27 @@ mod tests {
     #[test]
     fn small_campaign_is_contained_and_deterministic() {
         let bases = bases();
-        let cfg = CampaignConfig { iters: 20, ..CampaignConfig::default() };
+        let cfg =
+            CampaignConfig { iters: 20, pass_fault_iters: 2, ..CampaignConfig::default() };
         let r1 = run_campaign(&bases, &cfg);
         assert!(r1.is_contained(), "{r1}");
         assert_eq!(r1.mutants, 20);
         assert_eq!(r1.runs, 20 * ALL_LEVELS.len());
+        assert_eq!(r1.pass_fault_runs, 2 * ALL_LEVELS.len());
+        assert_eq!(r1.budget_contained, r1.pass_fault_runs);
         let r2 = run_campaign(&bases, &cfg);
         assert_eq!(r1.rolled_back, r2.rolled_back);
         assert_eq!(r1.oracle_caught, r2.oracle_caught);
         assert_eq!(r1.ingress_lint, r2.ingress_lint);
         assert_eq!(r1.benign, r2.benign);
+        assert_eq!(r1.budget_contained, r2.budget_contained);
     }
 
     #[test]
     fn campaign_actually_exercises_the_stack() {
         let bases = bases();
-        let cfg = CampaignConfig { iters: 40, ..CampaignConfig::default() };
+        let cfg =
+            CampaignConfig { iters: 40, pass_fault_iters: 2, ..CampaignConfig::default() };
         let r = run_campaign(&bases, &cfg);
         assert!(r.is_contained(), "{r}");
         // A campaign where nothing was ever caught isn't testing anything.
@@ -290,5 +412,6 @@ mod tests {
             r.ingress_lint + r.oracle_caught + r.rolled_back > 0,
             "no fault was ever caught: {r}"
         );
+        assert!(r.budget_contained > 0, "phase 2 never ran: {r}");
     }
 }

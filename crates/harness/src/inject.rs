@@ -1,15 +1,25 @@
-//! Seeded fault injection: deterministic IR mutations for the fuzz
-//! campaign.
+//! Seeded fault injection: deterministic IR mutations and adversarial
+//! *pass* models for the fuzz campaign.
 //!
-//! Each mutation models a realistic *optimizer bug* rather than random bit
-//! noise: dropping an instruction (over-eager DCE), duplicating one
+//! Each IR mutation models a realistic *optimizer bug* rather than random
+//! bit noise: dropping an instruction (over-eager DCE), duplicating one
 //! (botched code motion), swapping operands (commutativity applied to a
 //! non-commutative operator), retargeting a branch (CFG surgery gone
 //! wrong), corrupting a φ-argument (SSA repair bug), and clobbering a def
 //! (rename collision). The containment stack — lint, sandbox, oracle —
 //! must catch or tolerate every one of them.
+//!
+//! The [`PassFaultModel`]s are a different axis: instead of damaging the
+//! IR, they splice a *misbehaving pass* into the pipeline — one that
+//! never reaches its fixed point, and one whose output grows without
+//! bound. Neither panics and neither emits invalid ILOC, so the panic and
+//! lint layers are blind to them; only the resource [`Budget`] can stop
+//! them, which is exactly what the campaign proves.
 
-use epre_ir::{BlockId, Function, Inst, Module, Terminator};
+use epre::Budget;
+use epre_analysis::AnalysisCache;
+use epre_ir::{BlockId, Const, Function, Inst, Module, Terminator, Ty};
+use epre_passes::{BudgetExceeded, Pass};
 
 use crate::rng::SplitMix64;
 
@@ -213,9 +223,149 @@ pub fn mutate_module(module: &Module, rng: &mut SplitMix64) -> Option<(Module, M
     None
 }
 
+/// The adversarial pass models: optimizer bugs that only a resource
+/// budget can contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassFaultModel {
+    /// A fixed-point pass that never converges: it ticks its meter
+    /// forever without changing the function. Contained by the iteration
+    /// cap (or the deadline).
+    NonTerminating,
+    /// A pass whose every round appends another copy's worth of
+    /// instructions — code growth with no fixed point. Contained by the
+    /// growth cap.
+    QuadraticGrowth,
+}
+
+impl PassFaultModel {
+    /// Both models, in selection order.
+    pub const ALL: [PassFaultModel; 2] =
+        [PassFaultModel::NonTerminating, PassFaultModel::QuadraticGrowth];
+
+    /// The injected pass's `Pass::name`.
+    pub fn pass_name(self) -> &'static str {
+        match self {
+            PassFaultModel::NonTerminating => "nonterminating",
+            PassFaultModel::QuadraticGrowth => "quadratic-growth",
+        }
+    }
+
+    /// Build the adversarial pass object.
+    pub fn build(self) -> Box<dyn Pass> {
+        match self {
+            PassFaultModel::NonTerminating => Box::new(NonTerminatingPass),
+            PassFaultModel::QuadraticGrowth => Box::new(QuadraticGrowthPass),
+        }
+    }
+}
+
+/// A cooperative but divergent fixed-point pass: every "iteration" ticks
+/// the meter and converges on nothing.
+///
+/// Under an unbudgeted (or iteration/deadline-unbounded) invocation it
+/// self-caps so test harnesses terminate; under a real budget the cap is
+/// what stops it, and that containment is the point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NonTerminatingPass;
+
+/// Self-cap for unbudgeted invocations: large enough to dwarf any real
+/// pass's iteration count, small enough to finish in a test run.
+const NONTERMINATING_SELF_CAP: u64 = 1_000_000;
+
+impl Pass for NonTerminatingPass {
+    fn name(&self) -> &'static str {
+        "nonterminating"
+    }
+
+    fn run(&self, _f: &mut Function) -> bool {
+        for spin in 0..NONTERMINATING_SELF_CAP {
+            std::hint::black_box(spin);
+        }
+        false
+    }
+
+    fn run_budgeted(
+        &self,
+        f: &mut Function,
+        _cache: &mut AnalysisCache,
+        budget: &Budget,
+    ) -> Result<bool, BudgetExceeded> {
+        if budget.max_iters.is_none() && budget.deadline.is_none() {
+            return Ok(self.run(f));
+        }
+        let mut meter = budget.start(f);
+        loop {
+            meter.tick(f)?;
+        }
+    }
+}
+
+/// A pass with unbounded code growth: each round appends another batch of
+/// (valid, dead) constant materializations, so the function's static size
+/// races past any ratio of its entry size.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuadraticGrowthPass;
+
+/// Self-cap for unbudgeted invocations, in static operations.
+const GROWTH_SELF_CAP_OPS: usize = 1 << 16;
+
+impl QuadraticGrowthPass {
+    /// Append one round of growth: as many dead `loadi`s as the entry
+    /// block currently holds instructions (at least 16), keeping the IR
+    /// perfectly lint-clean — the damage is *size*, nothing else.
+    fn grow_round(f: &mut Function) {
+        let batch = f.blocks[0].insts.len().max(16);
+        for _ in 0..batch {
+            let dst = f.new_reg(Ty::Int);
+            f.blocks[0].insts.push(Inst::LoadI { dst, value: Const::Int(0) });
+        }
+    }
+}
+
+impl Pass for QuadraticGrowthPass {
+    fn name(&self) -> &'static str {
+        "quadratic-growth"
+    }
+
+    fn run(&self, f: &mut Function) -> bool {
+        if f.blocks.is_empty() {
+            return false;
+        }
+        while f.static_op_count() < GROWTH_SELF_CAP_OPS {
+            Self::grow_round(f);
+        }
+        true
+    }
+
+    fn run_budgeted(
+        &self,
+        f: &mut Function,
+        _cache: &mut AnalysisCache,
+        budget: &Budget,
+    ) -> Result<bool, BudgetExceeded> {
+        if f.blocks.is_empty() {
+            return Ok(false);
+        }
+        if !budget.is_limited() {
+            return Ok(self.run(f));
+        }
+        let mut meter = budget.start(f);
+        loop {
+            meter.tick(f)?;
+            Self::grow_round(f);
+            // A budget limited only in wall-clock could let growth run far
+            // past the self-cap; hold the line there too.
+            if f.static_op_count() >= GROWTH_SELF_CAP_OPS {
+                return Ok(true);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epre::BudgetKind;
     use epre_frontend::{compile, NamingMode};
 
     const SRC: &str = "function foo(y, z)\n\
@@ -269,6 +419,75 @@ mod tests {
                 continue;
             }
             assert!(seen.contains(kind.label()), "{} never applied", kind.label());
+        }
+    }
+
+    #[test]
+    fn nonterminating_pass_is_contained_by_the_iteration_cap() {
+        use crate::sandbox::{run_passes_governed, FaultPolicy};
+        use epre_lint::LintOptions;
+
+        let m = compile(SRC, NamingMode::Disciplined).unwrap();
+        let mut f = m.functions[0].clone();
+        let before = format!("{f}");
+        let passes = vec![PassFaultModel::NonTerminating.build()];
+        let rep = run_passes_governed(
+            &mut f,
+            &passes,
+            FaultPolicy::BestEffort,
+            &LintOptions::invariants_only(),
+            &Budget { max_iters: Some(10_000), ..Budget::UNLIMITED },
+            None,
+        )
+        .unwrap();
+        assert_eq!(rep.faults.len(), 1, "{:?}", rep.faults);
+        assert_eq!(rep.retries, 0, "best-effort records the fault and moves on");
+        for ft in &rep.faults {
+            assert_eq!(ft.kind_label(), "budget", "{ft:?}");
+            match &ft.kind {
+                epre::fault::FaultKind::Budget(b) => assert_eq!(b.kind, BudgetKind::Iterations),
+                other => panic!("expected budget fault, got {other:?}"),
+            }
+        }
+        assert_eq!(format!("{f}"), before, "rollback must restore the input");
+    }
+
+    #[test]
+    fn quadratic_growth_pass_is_contained_by_the_growth_cap() {
+        use crate::sandbox::{run_passes_governed, FaultPolicy};
+        use epre_lint::LintOptions;
+
+        let m = compile(SRC, NamingMode::Disciplined).unwrap();
+        let mut f = m.functions[0].clone();
+        let before = format!("{f}");
+        let passes = vec![PassFaultModel::QuadraticGrowth.build()];
+        let rep = run_passes_governed(
+            &mut f,
+            &passes,
+            FaultPolicy::BestEffort,
+            &LintOptions::invariants_only(),
+            &Budget { max_growth: Some(4.0), ..Budget::UNLIMITED },
+            None,
+        )
+        .unwrap();
+        assert_eq!(rep.faults.len(), 1, "{:?}", rep.faults);
+        for ft in &rep.faults {
+            match &ft.kind {
+                epre::fault::FaultKind::Budget(b) => assert_eq!(b.kind, BudgetKind::Growth),
+                other => panic!("expected budget fault, got {other:?}"),
+            }
+        }
+        assert_eq!(format!("{f}"), before, "rollback must restore the input");
+    }
+
+    #[test]
+    fn models_self_cap_without_any_budget() {
+        let m = compile(SRC, NamingMode::Disciplined).unwrap();
+        for model in PassFaultModel::ALL {
+            let mut f = m.functions[0].clone();
+            let pass = model.build();
+            pass.run(&mut f); // must terminate on its own
+            assert_eq!(pass.name(), model.pass_name());
         }
     }
 }

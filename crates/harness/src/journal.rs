@@ -1,0 +1,351 @@
+//! The write-ahead optimization journal: crash-tolerant resume for
+//! `epre opt --best-effort --journal PATH`.
+//!
+//! As each function finishes its sandboxed pipeline, one self-delimiting
+//! record — name, a fingerprint of the *input* text, a fingerprint of the
+//! *output* text, and the output's serialized body — is appended and
+//! flushed. A run killed mid-module (SIGKILL, OOM, power button) leaves a
+//! journal whose tail may be torn mid-record; the loader tolerates exactly
+//! that, keeping every complete record and discarding the torn tail. On
+//! `--resume`, functions whose input fingerprint still matches skip the
+//! pass pipeline and replay their journaled bodies, so the resumed run's
+//! emitted module is byte-identical to what the uninterrupted run would
+//! have produced.
+//!
+//! Records are written *before* the oracle stage (the sandbox is
+//! per-function; the oracle needs the whole candidate module), so a resume
+//! re-runs the oracle over reused and fresh functions alike — which is
+//! precisely what makes the final output independent of where the crash
+//! landed. The header binds the journal to the optimization level, fault
+//! policy, and budget that produced it; resuming under a different
+//! configuration is refused rather than silently mixed.
+//!
+//! ## Format
+//!
+//! Plain text, ASCII framing, length-prefixed bodies:
+//!
+//! ```text
+//! EPRE-JOURNAL v1 level=distribution policy=best-effort iters=200000 growth=64 deadline-ms=none
+//! fn <name>
+//! in <16-hex input fingerprint>
+//! out <16-hex output fingerprint>
+//! body <byte length>
+//! <exactly that many bytes of printed ILOC>
+//! end
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use epre::Budget;
+
+use crate::rng::fingerprint64;
+
+/// The format-version magic every journal starts with.
+pub const JOURNAL_MAGIC: &str = "EPRE-JOURNAL v1";
+
+/// The header line binding a journal to the run configuration that wrote
+/// it. Level, policy, and every budget dimension participate: a journal
+/// written under different caps could hold bodies the current run would
+/// have rolled back (or vice versa).
+pub fn header_line(level_label: &str, policy_label: &str, budget: &Budget) -> String {
+    let iters = budget.max_iters.map_or("none".to_string(), |n| n.to_string());
+    let growth = budget.max_growth.map_or("none".to_string(), |g| format!("{g}"));
+    let deadline =
+        budget.deadline.map_or("none".to_string(), |d| format!("{}", d.as_millis()));
+    format!(
+        "{JOURNAL_MAGIC} level={level_label} policy={policy_label} \
+         iters={iters} growth={growth} deadline-ms={deadline}"
+    )
+}
+
+/// One complete journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// The function the record belongs to.
+    pub function: String,
+    /// [`fingerprint64`] of the function's printed *input* text. A resume
+    /// reuses the record only when the current input still matches.
+    pub input_fp: u64,
+    /// The post-pipeline function, serialized as printed ILOC.
+    pub body: String,
+}
+
+/// What the loader recovered from a journal file.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeState {
+    /// Complete, checksum-valid records, keyed by function name (a name
+    /// journaled twice keeps its latest record).
+    pub entries: BTreeMap<String, JournalEntry>,
+    /// The file ended mid-record — the signature of a killed run. The
+    /// torn tail was discarded.
+    pub torn_tail: bool,
+    /// Records whose body failed its output-fingerprint check and were
+    /// dropped.
+    pub corrupt_dropped: usize,
+}
+
+/// The outcome of probing a journal path for resume.
+#[derive(Debug)]
+pub enum JournalLoad {
+    /// No journal exists at the path: start fresh.
+    Fresh,
+    /// A journal exists but was written under a different configuration.
+    Mismatch {
+        /// The header found in the file.
+        found: String,
+    },
+    /// A compatible journal with whatever records survived.
+    Resumed(ResumeState),
+}
+
+/// Read one `\n`-terminated line starting at `*pos`, advancing past it.
+fn take_line<'a>(text: &'a str, pos: &mut usize) -> Option<&'a str> {
+    let rest = &text[*pos..];
+    let nl = rest.find('\n')?;
+    *pos += nl + 1;
+    Some(&rest[..nl])
+}
+
+/// Load and validate the journal at `path` against `expected_header`.
+///
+/// Tolerant of a torn tail (see module docs); strict about the header.
+///
+/// # Errors
+/// Only real I/O errors. A missing file is [`JournalLoad::Fresh`]; any
+/// malformed content is handled by tolerance or [`JournalLoad::Mismatch`].
+pub fn load_journal(path: &Path, expected_header: &str) -> io::Result<JournalLoad> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalLoad::Fresh),
+        Err(e) => return Err(e),
+    };
+    // ILOC and the framing are ASCII; a kill can still tear the file at
+    // any byte, so decode leniently and let the framing checks below
+    // discard whatever the tear mangled.
+    let text = String::from_utf8_lossy(&bytes);
+    let mut pos = 0usize;
+    let Some(header) = take_line(&text, &mut pos) else {
+        return Ok(JournalLoad::Resumed(ResumeState { torn_tail: true, ..Default::default() }));
+    };
+    if header != expected_header {
+        return Ok(JournalLoad::Mismatch { found: header.to_string() });
+    }
+    let mut state = ResumeState::default();
+    loop {
+        if pos >= text.len() {
+            break; // clean end-of-journal
+        }
+        let parsed = (|| -> Option<(String, u64, u64, String)> {
+            let name = take_line(&text, &mut pos)?.strip_prefix("fn ")?.to_string();
+            let input_fp =
+                u64::from_str_radix(take_line(&text, &mut pos)?.strip_prefix("in ")?, 16).ok()?;
+            let output_fp =
+                u64::from_str_radix(take_line(&text, &mut pos)?.strip_prefix("out ")?, 16).ok()?;
+            let len: usize =
+                take_line(&text, &mut pos)?.strip_prefix("body ")?.parse().ok()?;
+            let body = text.get(pos..pos + len)?.to_string();
+            pos += len;
+            if take_line(&text, &mut pos)? != "end" {
+                return None;
+            }
+            Some((name, input_fp, output_fp, body))
+        })();
+        match parsed {
+            None => {
+                // Torn mid-record: the remainder is the crash artifact.
+                // Keep what came before.
+                state.torn_tail = true;
+                break;
+            }
+            Some((function, input_fp, output_fp, body)) => {
+                if fingerprint64(&body) != output_fp {
+                    state.corrupt_dropped += 1;
+                    continue;
+                }
+                state.entries.insert(function.clone(), JournalEntry { function, input_fp, body });
+            }
+        }
+    }
+    Ok(JournalLoad::Resumed(state))
+}
+
+/// An append-only journal writer, safe to share across worker threads.
+///
+/// Each [`JournalWriter::record`] call assembles its record in memory and
+/// writes it with a single locked `write_all` + flush, so records from
+/// concurrent workers interleave only at record granularity and a kill
+/// tears at most the final record.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: Mutex<File>,
+}
+
+impl JournalWriter {
+    /// Create (truncate) a journal at `path` and write `header`.
+    ///
+    /// # Errors
+    /// File creation or the header write.
+    pub fn create(path: &Path, header: &str) -> io::Result<JournalWriter> {
+        let mut file = File::create(path)?;
+        file.write_all(header.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+        Ok(JournalWriter { file: Mutex::new(file) })
+    }
+
+    /// Rewrite `path` from scratch with `header` and the given complete
+    /// records — the resume path's way of discarding a torn tail while
+    /// keeping every good record. Returns the writer positioned for
+    /// appending fresh records.
+    ///
+    /// # Errors
+    /// File creation or any write.
+    pub fn rewrite(
+        path: &Path,
+        header: &str,
+        entries: &BTreeMap<String, JournalEntry>,
+    ) -> io::Result<JournalWriter> {
+        let w = JournalWriter::create(path, header)?;
+        for e in entries.values() {
+            w.record(&e.function, e.input_fp, &e.body)?;
+        }
+        Ok(w)
+    }
+
+    /// Append one record for `function` and flush it to the OS, making it
+    /// kill-durable (surviving SIGKILL; full power-loss durability would
+    /// need an fsync per record, a cost the journal's crash model does not
+    /// ask for).
+    ///
+    /// # Errors
+    /// The write or flush.
+    pub fn record(&self, function: &str, input_fp: u64, body: &str) -> io::Result<()> {
+        let mut rec = String::with_capacity(body.len() + 96);
+        rec.push_str("fn ");
+        rec.push_str(function);
+        rec.push('\n');
+        rec.push_str(&format!("in {input_fp:016x}\n"));
+        rec.push_str(&format!("out {:016x}\n", fingerprint64(body)));
+        rec.push_str(&format!("body {}\n", body.len()));
+        rec.push_str(body);
+        rec.push_str("end\n");
+        let mut file = self.file.lock().expect("journal file poisoned");
+        file.write_all(rec.as_bytes())?;
+        file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> String {
+        header_line("distribution", "best-effort", &Budget::governed())
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("epre-journal-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_record() {
+        let path = tmp("roundtrip");
+        let w = JournalWriter::create(&path, &header()).unwrap();
+        w.record("foo", 0xAB, "body of foo\n").unwrap();
+        w.record("bar", 0xCD, "body of bar\nwith two lines\n").unwrap();
+        let JournalLoad::Resumed(st) = load_journal(&path, &header()).unwrap() else {
+            panic!("expected resume");
+        };
+        assert!(!st.torn_tail);
+        assert_eq!(st.corrupt_dropped, 0);
+        assert_eq!(st.entries.len(), 2);
+        assert_eq!(st.entries["foo"].input_fp, 0xAB);
+        assert_eq!(st.entries["bar"].body, "body of bar\nwith two lines\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_keeps_complete_records() {
+        let path = tmp("torn");
+        let w = JournalWriter::create(&path, &header()).unwrap();
+        w.record("keep", 1, "kept body\n").unwrap();
+        w.record("torn", 2, "this record will be cut mid-body\n").unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Cut inside the second record's body, as a SIGKILL would.
+        std::fs::write(&path, &full[..full.len() - 10]).unwrap();
+        let JournalLoad::Resumed(st) = load_journal(&path, &header()).unwrap() else {
+            panic!("expected resume");
+        };
+        assert!(st.torn_tail, "a cut file must be flagged torn");
+        assert_eq!(st.entries.len(), 1);
+        assert!(st.entries.contains_key("keep"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_body_is_dropped_not_trusted() {
+        let path = tmp("corrupt");
+        let w = JournalWriter::create(&path, &header()).unwrap();
+        w.record("good", 1, "good body\n").unwrap();
+        w.record("bad", 2, "bad body\n").unwrap();
+        // Flip a byte inside `bad`'s body without breaking the framing.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = bytes.windows(8).rposition(|w| w == b"bad body").unwrap();
+        bytes[idx] = b'B';
+        std::fs::write(&path, &bytes).unwrap();
+        let JournalLoad::Resumed(st) = load_journal(&path, &header()).unwrap() else {
+            panic!("expected resume");
+        };
+        assert!(!st.torn_tail);
+        assert_eq!(st.corrupt_dropped, 1);
+        assert_eq!(st.entries.len(), 1);
+        assert!(st.entries.contains_key("good"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_mismatch_is_refused() {
+        let path = tmp("mismatch");
+        let other = header_line("baseline", "best-effort", &Budget::governed());
+        JournalWriter::create(&path, &other).unwrap();
+        match load_journal(&path, &header()).unwrap() {
+            JournalLoad::Mismatch { found } => assert!(found.contains("level=baseline")),
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_fresh() {
+        let path = tmp("definitely-not-created");
+        assert!(matches!(load_journal(&path, &header()).unwrap(), JournalLoad::Fresh));
+    }
+
+    #[test]
+    fn rewrite_discards_the_torn_tail_durably() {
+        let path = tmp("rewrite");
+        let w = JournalWriter::create(&path, &header()).unwrap();
+        w.record("keep", 1, "kept body\n").unwrap();
+        w.record("torn", 2, "cut mid-body\n").unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 6]).unwrap();
+        let JournalLoad::Resumed(st) = load_journal(&path, &header()).unwrap() else {
+            panic!("expected resume");
+        };
+        let w = JournalWriter::rewrite(&path, &header(), &st.entries).unwrap();
+        w.record("fresh", 3, "fresh body\n").unwrap();
+        let JournalLoad::Resumed(st2) = load_journal(&path, &header()).unwrap() else {
+            panic!("expected resume");
+        };
+        assert!(!st2.torn_tail, "rewrite must leave a clean file");
+        assert_eq!(st2.entries.len(), 2);
+        assert!(st2.entries.contains_key("keep") && st2.entries.contains_key("fresh"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -5,16 +5,27 @@
 //! the invariant rules of `epre-lint`:
 //!
 //! * [`sandbox`] — every pass runs on a clone under
-//!   `std::panic::catch_unwind` and is re-linted; on panic or new
-//!   invariant violation the function rolls back to its pre-pass state
-//!   and the pipeline continues, per a [`FaultPolicy`],
+//!   `std::panic::catch_unwind` and a resource
+//!   [`Budget`](epre::Budget), and is re-linted; on panic, budget
+//!   exhaustion, or new invariant violation the function rolls back to
+//!   its pre-pass state and the pipeline continues, per a
+//!   [`FaultPolicy`],
+//! * [`breaker`] — per-pass circuit breakers: a pass that faults in
+//!   enough functions of one module is quarantined for the rest of it,
+//! * [`watchdog`] — a supervised worker pool that rolls back any
+//!   function whose worker overruns a wall-clock deadline, even in
+//!   non-cooperative code,
 //! * [`oracle`] — differential execution of unoptimized vs. optimized
 //!   modules on seeded inputs under bounded fuel, reporting value or
-//!   error-variant divergence as a miscompile,
+//!   error-variant divergence as a miscompile and tallying out-of-fuel
+//!   comparisons as inconclusive,
 //! * [`harden`] — the combination: sandboxed passes plus oracle-driven
 //!   *semantic* rollback of any function whose optimized form diverges,
+//! * [`journal`] — a write-ahead journal of finished functions, so a
+//!   killed `epre opt --journal` run resumes byte-identically,
 //! * [`inject`] — a seeded, deterministic fault-injection mutator
-//!   modelling realistic optimizer bugs,
+//!   modelling realistic optimizer bugs, plus adversarial pass models
+//!   (non-terminating, unbounded growth) only a budget can stop,
 //! * [`fuzz`] — the campaign that proves the containment stack holds:
 //!   every injected fault is caught, rolled back, or shown harmless,
 //! * [`reduce`] — a ddmin-style reducer that shrinks a failing module
@@ -40,18 +51,33 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod breaker;
 pub mod fuzz;
 pub mod harden;
 pub mod inject;
+pub mod journal;
 pub mod oracle;
 pub mod reduce;
 pub mod rng;
 pub mod sandbox;
+pub mod watchdog;
 
+pub use breaker::{CircuitBreaker, Quarantine};
 pub use fuzz::{run_campaign, CampaignConfig, CampaignReport, Containment, ALL_LEVELS};
-pub use harden::{HardenedOutput, Harness};
-pub use inject::{mutate_module, Mutation, MutationKind};
-pub use oracle::{compare_modules, Divergence, Observed, OracleConfig};
+pub use harden::{HardenedOutput, Harness, JournalError, JournaledOutcome};
+pub use inject::{mutate_module, Mutation, MutationKind, PassFaultModel};
+pub use journal::{
+    header_line, load_journal, JournalEntry, JournalLoad, JournalWriter, ResumeState,
+    JOURNAL_MAGIC,
+};
+pub use oracle::{
+    classify, compare_modules, compare_modules_detailed, Agreement, Divergence, Observed,
+    OracleConfig, OracleOutcome,
+};
 pub use reduce::{reduce, FailureSpec, ReduceStats};
-pub use rng::SplitMix64;
-pub use sandbox::{catch_quiet, run_passes_sandboxed, FaultPolicy, SandboxReport, SandboxedOptimizer};
+pub use rng::{fingerprint64, SplitMix64};
+pub use sandbox::{
+    catch_quiet, run_module_governed, run_passes_governed, run_passes_sandboxed, FaultPolicy,
+    SandboxReport, SandboxedOptimizer,
+};
+pub use watchdog::{optimize_module_watchdog, WatchdogConfig, WATCHDOG_PASS};

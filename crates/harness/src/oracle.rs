@@ -8,12 +8,15 @@
 //! the harness's point of view). Fuel exhaustion on either side is
 //! deliberately inconclusive: optimized code retires fewer operations, so
 //! under a shared budget the two sides may exhaust at different points of
-//! the same (possibly infinite) computation.
+//! the same (possibly infinite) computation. Inconclusive comparisons are
+//! *counted*, never silently dropped — an oracle whose every vector runs
+//! out of fuel has proven nothing, and [`OracleOutcome::inconclusive`]
+//! makes that visible to the harness and the CLI.
 
 use epre_interp::{ExecError, Interpreter, Value};
 use epre_ir::{Module, Ty};
 
-use crate::rng::SplitMix64;
+use crate::rng::{fingerprint64, SplitMix64};
 
 /// Relative tolerance for float comparison. Reassociation and distribution
 /// legitimately reorder float arithmetic, so bit-equality is the wrong
@@ -101,21 +104,45 @@ fn values_agree(a: &Option<Value>, b: &Option<Value>) -> bool {
     }
 }
 
-/// Whether two behaviours count as equivalent for the oracle.
+/// The oracle's three-way verdict on one comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agreement {
+    /// Both sides observably computed the same thing.
+    Agree,
+    /// Fuel ran out on at least one side: the vector proved nothing.
+    Inconclusive,
+    /// A genuine behavioural difference — a miscompile.
+    Diverge,
+}
+
+/// Classify one reference/candidate behaviour pair.
 ///
-/// Fuel exhaustion on *either* side makes the comparison inconclusive —
-/// treated as agreement, never as a miscompile.
-pub fn behaviors_agree(reference: &Observed, candidate: &Observed) -> bool {
+/// Fuel exhaustion on *either* side makes the comparison
+/// [`Agreement::Inconclusive`] — never a miscompile, but not evidence of
+/// agreement either; callers tally it separately.
+pub fn classify(reference: &Observed, candidate: &Observed) -> Agreement {
     if matches!(reference, Observed::Failed(ExecError::OutOfFuel { .. }))
         || matches!(candidate, Observed::Failed(ExecError::OutOfFuel { .. }))
     {
-        return true;
+        return Agreement::Inconclusive;
     }
-    match (reference, candidate) {
+    let agree = match (reference, candidate) {
         (Observed::Returned(a), Observed::Returned(b)) => values_agree(a, b),
         (Observed::Failed(a), Observed::Failed(b)) => a.same_variant(b),
         _ => false,
+    };
+    if agree {
+        Agreement::Agree
+    } else {
+        Agreement::Diverge
     }
+}
+
+/// Whether two behaviours count as equivalent for the oracle
+/// (inconclusive counts as "not divergent"). See [`classify`] for the
+/// three-way verdict.
+pub fn behaviors_agree(reference: &Observed, candidate: &Observed) -> bool {
+    classify(reference, candidate) != Agreement::Diverge
 }
 
 /// Seeded argument vector for a parameter list. Small magnitudes keep
@@ -140,14 +167,31 @@ pub fn observe(module: &Module, name: &str, args: &[Value], fuel: u64) -> Observ
     }
 }
 
+/// The full tally of one differential comparison between two modules.
+#[derive(Debug, Clone, Default)]
+pub struct OracleOutcome {
+    /// Every observed divergence (miscompiles).
+    pub divergences: Vec<Divergence>,
+    /// Comparisons where fuel ran out on at least one side — proved
+    /// nothing, counted rather than silently dropped.
+    pub inconclusive: usize,
+    /// Total (function, vector) comparisons performed.
+    pub comparisons: usize,
+}
+
 /// Differentially execute every function of `reference` against
-/// `candidate` on seeded inputs, returning all observed divergences.
+/// `candidate` on seeded inputs, returning divergences plus the
+/// inconclusive (out-of-fuel) tally.
 ///
 /// Functions present in only one module are skipped (the pass pipeline
 /// never adds or removes functions; the fault injector can, and such
 /// damage is the lint layer's to catch).
-pub fn compare_modules(reference: &Module, candidate: &Module, cfg: &OracleConfig) -> Vec<Divergence> {
-    let mut divergences = Vec::new();
+pub fn compare_modules_detailed(
+    reference: &Module,
+    candidate: &Module,
+    cfg: &OracleConfig,
+) -> OracleOutcome {
+    let mut outcome = OracleOutcome::default();
     for f in &reference.functions {
         if candidate.function(&f.name).is_none() {
             continue;
@@ -160,27 +204,25 @@ pub fn compare_modules(reference: &Module, candidate: &Module, cfg: &OracleConfi
             let args = gen_args(&mut rng, &param_tys);
             let obs_ref = observe(reference, &f.name, &args, cfg.fuel);
             let obs_cand = observe(candidate, &f.name, &args, cfg.fuel);
-            if !behaviors_agree(&obs_ref, &obs_cand) {
-                divergences.push(Divergence {
+            outcome.comparisons += 1;
+            match classify(&obs_ref, &obs_cand) {
+                Agreement::Agree => {}
+                Agreement::Inconclusive => outcome.inconclusive += 1,
+                Agreement::Diverge => outcome.divergences.push(Divergence {
                     function: f.name.clone(),
                     args,
                     reference: obs_ref,
                     candidate: obs_cand,
-                });
+                }),
             }
         }
     }
-    divergences
+    outcome
 }
 
-/// FNV-1a over a function name: a stable 64-bit stream selector.
-fn fingerprint64(name: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in name.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+/// [`compare_modules_detailed`] reduced to the divergence list.
+pub fn compare_modules(reference: &Module, candidate: &Module, cfg: &OracleConfig) -> Vec<Divergence> {
+    compare_modules_detailed(reference, candidate, cfg).divergences
 }
 
 #[cfg(test)]
@@ -241,6 +283,25 @@ mod tests {
         let b = Observed::Returned(Some(Value::Int(3)));
         assert!(behaviors_agree(&a, &b));
         assert!(behaviors_agree(&b, &a));
+        assert_eq!(classify(&a, &b), Agreement::Inconclusive);
+        assert_eq!(classify(&b, &a), Agreement::Inconclusive);
+    }
+
+    #[test]
+    fn out_of_fuel_comparisons_are_counted_not_dropped() {
+        let m = compile(SRC, NamingMode::Disciplined).unwrap();
+        // Fuel 2 starves every run of this loopy function on both sides.
+        let cfg = OracleConfig { fuel: 2, ..OracleConfig::default() };
+        let out = compare_modules_detailed(&m, &m, &cfg);
+        assert!(out.divergences.is_empty());
+        assert!(out.comparisons > 0);
+        assert_eq!(
+            out.inconclusive, out.comparisons,
+            "every starved vector must be tallied inconclusive"
+        );
+        // With generous fuel the same comparison is fully conclusive.
+        let out = compare_modules_detailed(&m, &m, &OracleConfig::default());
+        assert_eq!(out.inconclusive, 0);
     }
 
     #[test]

@@ -44,9 +44,30 @@ impl SplitMix64 {
     }
 }
 
+/// FNV-1a over a string: a stable, dependency-free 64-bit fingerprint.
+///
+/// Used by the oracle (per-function argument streams) and the journal
+/// (input/output fingerprints binding a resume to unchanged text). Like
+/// the PRNG above, the value is fixed for all time by the input alone.
+pub fn fingerprint64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        assert_eq!(fingerprint64("foo"), fingerprint64("foo"));
+        assert_ne!(fingerprint64("foo"), fingerprint64("fop"));
+        assert_ne!(fingerprint64(""), fingerprint64(" "));
+    }
 
     #[test]
     fn streams_are_deterministic_and_seed_sensitive() {

@@ -1,13 +1,19 @@
-//! Pass sandboxing: run every pass on a clone under `catch_unwind`,
-//! re-lint the result, and roll back on panic or new invariant violation.
+//! Pass sandboxing: run every pass on a clone under `catch_unwind` and a
+//! resource [`Budget`], re-lint the result, and roll back on panic, new
+//! invariant violation, or budget exhaustion.
 //!
 //! The plain pipeline trusts its passes; `verify_each` distrusts them but
 //! fails fast. The sandbox goes the final step the ROADMAP's
-//! production-scale north star demands: a pass that panics or emits
-//! invalid ILOC is *contained* — the function rolls back to its pre-pass
+//! production-scale north star demands: a pass that panics, emits invalid
+//! ILOC, spins past its iteration cap, or explodes the code past its
+//! growth cap is *contained* — the function rolls back to its pre-pass
 //! state, the incident is recorded as a typed [`PassFault`], and the rest
 //! of the pipeline keeps running. The [`FaultPolicy`] selects between
-//! fail-fast, best-effort, and retry-then-skip behaviour.
+//! fail-fast, best-effort, and retry-then-skip behaviour; under
+//! retry-then-skip the second attempt runs on a fresh clone under a
+//! [`Budget::relaxed`] budget, so a pass that merely brushed a cap gets a
+//! real second chance. A per-pass [`CircuitBreaker`] quarantines a pass
+//! that keeps faulting across the functions of one module.
 
 use std::cell::Cell;
 use std::collections::HashSet;
@@ -15,10 +21,13 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
 
 use epre::fault::PassFault;
-use epre::{OptLevel, Optimizer};
+use epre::{Budget, OptLevel, Optimizer};
+use epre_analysis::AnalysisCache;
 use epre_ir::{Function, Module};
 use epre_lint::{lint_function, Diagnostic, LintOptions, Report, Severity};
 use epre_passes::Pass;
+
+use crate::breaker::{CircuitBreaker, Quarantine};
 
 /// What to do when a pass faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,9 +37,10 @@ pub enum FaultPolicy {
     /// Roll the function back to its pre-pass state, record the fault, and
     /// continue with the next pass.
     BestEffort,
-    /// Retry the pass once on a fresh clone (a safeguard for passes with
-    /// internal state or allocation-dependent behaviour), then skip it as
-    /// in [`FaultPolicy::BestEffort`].
+    /// Retry the pass once on a fresh clone under a [`Budget::relaxed`]
+    /// budget (a safeguard for passes with internal state,
+    /// allocation-dependent behaviour, or a merely-too-tight cap), then
+    /// skip it as in [`FaultPolicy::BestEffort`].
     RetryThenSkip,
 }
 
@@ -45,7 +55,7 @@ impl FaultPolicy {
     }
 }
 
-/// The outcome of a sandboxed pipeline run over one function.
+/// The outcome of a sandboxed pipeline run over one function or module.
 #[derive(Debug, Clone, Default)]
 pub struct SandboxReport {
     /// Every contained fault, in pipeline order. A pass that faulted was
@@ -54,6 +64,10 @@ pub struct SandboxReport {
     /// How many faulting passes were re-run under
     /// [`FaultPolicy::RetryThenSkip`] (whether or not the retry helped).
     pub retries: usize,
+    /// Pass invocations skipped because the pass's circuit was open.
+    pub skipped: usize,
+    /// Passes quarantined by the module's circuit breaker, in trip order.
+    pub quarantined: Vec<Quarantine>,
 }
 
 impl SandboxReport {
@@ -61,6 +75,8 @@ impl SandboxReport {
     pub fn merge(&mut self, other: SandboxReport) {
         self.faults.extend(other.faults);
         self.retries += other.retries;
+        self.skipped += other.skipped;
+        self.quarantined.extend(other.quarantined);
     }
 }
 
@@ -109,41 +125,61 @@ fn fingerprints(report: &Report) -> HashSet<String> {
     report.diagnostics.iter().map(Diagnostic::fingerprint).collect()
 }
 
-/// Run `passes` over `f` in order, each invocation sandboxed.
+/// Run `passes` over `f` in order, each invocation sandboxed and governed
+/// by `budget`.
 ///
-/// Every pass runs on a clone of `f` under `catch_unwind`; the clone is
-/// then re-linted and diffed (by diagnostic fingerprint) against the
-/// pre-pass report. Only when the pass neither panicked nor introduced a
-/// new error-severity finding is the clone committed back to `f` —
-/// otherwise `f` keeps its pre-pass state (rollback) and a [`PassFault`]
-/// records the incident, subject to `policy`.
+/// Every pass runs on a clone of `f` under `catch_unwind` via
+/// [`Pass::run_budgeted`]; the clone is then re-linted and diffed (by
+/// diagnostic fingerprint) against the pre-pass report. Only when the
+/// pass neither panicked, nor exceeded the budget, nor introduced a new
+/// error-severity finding is the clone committed back to `f` — otherwise
+/// `f` keeps its pre-pass state (rollback) and a [`PassFault`] records
+/// the incident, subject to `policy`. Under
+/// [`FaultPolicy::RetryThenSkip`] the retry attempt runs on a fresh clone
+/// under [`Budget::relaxed`].
 ///
-/// Pre-existing findings belong to the *input* and never fault a pass.
+/// When `breaker` is supplied, every recorded fault is counted against
+/// its pass, and a pass whose circuit is open is skipped outright
+/// (tallied in [`SandboxReport::skipped`]). Pre-existing lint findings
+/// belong to the *input* and never fault a pass.
 ///
 /// # Errors
 /// Under [`FaultPolicy::FailFast`], the first fault. The other policies
 /// always return the accumulated [`SandboxReport`].
-pub fn run_passes_sandboxed(
+pub fn run_passes_governed(
     f: &mut Function,
     passes: &[Box<dyn Pass>],
     policy: FaultPolicy,
     opts: &LintOptions,
+    budget: &Budget,
+    mut breaker: Option<&mut CircuitBreaker>,
 ) -> Result<SandboxReport, PassFault> {
     let mut seen = fingerprints(&lint_function(f, opts));
     let mut out = SandboxReport::default();
     for pass in passes {
+        if breaker.as_ref().is_some_and(|b| b.is_open(pass.name())) {
+            out.skipped += 1;
+            continue;
+        }
         let mut attempts = 0;
         loop {
+            let attempt_budget = if attempts == 0 { *budget } else { budget.relaxed() };
             let base = &*f;
             let run = catch_quiet(|| {
                 let mut candidate = base.clone();
-                pass.run(&mut candidate);
-                let report = lint_function(&candidate, opts);
-                (candidate, report)
+                let mut cache = AnalysisCache::new();
+                match pass.run_budgeted(&mut candidate, &mut cache, &attempt_budget) {
+                    Err(exceeded) => Err(exceeded),
+                    Ok(_changed) => {
+                        let report = lint_function(&candidate, opts);
+                        Ok((candidate, report))
+                    }
+                }
             });
             let fault = match run {
                 Err(payload) => Some(PassFault::panic(pass.name(), &f.name, payload)),
-                Ok((candidate, report)) => {
+                Ok(Err(exceeded)) => Some(PassFault::budget(pass.name(), &f.name, exceeded)),
+                Ok(Ok((candidate, report))) => {
                     let new_errors: Vec<Diagnostic> = report
                         .diagnostics
                         .iter()
@@ -163,35 +199,157 @@ pub fn run_passes_sandboxed(
             };
             match fault {
                 None => break,
-                Some(fault) => match policy {
-                    FaultPolicy::FailFast => return Err(fault),
-                    FaultPolicy::RetryThenSkip if attempts == 0 => {
-                        attempts = 1;
-                        out.retries += 1;
-                        out.faults.push(fault);
+                Some(fault) => {
+                    if let Some(b) = breaker.as_deref_mut() {
+                        b.record(&fault.pass, &fault.function);
                     }
-                    _ => {
-                        out.faults.push(fault);
-                        break;
+                    match policy {
+                        FaultPolicy::FailFast => return Err(fault),
+                        FaultPolicy::RetryThenSkip if attempts == 0 => {
+                            attempts = 1;
+                            out.retries += 1;
+                            out.faults.push(fault);
+                        }
+                        _ => {
+                            out.faults.push(fault);
+                            break;
+                        }
                     }
-                },
+                }
             }
         }
     }
     Ok(out)
 }
 
-/// An [`Optimizer`] wrapper whose every pass invocation is sandboxed.
+/// [`run_passes_governed`] with the harness-default [`Budget::governed`]
+/// and no circuit breaker — the historical sandbox entry point.
+///
+/// # Errors
+/// Under [`FaultPolicy::FailFast`], the first fault.
+pub fn run_passes_sandboxed(
+    f: &mut Function,
+    passes: &[Box<dyn Pass>],
+    policy: FaultPolicy,
+    opts: &LintOptions,
+) -> Result<SandboxReport, PassFault> {
+    run_passes_governed(f, passes, policy, opts, &Budget::governed(), None)
+}
+
+/// Run a whole module through governed sandboxed pipelines, one pass list
+/// per function (fresh-built via `passes_for`, so worker threads never
+/// share non-`Sync` pass objects), with a module-wide per-pass
+/// [`CircuitBreaker`].
+///
+/// With `jobs > 1` the functions are optimized speculatively in parallel
+/// *as if every circuit were closed*, then reconciled serially in module
+/// order: a function whose speculative run either started after a circuit
+/// opened or would itself trip one is redone serially under the true
+/// breaker state. Healthy modules take zero redos; the output — module,
+/// faults, skip tally, quarantine list — is byte-identical to the serial
+/// run in every case.
+///
+/// # Errors
+/// Under [`FaultPolicy::FailFast`], the fault of the earliest faulting
+/// function in module order.
+pub fn run_module_governed(
+    module: &Module,
+    passes_for: &(dyn Fn() -> Vec<Box<dyn Pass>> + Sync),
+    policy: FaultPolicy,
+    opts: &LintOptions,
+    budget: &Budget,
+    breaker_threshold: usize,
+    jobs: usize,
+) -> Result<(Module, SandboxReport), PassFault> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = module.functions.len();
+    let mut breaker = CircuitBreaker::new(breaker_threshold);
+    let mut out = module.clone();
+    let mut report = SandboxReport::default();
+
+    if jobs <= 1 || n <= 1 {
+        let passes = passes_for();
+        for f in &mut out.functions {
+            report.merge(run_passes_governed(f, &passes, policy, opts, budget, Some(&mut breaker))?);
+        }
+        report.quarantined = breaker.quarantined().to_vec();
+        return Ok((out, report));
+    }
+
+    let next = AtomicUsize::new(0);
+    type Slot = Mutex<Option<Result<(Function, SandboxReport), PassFault>>>;
+    let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| {
+                let passes = passes_for();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut f = module.functions[i].clone();
+                    let outcome =
+                        run_passes_governed(&mut f, &passes, policy, opts, budget, None)
+                            .map(|rep| (f, rep));
+                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                }
+            });
+        }
+    });
+
+    out.functions.clear();
+    let mut serial_passes: Option<Vec<Box<dyn Pass>>> = None;
+    for (i, slot) in slots.into_iter().enumerate() {
+        let speculative =
+            slot.into_inner().expect("result slot poisoned").expect("worker filled slot");
+        let (f, rep) = speculative?;
+        // The worker assumed every circuit was closed. That holds for this
+        // function iff nothing was open at its entry and replaying its own
+        // faults trips nothing; otherwise redo it under the true state.
+        let mut probe = breaker.clone();
+        let speculation_holds = !breaker.any_open()
+            && !rep.faults.iter().any(|ft| probe.record(&ft.pass, &ft.function));
+        if speculation_holds {
+            breaker = probe;
+            out.functions.push(f);
+            report.merge(rep);
+        } else {
+            let passes = serial_passes.get_or_insert_with(passes_for);
+            let mut f = module.functions[i].clone();
+            let rep =
+                run_passes_governed(&mut f, passes, policy, opts, budget, Some(&mut breaker))?;
+            out.functions.push(f);
+            report.merge(rep);
+        }
+    }
+    report.quarantined = breaker.quarantined().to_vec();
+    Ok((out, report))
+}
+
+/// An [`Optimizer`] wrapper whose every pass invocation is sandboxed and
+/// budget-governed.
 #[derive(Debug, Clone, Copy)]
 pub struct SandboxedOptimizer {
     level: OptLevel,
     policy: FaultPolicy,
+    budget: Budget,
+    breaker_threshold: usize,
 }
 
 impl SandboxedOptimizer {
-    /// A sandboxed optimizer at `level` under `policy`.
+    /// A sandboxed optimizer at `level` under `policy`, with the
+    /// deterministic [`Budget::governed`] resource caps and the default
+    /// circuit-breaker threshold.
     pub fn new(level: OptLevel, policy: FaultPolicy) -> Self {
-        SandboxedOptimizer { level, policy }
+        SandboxedOptimizer {
+            level,
+            policy,
+            budget: Budget::governed(),
+            breaker_threshold: CircuitBreaker::DEFAULT_THRESHOLD,
+        }
     }
 
     /// The wrapped level.
@@ -199,44 +357,60 @@ impl SandboxedOptimizer {
         self.level
     }
 
+    /// Replace the per-pass resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The per-pass resource budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Replace the circuit-breaker fault threshold (clamped to ≥ 1).
+    pub fn with_breaker_threshold(mut self, threshold: usize) -> Self {
+        self.breaker_threshold = threshold.max(1);
+        self
+    }
+
     /// Optimize one function in place with per-pass sandboxing (invariant
     /// lint rules only — intermediate pipeline states legitimately carry
-    /// critical edges, dead code, and remaining redundancy).
+    /// critical edges, dead code, and remaining redundancy). No circuit
+    /// breaker: quarantine is a module-scoped decision.
     ///
     /// # Errors
     /// Under [`FaultPolicy::FailFast`], the first fault.
     pub fn optimize_function(&self, f: &mut Function) -> Result<SandboxReport, PassFault> {
-        run_passes_sandboxed(
+        run_passes_governed(
             f,
             &Optimizer::new(self.level).passes(),
             self.policy,
             &LintOptions::invariants_only(),
+            &self.budget,
+            None,
         )
     }
 
-    /// Optimize a copy of the module with per-pass sandboxing.
+    /// Optimize a copy of the module with per-pass sandboxing, a shared
+    /// per-pass circuit breaker, and the configured budget.
     ///
     /// # Errors
     /// Under [`FaultPolicy::FailFast`], the first fault in any function.
     pub fn optimize(&self, module: &Module) -> Result<(Module, SandboxReport), PassFault> {
-        let mut out = module.clone();
-        let mut report = SandboxReport::default();
-        for f in &mut out.functions {
-            report.merge(self.optimize_function(f)?);
-        }
-        Ok((out, report))
+        self.optimize_jobs(module, 1)
     }
 
     /// [`SandboxedOptimizer::optimize`] with up to `jobs` worker threads.
     ///
     /// Functions are distributed over a [`std::thread::scope`] pool and
-    /// reassembled in module order, so the output module — and, because
-    /// faults are collected per function before merging, the report's
-    /// fault order — is deterministic and identical to the serial run.
-    /// The panic-quieting hook in [`catch_quiet`] is keyed on a
-    /// thread-local flag, so each worker's contained panics stay silent
-    /// without affecting its siblings. `jobs <= 1` takes the exact serial
-    /// path.
+    /// reconciled in module order (see [`run_module_governed`]), so the
+    /// output module — and, because faults are collected per function
+    /// before merging, the report's fault order and the breaker's trip
+    /// points — is deterministic and identical to the serial run. The
+    /// panic-quieting hook in [`catch_quiet`] is keyed on a thread-local
+    /// flag, so each worker's contained panics stay silent without
+    /// affecting its siblings. `jobs <= 1` takes the exact serial path.
     ///
     /// # Errors
     /// Under [`FaultPolicy::FailFast`], the fault of the earliest faulting
@@ -246,39 +420,15 @@ impl SandboxedOptimizer {
         module: &Module,
         jobs: usize,
     ) -> Result<(Module, SandboxReport), PassFault> {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::Mutex;
-
-        let n = module.functions.len();
-        if jobs <= 1 || n <= 1 {
-            return self.optimize(module);
-        }
-        let next = AtomicUsize::new(0);
-        type Slot = Mutex<Option<Result<(Function, SandboxReport), PassFault>>>;
-        let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|s| {
-            for _ in 0..jobs.min(n) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let mut f = module.functions[i].clone();
-                    let outcome = self.optimize_function(&mut f).map(|rep| (f, rep));
-                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
-                });
-            }
-        });
-        let mut out = module.clone();
-        out.functions.clear();
-        let mut report = SandboxReport::default();
-        for slot in slots {
-            let (f, rep) =
-                slot.into_inner().expect("result slot poisoned").expect("worker filled slot")?;
-            out.functions.push(f);
-            report.merge(rep);
-        }
-        Ok((out, report))
+        run_module_governed(
+            module,
+            &|| Optimizer::new(self.level).passes(),
+            self.policy,
+            &LintOptions::invariants_only(),
+            &self.budget,
+            self.breaker_threshold,
+            jobs,
+        )
     }
 }
 
@@ -286,8 +436,10 @@ impl SandboxedOptimizer {
 mod tests {
     use super::*;
     use epre::fault::FaultKind;
+    use epre::BudgetKind;
     use epre_ir::{BinOp, FunctionBuilder, Inst, Ty};
     use epre_passes::passes::{ConstProp, Dce};
+    use epre_passes::BudgetExceeded;
 
     fn sample() -> Function {
         let mut b = FunctionBuilder::new("s", Some(Ty::Int));
@@ -295,6 +447,14 @@ mod tests {
         let y = b.bin(BinOp::Add, Ty::Int, x, x);
         let z = b.bin(BinOp::Add, Ty::Int, y, x);
         b.ret(Some(z));
+        b.finish()
+    }
+
+    fn named(name: &str) -> Function {
+        let mut b = FunctionBuilder::new(name, Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let y = b.bin(BinOp::Add, Ty::Int, x, x);
+        b.ret(Some(y));
         b.finish()
     }
 
@@ -320,6 +480,31 @@ mod tests {
             let ghost = f.new_reg(Ty::Int);
             f.blocks[0].insts.push(Inst::Copy { dst, src: ghost });
             true
+        }
+    }
+
+    /// A fixed-point pass that needs exactly `need` cooperative ticks.
+    struct Spinner {
+        need: u64,
+    }
+    impl Pass for Spinner {
+        fn name(&self) -> &'static str {
+            "spinner"
+        }
+        fn run(&self, _f: &mut Function) -> bool {
+            false
+        }
+        fn run_budgeted(
+            &self,
+            f: &mut Function,
+            _cache: &mut AnalysisCache,
+            budget: &Budget,
+        ) -> Result<bool, BudgetExceeded> {
+            let mut meter = budget.start(f);
+            for _ in 0..self.need {
+                meter.tick(f)?;
+            }
+            Ok(false)
         }
     }
 
@@ -358,6 +543,50 @@ mod tests {
         assert_eq!(rep.faults.len(), 1);
         assert!(matches!(&rep.faults[0].kind, FaultKind::Lint(errs) if !errs.is_empty()));
         assert_eq!(f, before, "rollback must restore the pre-pass IR exactly");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_contained_and_rolled_back() {
+        let mut f = sample();
+        let before = f.clone();
+        let passes: Vec<Box<dyn Pass>> = vec![Box::new(Spinner { need: u64::MAX })];
+        let budget = Budget { max_iters: Some(100), ..Budget::UNLIMITED };
+        let rep = run_passes_governed(
+            &mut f,
+            &passes,
+            FaultPolicy::BestEffort,
+            &LintOptions::invariants_only(),
+            &budget,
+            None,
+        )
+        .unwrap();
+        assert_eq!(rep.faults.len(), 1);
+        assert_eq!(rep.faults[0].kind_label(), "budget");
+        assert!(matches!(
+            &rep.faults[0].kind,
+            FaultKind::Budget(e) if e.kind == BudgetKind::Iterations
+        ));
+        assert_eq!(f, before, "over-budget attempt must be rolled back");
+    }
+
+    #[test]
+    fn retry_runs_under_a_relaxed_budget() {
+        // 150 ticks: over the 100-iteration budget, within the relaxed 200.
+        let mut f = sample();
+        let passes: Vec<Box<dyn Pass>> = vec![Box::new(Spinner { need: 150 })];
+        let budget = Budget { max_iters: Some(100), ..Budget::UNLIMITED };
+        let rep = run_passes_governed(
+            &mut f,
+            &passes,
+            FaultPolicy::RetryThenSkip,
+            &LintOptions::invariants_only(),
+            &budget,
+            None,
+        )
+        .unwrap();
+        assert_eq!(rep.retries, 1);
+        assert_eq!(rep.faults.len(), 1, "first attempt faults; relaxed retry succeeds");
+        assert_eq!(rep.faults[0].kind_label(), "budget");
     }
 
     #[test]
@@ -420,12 +649,68 @@ mod tests {
     }
 
     #[test]
+    fn breaker_quarantines_a_repeatedly_faulting_pass() {
+        let mut m = Module::new();
+        for name in ["a", "b", "c", "d", "e"] {
+            m.functions.push(named(name));
+        }
+        let (out, rep) = run_module_governed(
+            &m,
+            &|| vec![Box::new(Bomb) as Box<dyn Pass>, Box::new(ConstProp)],
+            FaultPolicy::BestEffort,
+            &LintOptions::invariants_only(),
+            &Budget::governed(),
+            2,
+            1,
+        )
+        .unwrap();
+        // The bomb faults in `a` and `b`, trips at 2, and is skipped for
+        // the remaining three functions.
+        assert_eq!(rep.faults.len(), 2, "{:?}", rep.faults);
+        assert_eq!(rep.skipped, 3);
+        assert_eq!(rep.quarantined.len(), 1);
+        assert_eq!(rep.quarantined[0].pass, "bomb");
+        assert_eq!(rep.quarantined[0].tripped_in, "b");
+        assert_eq!(out.functions.len(), 5);
+    }
+
+    #[test]
+    fn breaker_parallel_matches_serial_exactly() {
+        let mut m = Module::new();
+        for name in ["a", "b", "c", "d", "e", "f", "g"] {
+            m.functions.push(named(name));
+        }
+        let passes_for =
+            || vec![Box::new(Bomb) as Box<dyn Pass>, Box::new(ConstProp), Box::new(Dce)];
+        let opts = LintOptions::invariants_only();
+        let budget = Budget::governed();
+        let (m1, r1) = run_module_governed(
+            &m, &passes_for, FaultPolicy::BestEffort, &opts, &budget, 3, 1,
+        )
+        .unwrap();
+        for jobs in [2, 4, 8] {
+            let (mj, rj) = run_module_governed(
+                &m, &passes_for, FaultPolicy::BestEffort, &opts, &budget, 3, jobs,
+            )
+            .unwrap();
+            assert_eq!(format!("{m1}"), format!("{mj}"), "module differs at jobs={jobs}");
+            assert_eq!(r1.faults.len(), rj.faults.len(), "fault count at jobs={jobs}");
+            for (a, b) in r1.faults.iter().zip(&rj.faults) {
+                assert_eq!(format!("{a}"), format!("{b}"), "fault order at jobs={jobs}");
+            }
+            assert_eq!(r1.skipped, rj.skipped, "skip tally at jobs={jobs}");
+            assert_eq!(r1.quarantined, rj.quarantined, "quarantine list at jobs={jobs}");
+        }
+    }
+
+    #[test]
     fn sandboxed_optimizer_matches_plain_pipeline_on_clean_input() {
         let mut m = Module::new();
         m.functions.push(sample());
         let sandboxed = SandboxedOptimizer::new(OptLevel::Distribution, FaultPolicy::BestEffort);
         let (out, rep) = sandboxed.optimize(&m).unwrap();
         assert!(rep.faults.is_empty(), "{:?}", rep.faults);
+        assert!(rep.quarantined.is_empty());
         let plain = Optimizer::new(OptLevel::Distribution).optimize(&m);
         assert_eq!(format!("{out}"), format!("{plain}"));
     }

@@ -1,0 +1,247 @@
+//! The module-driver watchdog: detect a worker stuck past its per-function
+//! wall-clock deadline, roll the function back to its input form, and keep
+//! the remaining workers draining the queue.
+//!
+//! The [`Budget`] layer stops *cooperative* runaways — passes that tick
+//! their meter inside every fixed-point loop. A worker can still wedge in
+//! non-cooperative code: a pathological allocation, a bug in an opaque
+//! pass, a deadlocked dependency. The watchdog is the backstop for that
+//! case. It runs the module's functions on detached worker threads,
+//! polls for workers that have held one function past
+//! [`WatchdogConfig::function_deadline`], and when it finds one it (a)
+//! publishes the *input* function as that slot's result together with a
+//! [`PassFault`] blamed on the pseudo-pass `"watchdog"`, (b) spawns a
+//! replacement worker so the pool keeps its capacity, and (c) leaves the
+//! stuck thread to its fate — it holds only clones, and its late result
+//! (if it ever produces one) is discarded at the slot.
+//!
+//! Output functions are reassembled in module order, so *which bytes* come
+//! out for a function depends only on whether it timed out — timing out is
+//! of course wall-clock-dependent, which is exactly why the deterministic
+//! pipelines leave the deadline dimension unset and this driver is opt-in
+//! (`epre opt --best-effort --deadline-ms N --jobs K`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use epre::fault::PassFault;
+use epre::{Budget, BudgetExceeded, BudgetKind};
+use epre_ir::{Function, Module};
+use epre_lint::LintOptions;
+use epre_passes::Pass;
+
+use crate::sandbox::{run_passes_governed, FaultPolicy, SandboxReport};
+
+/// Builds a fresh pass list per worker thread (pass objects are not
+/// `Sync`, and the stuck worker keeps its list forever).
+pub type PassFactory = dyn Fn() -> Vec<Box<dyn Pass>> + Send + Sync;
+
+/// The watchdog driver's knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// How long one worker may hold one function before it is declared
+    /// stuck and the function is rolled back.
+    pub function_deadline: Duration,
+    /// How often the watchdog scans for stuck workers when no completion
+    /// arrives.
+    pub poll: Duration,
+    /// Worker-thread count.
+    pub jobs: usize,
+}
+
+impl WatchdogConfig {
+    /// A config with `jobs` workers and the given per-function deadline;
+    /// the poll interval is an eighth of the deadline, floored at 1 ms.
+    pub fn new(function_deadline: Duration, jobs: usize) -> Self {
+        WatchdogConfig {
+            function_deadline,
+            poll: (function_deadline / 8).max(Duration::from_millis(1)),
+            jobs: jobs.max(1),
+        }
+    }
+}
+
+/// The pseudo-pass name the watchdog blames its rollbacks on.
+pub const WATCHDOG_PASS: &str = "watchdog";
+
+/// A per-function result slot: `None` until either the worker's real
+/// result or the watchdog's rollback verdict lands (first write wins).
+type Slot = Mutex<Option<Result<(Function, SandboxReport), PassFault>>>;
+
+struct Shared {
+    module: Module,
+    slots: Vec<Slot>,
+    started: Vec<Mutex<Option<Instant>>>,
+    next: AtomicUsize,
+}
+
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    passes_for: &Arc<PassFactory>,
+    policy: FaultPolicy,
+    opts: LintOptions,
+    budget: Budget,
+    tx: &mpsc::Sender<usize>,
+) {
+    let shared = Arc::clone(shared);
+    let passes_for = Arc::clone(passes_for);
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let passes = passes_for();
+        let n = shared.module.functions.len();
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            *shared.started[i].lock().expect("start-time slot poisoned") = Some(Instant::now());
+            let mut f = shared.module.functions[i].clone();
+            let outcome = run_passes_governed(&mut f, &passes, policy, &opts, &budget, None)
+                .map(|rep| (f, rep));
+            let mut slot = shared.slots[i].lock().expect("result slot poisoned");
+            if slot.is_none() {
+                *slot = Some(outcome);
+                drop(slot);
+                // The watchdog may have shut the channel down already; a
+                // failed send just means nobody is waiting anymore.
+                let _ = tx.send(i);
+            }
+            // else: the watchdog gave up on this function; the late result
+            // is discarded and this (recovered) worker rejoins the pool.
+        }
+    });
+}
+
+/// Optimize `module` on a watchdog-supervised worker pool.
+///
+/// Each function runs a governed sandboxed pipeline
+/// ([`run_passes_governed`]; no circuit breaker — quarantine replay is
+/// meaningless when results can be abandoned mid-flight). A function whose
+/// worker exceeds the per-function deadline is rolled back to its input
+/// form and reported as a fault of [`WATCHDOG_PASS`] with
+/// [`BudgetKind::WallClock`] evidence; the remaining functions keep
+/// draining on the surviving and replacement workers.
+///
+/// # Errors
+/// Under [`FaultPolicy::FailFast`], the fault of the earliest faulting
+/// function in module order (watchdog rollbacks are always contained,
+/// never errors — a deadline is a degradation, not a failure).
+pub fn optimize_module_watchdog(
+    module: &Module,
+    passes_for: Arc<PassFactory>,
+    policy: FaultPolicy,
+    opts: LintOptions,
+    budget: Budget,
+    cfg: &WatchdogConfig,
+) -> Result<(Module, SandboxReport), PassFault> {
+    let n = module.functions.len();
+    if n == 0 {
+        return Ok((module.clone(), SandboxReport::default()));
+    }
+    let shared = Arc::new(Shared {
+        module: module.clone(),
+        slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        started: (0..n).map(|_| Mutex::new(None)).collect(),
+        next: AtomicUsize::new(0),
+    });
+    let (tx, rx) = mpsc::channel::<usize>();
+    for _ in 0..cfg.jobs.min(n) {
+        spawn_worker(&shared, &passes_for, policy, opts, budget, &tx);
+    }
+
+    let mut done = 0usize;
+    while done < n {
+        match rx.recv_timeout(cfg.poll) {
+            Ok(_) => done += 1,
+            Err(RecvTimeoutError::Disconnected) => {
+                unreachable!("the watchdog holds a live sender")
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                for i in 0..n {
+                    let Some(t0) = *shared.started[i].lock().expect("start-time slot poisoned")
+                    else {
+                        continue;
+                    };
+                    let elapsed = t0.elapsed();
+                    if elapsed < cfg.function_deadline {
+                        continue;
+                    }
+                    let mut slot = shared.slots[i].lock().expect("result slot poisoned");
+                    if slot.is_some() {
+                        continue; // finished (or already abandoned) in time
+                    }
+                    let f = shared.module.functions[i].clone();
+                    let fault = PassFault::budget(
+                        WATCHDOG_PASS,
+                        &f.name,
+                        BudgetExceeded {
+                            kind: BudgetKind::WallClock,
+                            spent: elapsed.as_millis() as u64,
+                            limit: cfg.function_deadline.as_millis() as u64,
+                        },
+                    );
+                    let rep = SandboxReport { faults: vec![fault], ..SandboxReport::default() };
+                    *slot = Some(Ok((f, rep)));
+                    drop(slot);
+                    done += 1;
+                    // The stuck worker's capacity is gone; replace it so the
+                    // rest of the queue keeps draining at full width.
+                    spawn_worker(&shared, &passes_for, policy, opts, budget, &tx);
+                }
+            }
+        }
+    }
+
+    let mut out = module.clone();
+    out.functions.clear();
+    let mut report = SandboxReport::default();
+    for slot in &shared.slots {
+        let outcome = slot
+            .lock()
+            .expect("result slot poisoned")
+            .take()
+            .expect("every slot filled before exit");
+        let (f, rep) = outcome?;
+        out.functions.push(f);
+        report.merge(rep);
+    }
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre::Optimizer;
+    use epre_ir::{BinOp, FunctionBuilder, Ty};
+
+    fn named(name: &str) -> Function {
+        let mut b = FunctionBuilder::new(name, Some(Ty::Int));
+        let x = b.param(Ty::Int);
+        let y = b.bin(BinOp::Add, Ty::Int, x, x);
+        b.ret(Some(y));
+        b.finish()
+    }
+
+    #[test]
+    fn healthy_module_passes_through_unharmed() {
+        let mut m = Module::new();
+        for name in ["a", "b", "c"] {
+            m.functions.push(named(name));
+        }
+        let level = epre::OptLevel::Distribution;
+        let (out, rep) = optimize_module_watchdog(
+            &m,
+            Arc::new(move || Optimizer::new(level).passes()),
+            FaultPolicy::BestEffort,
+            LintOptions::invariants_only(),
+            Budget::governed(),
+            &WatchdogConfig::new(Duration::from_secs(60), 2),
+        )
+        .unwrap();
+        assert!(rep.faults.is_empty(), "{:?}", rep.faults);
+        let plain = Optimizer::new(level).optimize(&m);
+        assert_eq!(format!("{out}"), format!("{plain}"));
+    }
+}

@@ -3,8 +3,11 @@
 //! uncontained faults — every injected fault must be caught by the lint
 //! layer, rolled back by the sandbox, or flagged (and semantically rolled
 //! back) by the differential oracle, and the pipeline must still emit a
-//! runnable module.
+//! runnable module. Phase 2 additionally splices the adversarial pass
+//! models (non-terminating, quadratic growth) into the pipeline at every
+//! level and demands the resource budget contains every one.
 
+use epre::Budget;
 use epre_frontend::{compile, NamingMode};
 use epre_harness::{run_campaign, CampaignConfig, ALL_LEVELS};
 use epre_ir::Module;
@@ -65,6 +68,8 @@ fn campaign_200_mutants_zero_uncontained() {
         iters: 210,
         fuel: 20_000,
         levels: ALL_LEVELS.to_vec(),
+        budget: Budget::governed(),
+        pass_fault_iters: 6,
     };
     let report = run_campaign(&bases(), &cfg);
     assert!(report.is_contained(), "containment failed:\n{report}");
@@ -81,6 +86,13 @@ fn campaign_200_mutants_zero_uncontained() {
         report.ingress_lint + report.rolled_back + report.oracle_caught > report.runs / 10,
         "suspiciously few faults caught:\n{report}"
     );
+    // Phase 2: both adversarial pass models, spliced at every level, all
+    // stopped by the budget.
+    assert_eq!(report.pass_fault_runs, 6 * ALL_LEVELS.len());
+    assert_eq!(
+        report.budget_contained, report.pass_fault_runs,
+        "a pass-fault model escaped the budget:\n{report}"
+    );
 }
 
 #[test]
@@ -90,6 +102,8 @@ fn campaign_is_deterministic_across_repeats() {
         iters: 30,
         fuel: 20_000,
         levels: ALL_LEVELS.to_vec(),
+        budget: Budget::governed(),
+        pass_fault_iters: 2,
     };
     let a = run_campaign(&bases(), &cfg);
     let b = run_campaign(&bases(), &cfg);
@@ -99,12 +113,21 @@ fn campaign_is_deterministic_across_repeats() {
     assert_eq!(a.oracle_caught, b.oracle_caught);
     assert_eq!(a.ingress_lint, b.ingress_lint);
     assert_eq!(a.benign, b.benign);
+    assert_eq!(a.pass_fault_runs, b.pass_fault_runs);
+    assert_eq!(a.budget_contained, b.budget_contained);
     assert_eq!(a.uncontained, b.uncontained);
 }
 
 #[test]
 fn different_seeds_explore_different_mutants() {
-    let mk = |seed| CampaignConfig { seed, iters: 30, fuel: 20_000, levels: ALL_LEVELS.to_vec() };
+    let mk = |seed| CampaignConfig {
+        seed,
+        iters: 30,
+        fuel: 20_000,
+        levels: ALL_LEVELS.to_vec(),
+        budget: Budget::governed(),
+        pass_fault_iters: 0,
+    };
     let a = run_campaign(&bases(), &mk(1));
     let b = run_campaign(&bases(), &mk(2));
     assert!(a.is_contained() && b.is_contained());

@@ -15,6 +15,8 @@
 use epre_analysis::AnalysisCache;
 use epre_ir::{Block, BlockId, Function, Terminator};
 
+use crate::budget::{Budget, BudgetExceeded};
+
 /// Run the clean pass to a fixed point. Returns true if anything changed.
 pub fn run(f: &mut Function) -> bool {
     run_with_cache(f, &mut AnalysisCache::new())
@@ -27,12 +29,33 @@ pub fn run(f: &mut Function) -> bool {
 /// Each structural edit invalidates precisely what it breaks, so the
 /// cache is consistent on return.
 pub fn run_with_cache(f: &mut Function, cache: &mut AnalysisCache) -> bool {
+    match run_budgeted(f, cache, &Budget::UNLIMITED) {
+        Ok(any) => any,
+        Err(_) => unreachable!("unlimited budget cannot be exceeded"),
+    }
+}
+
+/// [`run_with_cache`] under a resource [`Budget`]: one cooperative
+/// checkpoint per tidying round (each round applies all four
+/// transformations once; a round that changes nothing ends the fixed
+/// point).
+///
+/// # Errors
+/// [`BudgetExceeded`] when a round starts over budget; edits already made
+/// stay made (callers needing atomicity run a clone).
+pub fn run_budgeted(
+    f: &mut Function,
+    cache: &mut AnalysisCache,
+    budget: &Budget,
+) -> Result<bool, BudgetExceeded> {
     debug_assert!(
         f.blocks.iter().all(|b| b.phi_count() == 0),
         "clean expects φ-free code"
     );
+    let mut meter = budget.start(f);
     let mut any = false;
     loop {
+        meter.tick(f)?;
         let mut changed = false;
         changed |= fold_redundant_branches(f, cache);
         changed |= remove_unreachable(f, cache);
@@ -43,7 +66,7 @@ pub fn run_with_cache(f: &mut Function, cache: &mut AnalysisCache) -> bool {
         }
         any = true;
     }
-    any
+    Ok(any)
 }
 
 /// `cbr c -> x, x` becomes `jump x`.

@@ -17,6 +17,8 @@ use std::collections::HashSet;
 use epre_analysis::{AnalysisCache, Liveness};
 use epre_ir::{Function, Inst, Reg};
 
+use crate::budget::{Budget, BudgetExceeded};
+
 /// Run coalescing rounds until no copy can be merged. Returns true if any
 /// copy was removed.
 pub fn run(f: &mut Function) -> bool {
@@ -29,7 +31,27 @@ pub fn run(f: &mut Function) -> bool {
 /// The renames make any cached expression universe stale, so a changing
 /// run invalidates it before returning.
 pub fn run_with_cache(f: &mut Function, cache: &mut AnalysisCache) -> bool {
+    match run_budgeted(f, cache, &Budget::UNLIMITED) {
+        Ok(any) => any,
+        Err(_) => unreachable!("unlimited budget cannot be exceeded"),
+    }
+}
+
+/// [`run_with_cache`] under a resource [`Budget`]: one cooperative
+/// checkpoint per coalescing round (each round merges one copy and
+/// recomputes liveness, so rounds are the unit of progress — and of
+/// divergence, if a broken interference rule kept re-introducing copies).
+///
+/// # Errors
+/// [`BudgetExceeded`] when a round starts over budget; merges already
+/// performed stay performed (callers needing atomicity run a clone).
+pub fn run_budgeted(
+    f: &mut Function,
+    cache: &mut AnalysisCache,
+    budget: &Budget,
+) -> Result<bool, BudgetExceeded> {
     debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "coalesce expects φ-free code");
+    let mut meter = budget.start(f);
     // Drop trivial self-copies first.
     let mut any = false;
     for b in &mut f.blocks {
@@ -37,13 +59,17 @@ pub fn run_with_cache(f: &mut Function, cache: &mut AnalysisCache) -> bool {
         b.insts.retain(|i| !matches!(i, Inst::Copy { dst, src } if dst == src));
         any |= b.insts.len() != before;
     }
-    while coalesce_round(f, cache) {
+    loop {
+        meter.tick(f)?;
+        if !coalesce_round(f, cache) {
+            break;
+        }
         any = true;
     }
     if any {
         cache.invalidate_universe();
     }
-    any
+    Ok(any)
 }
 
 fn coalesce_round(f: &mut Function, cache: &mut AnalysisCache) -> bool {

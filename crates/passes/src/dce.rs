@@ -13,6 +13,8 @@
 use epre_analysis::{AnalysisCache, Liveness};
 use epre_ir::Function;
 
+use crate::budget::{Budget, BudgetExceeded};
+
 /// Run DCE to a fixed point. Returns true if any instruction was deleted;
 /// the deleted-ops count is observable through
 /// [`Function::static_op_count`].
@@ -27,9 +29,28 @@ pub fn run(f: &mut Function) -> bool {
 /// is left consistent: each deleting round invalidates the expression
 /// universe only.
 pub fn run_with_cache(f: &mut Function, cache: &mut AnalysisCache) -> bool {
+    match run_budgeted(f, cache, &Budget::UNLIMITED) {
+        Ok(any) => any,
+        Err(_) => unreachable!("unlimited budget cannot be exceeded"),
+    }
+}
+
+/// [`run_with_cache`] under a resource [`Budget`]: one cooperative
+/// checkpoint per liveness round of the fixed point.
+///
+/// # Errors
+/// [`BudgetExceeded`] when a round starts over budget; instructions
+/// already deleted stay deleted (callers needing atomicity run a clone).
+pub fn run_budgeted(
+    f: &mut Function,
+    cache: &mut AnalysisCache,
+    budget: &Budget,
+) -> Result<bool, BudgetExceeded> {
     debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "dce expects φ-free code");
+    let mut meter = budget.start(f);
     let mut any = false;
     loop {
+        meter.tick(f)?;
         let live = Liveness::new(f, cache.cfg(f));
         let mut changed = false;
         for (bid, block) in f.blocks.iter_mut().enumerate() {
@@ -67,7 +88,7 @@ pub fn run_with_cache(f: &mut Function, cache: &mut AnalysisCache) -> bool {
         any = true;
         cache.invalidate_universe();
     }
-    any
+    Ok(any)
 }
 
 #[cfg(test)]

@@ -27,16 +27,35 @@ use std::collections::HashMap;
 use epre_ir::{Function, Inst, Reg};
 use epre_ssa::{build_ssa, destroy_ssa, SsaOptions};
 
+use crate::budget::{Budget, BudgetExceeded};
+
 /// Run GVN + renaming on `f`. The function enters and leaves non-SSA form.
 /// Returns `true` unconditionally: the SSA round trip renames registers
 /// even when no classes merge, so the function must be treated as changed.
 pub fn run(f: &mut Function) -> bool {
+    match run_budgeted(f, &Budget::UNLIMITED) {
+        Ok(changed) => changed,
+        Err(_) => unreachable!("unlimited budget cannot be exceeded"),
+    }
+}
+
+/// [`run`] under a resource [`Budget`]: one cooperative checkpoint per
+/// partition-refinement iteration (AWZ refinement only ever splits
+/// classes, so healthy runs take at most `reg_count` iterations — a
+/// budget trip means the refinement is broken or adversarial). Takes no
+/// analysis cache: the pass rebuilds SSA internally.
+///
+/// # Errors
+/// [`BudgetExceeded`] when a refinement iteration starts over budget; the
+/// function is left in SSA form, un-renamed (callers needing atomicity
+/// run a clone).
+pub fn run_budgeted(f: &mut Function, budget: &Budget) -> Result<bool, BudgetExceeded> {
     build_ssa(f, SsaOptions { fold_copies: true });
-    let classes = congruence_classes(f);
+    let classes = congruence_classes_budgeted(f, budget)?;
     rename(f, &classes);
     dedupe_phis(f);
     destroy_ssa(f);
-    true
+    Ok(true)
 }
 
 /// Congruence class of every register of `f` (indexed by register
@@ -68,6 +87,16 @@ enum InitKey {
 /// Compute the congruence class of every register (indexed by register).
 /// Registers with no definition (unused allocations) map to themselves.
 fn congruence_classes(f: &Function) -> Vec<u32> {
+    match congruence_classes_budgeted(f, &Budget::UNLIMITED) {
+        Ok(classes) => classes,
+        Err(_) => unreachable!("unlimited budget cannot be exceeded"),
+    }
+}
+
+/// [`congruence_classes`] with a cooperative checkpoint per refinement
+/// iteration.
+fn congruence_classes_budgeted(f: &Function, budget: &Budget) -> Result<Vec<u32>, BudgetExceeded> {
+    let mut meter = budget.start(f);
     let nregs = f.reg_count();
     // Gather definitions.
     #[derive(Clone)]
@@ -138,6 +167,7 @@ fn congruence_classes(f: &Function) -> Vec<u32> {
     // Refinement to a fixed point: split classes whose members disagree on
     // operand classes.
     loop {
+        meter.tick(f)?;
         let mut sig_ids: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
         let mut new_class = vec![0u32; nregs];
         let mut next = 0u32;
@@ -178,7 +208,7 @@ fn congruence_classes(f: &Function) -> Vec<u32> {
         }
         class = new_class;
     }
-    class
+    Ok(class)
 }
 
 /// Rewrite every definition and use so each class has exactly one register.

@@ -49,6 +49,7 @@
 //! costs a recomputation), while under-reporting is a bug that the
 //! pipeline's debug-build cache validation catches and blames by name.
 
+pub mod budget;
 pub mod clean;
 pub mod coalesce;
 pub mod cse;
@@ -59,6 +60,8 @@ pub mod peephole;
 pub mod pre;
 pub mod reassoc;
 pub mod sccp;
+
+pub use budget::{Budget, BudgetExceeded, BudgetKind, Meter};
 
 use epre_analysis::{AnalysisCache, PreservedAnalyses};
 use epre_ir::Function;
@@ -101,6 +104,37 @@ pub trait Pass {
         }
         changed
     }
+
+    /// Transform `f` under a resource [`Budget`].
+    ///
+    /// Fixed-point passes override this to place a cooperative checkpoint
+    /// ([`Meter::tick`]) inside every loop that could fail to converge, so
+    /// an over-budget invocation stops *mid-flight* with a typed
+    /// [`BudgetExceeded`] instead of spinning. The default covers passes
+    /// without such loops: it runs [`Pass::run_cached`] to completion and
+    /// then holds the result to the growth and deadline dimensions
+    /// post-hoc via [`Meter::finish`].
+    ///
+    /// On `Err` the function may be left mid-transform; callers that need
+    /// all-or-nothing semantics (the sandbox, the pipeline driver) run on
+    /// a clone and roll back, exactly as they do for panics.
+    ///
+    /// # Errors
+    /// [`BudgetExceeded`] naming the first exhausted dimension.
+    fn run_budgeted(
+        &self,
+        f: &mut Function,
+        cache: &mut AnalysisCache,
+        budget: &Budget,
+    ) -> Result<bool, BudgetExceeded> {
+        if !budget.is_limited() {
+            return Ok(self.run_cached(f, cache));
+        }
+        let meter = budget.start(f);
+        let changed = self.run_cached(f, cache);
+        meter.finish(f)?;
+        Ok(changed)
+    }
 }
 
 /// The statistics-reporting pass objects used by the driver crate.
@@ -108,7 +142,9 @@ pub mod passes {
     use super::*;
 
     macro_rules! simple_pass {
-        ($(#[$doc:meta])* $name:ident, $label:literal, $fun:path $(, preserves: $pres:expr)?) => {
+        ($(#[$doc:meta])* $name:ident, $label:literal, $fun:path
+         $(, preserves: $pres:expr)?
+         $(, budgeted_uncached: $bud:path)?) => {
             $(#[$doc])*
             #[derive(Debug, Clone, Copy, Default)]
             pub struct $name;
@@ -124,6 +160,24 @@ pub mod passes {
                         $pres
                     }
                 )?
+                $(
+                    // `budgeted_uncached`: the module's budgeted entry point
+                    // takes no cache (the pass rebuilds SSA internally), so
+                    // the cache is retained here exactly as the trait's
+                    // run_cached default would.
+                    fn run_budgeted(
+                        &self,
+                        f: &mut Function,
+                        cache: &mut AnalysisCache,
+                        budget: &Budget,
+                    ) -> Result<bool, BudgetExceeded> {
+                        let changed = $bud(f, budget)?;
+                        if changed {
+                            cache.retain(self.preserves());
+                        }
+                        Ok(changed)
+                    }
+                )?
             }
         };
     }
@@ -132,7 +186,8 @@ pub mod passes {
         /// Sparse conditional constant propagation.
         ConstProp,
         "constprop",
-        crate::sccp::run
+        crate::sccp::run,
+        budgeted_uncached: crate::sccp::run_budgeted
     );
     /// Global peephole optimization. Instruction rewrites keep the CFG
     /// intact; only folding a conditional branch changes block shape, and
@@ -180,6 +235,14 @@ pub mod passes {
         fn run_cached(&self, f: &mut Function, cache: &mut AnalysisCache) -> bool {
             crate::dce::run_with_cache(f, cache)
         }
+        fn run_budgeted(
+            &self,
+            f: &mut Function,
+            cache: &mut AnalysisCache,
+            budget: &Budget,
+        ) -> Result<bool, BudgetExceeded> {
+            crate::dce::run_budgeted(f, cache, budget)
+        }
     }
 
     /// Chaitin-style copy coalescing. Renames registers and drops copies
@@ -202,6 +265,14 @@ pub mod passes {
         fn run_cached(&self, f: &mut Function, cache: &mut AnalysisCache) -> bool {
             crate::coalesce::run_with_cache(f, cache)
         }
+        fn run_budgeted(
+            &self,
+            f: &mut Function,
+            cache: &mut AnalysisCache,
+            budget: &Budget,
+        ) -> Result<bool, BudgetExceeded> {
+            crate::coalesce::run_budgeted(f, cache, budget)
+        }
     }
 
     /// Empty-block elimination / CFG tidying. `run_cached` shares the
@@ -220,18 +291,28 @@ pub mod passes {
         fn run_cached(&self, f: &mut Function, cache: &mut AnalysisCache) -> bool {
             crate::clean::run_with_cache(f, cache)
         }
+        fn run_budgeted(
+            &self,
+            f: &mut Function,
+            cache: &mut AnalysisCache,
+            budget: &Budget,
+        ) -> Result<bool, BudgetExceeded> {
+            crate::clean::run_budgeted(f, cache, budget)
+        }
     }
     simple_pass!(
         /// Partial redundancy elimination (Drechsler–Stadel).
         Pre,
         "pre",
-        crate::pre::run
+        crate::pre::run,
+        budgeted_uncached: crate::pre::run_budgeted
     );
     simple_pass!(
         /// Partition-based global value numbering + renaming.
         Gvn,
         "gvn",
-        crate::gvn::run
+        crate::gvn::run,
+        budgeted_uncached: crate::gvn::run_budgeted
     );
     simple_pass!(
         /// Hash-based local value numbering. Rewrites and deletes
@@ -267,6 +348,20 @@ pub mod passes {
             // The SSA round trip renames registers even when nothing
             // propagates; report a change conservatively.
             true
+        }
+        fn run_budgeted(
+            &self,
+            f: &mut Function,
+            cache: &mut AnalysisCache,
+            budget: &Budget,
+        ) -> Result<bool, BudgetExceeded> {
+            crate::reassoc::reassociate_budgeted(
+                f,
+                crate::reassoc::ReassocOptions { distribute: self.distribute },
+                budget,
+            )?;
+            cache.retain(self.preserves());
+            Ok(true)
         }
     }
 }

@@ -36,6 +36,8 @@ use epre_cfg::edit::split_critical_edges;
 use epre_cfg::Cfg;
 use epre_ir::{BlockId, Function, Inst};
 
+use crate::budget::{Budget, BudgetExceeded, Meter};
+
 /// Run PRE to a fixed point. Returns true if any round changed the
 /// function (including critical-edge splitting, which edits the CFG).
 ///
@@ -47,25 +49,52 @@ use epre_ir::{BlockId, Function, Inst};
 /// iteration converges; a generous bound guards against pathological
 /// inputs.
 pub fn run(f: &mut Function) -> bool {
+    match run_budgeted(f, &Budget::UNLIMITED) {
+        Ok(any) => any,
+        Err(_) => unreachable!("unlimited budget cannot be exceeded"),
+    }
+}
+
+/// [`run`] under a resource [`Budget`]: cooperative checkpoints per outer
+/// application round *and* per LATER/LATERIN sweep inside each round —
+/// both loops are fixed points, and the growth dimension also polices
+/// edge-split and insertion blowup between rounds.
+///
+/// # Errors
+/// [`BudgetExceeded`] when a round or sweep starts over budget; completed
+/// rounds stay applied (callers needing atomicity run a clone).
+pub fn run_budgeted(f: &mut Function, budget: &Budget) -> Result<bool, BudgetExceeded> {
+    let mut meter = budget.start(f);
     let mut any = false;
     for _ in 0..10 {
-        if !run_once(f) {
+        meter.tick(f)?;
+        if !run_once_metered(f, &mut meter)? {
             break;
         }
         any = true;
     }
-    any
+    Ok(any)
 }
 
 /// One application of Drechsler–Stadel PRE; returns true if anything
 /// changed (edges split, insertions, or deletions).
 pub fn run_once(f: &mut Function) -> bool {
+    let mut meter = Budget::UNLIMITED.start(f);
+    match run_once_metered(f, &mut meter) {
+        Ok(changed) => changed,
+        Err(_) => unreachable!("unlimited budget cannot be exceeded"),
+    }
+}
+
+/// [`run_once`] charging its LATER/LATERIN sweeps to a caller-owned
+/// [`Meter`], so the budget spans all rounds of an outer fixed point.
+fn run_once_metered(f: &mut Function, meter: &mut Meter) -> Result<bool, BudgetExceeded> {
     debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "PRE expects φ-free code");
     let splits = split_critical_edges(f);
     let cfg = Cfg::new(f);
     let universe = ExprUniverse::new(f);
     if universe.is_empty() {
-        return splits > 0;
+        return Ok(splits > 0);
     }
     let cap = universe.len();
     let lp = LocalPredicates::new(f, &universe);
@@ -132,6 +161,7 @@ pub fn run_once(f: &mut Function) -> bool {
         .collect();
     let mut later: Vec<BitSet> = earliest.clone();
     loop {
+        meter.tick(f)?;
         let mut changed = false;
         for (k, &(i, _)) in edges.iter().enumerate() {
             // LATER(i,j) = EARLIEST(i,j) ∪ (LATERIN(i) − ANTLOC(i))
@@ -219,7 +249,7 @@ pub fn run_once(f: &mut Function) -> bool {
     }
 
     debug_assert!(f.verify().is_ok(), "PRE broke the verifier: {f}");
-    any_change
+    Ok(any_change)
 }
 
 /// Build the instructions for a set of expressions inserted on one edge,

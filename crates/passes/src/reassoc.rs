@@ -35,6 +35,8 @@ use epre_cfg::Cfg;
 use epre_ir::{BinOp, Const, Function, Inst, Reg, Terminator, Ty, UnOp};
 use epre_ssa::{build_ssa, destroy_ssa, SsaOptions};
 
+use crate::budget::{Budget, BudgetExceeded, Meter};
+
 /// Options for [`reassociate`].
 #[derive(Copy, Clone, Debug, Default)]
 pub struct ReassocOptions {
@@ -62,7 +64,29 @@ impl ReassocStats {
 
 /// Run global reassociation on `f`; returns the Table 2 statistics.
 pub fn reassociate(f: &mut Function, options: ReassocOptions) -> ReassocStats {
+    match reassociate_budgeted(f, options, &Budget::UNLIMITED) {
+        Ok(stats) => stats,
+        Err(_) => unreachable!("unlimited budget cannot be exceeded"),
+    }
+}
+
+/// [`reassociate`] under a resource [`Budget`]: one cooperative
+/// checkpoint per block of the forward-propagation rewrite. Distribution
+/// is the pipeline's biggest legitimate code-growth source (Table 2's
+/// expansion column), so the growth dimension is checked block-by-block
+/// while the rewrite is still in flight rather than once at the end.
+///
+/// # Errors
+/// [`BudgetExceeded`] when a block rewrite starts over budget; blocks
+/// already rewritten stay rewritten (callers needing atomicity run a
+/// clone).
+pub fn reassociate_budgeted(
+    f: &mut Function,
+    options: ReassocOptions,
+    budget: &Budget,
+) -> Result<ReassocStats, BudgetExceeded> {
     let ops_before = f.static_op_count();
+    let mut meter = budget.start(f);
 
     // Step 0+1: pruned SSA with copies folded into φs, then ranks.
     build_ssa(f, SsaOptions { fold_copies: true });
@@ -74,10 +98,10 @@ pub fn reassociate(f: &mut Function, options: ReassocOptions) -> ReassocStats {
 
     // Step 2b+3: forward-propagate trees into every sink, reassociating
     // along the way.
-    forward_propagate(f, &ranks, options);
+    forward_propagate(f, &ranks, options, &mut meter)?;
 
     let ops_after = f.static_op_count();
-    ReassocStats { ops_before, ops_after }
+    Ok(ReassocStats { ops_before, ops_after })
 }
 
 /// Ranks per register (paper §3.1). Must run on SSA.
@@ -137,8 +161,14 @@ struct Forwarder<'a> {
 }
 
 /// Rewrite every block: delete pure-expression instructions and re-emit
-/// reassociated trees immediately before each sink.
-fn forward_propagate(f: &mut Function, ranks: &[u32], options: ReassocOptions) {
+/// reassociated trees immediately before each sink. Ticks `meter` once
+/// per block, so growth is policed while distribution expands trees.
+fn forward_propagate(
+    f: &mut Function,
+    ranks: &[u32],
+    options: ReassocOptions,
+    meter: &mut Meter,
+) -> Result<(), BudgetExceeded> {
     // Pure expression defs (still single-assignment for expression
     // registers: copy targets — φ names — are multiply-defined but opaque).
     let mut defs: HashMap<Reg, Inst> = HashMap::new();
@@ -164,6 +194,7 @@ fn forward_propagate(f: &mut Function, ranks: &[u32], options: ReassocOptions) {
     // carry the rank of the tree they hold, but ranks are only read for
     // *input* registers, so a default of "huge" is never consulted.
     for bi in 0..f.blocks.len() {
+        meter.tick(f)?;
         let insts = std::mem::take(&mut f.blocks[bi].insts);
         fw.out = Vec::with_capacity(insts.len());
         // The trailing run of copies is a *parallel* copy group created by
@@ -236,6 +267,7 @@ fn forward_propagate(f: &mut Function, ranks: &[u32], options: ReassocOptions) {
         f.blocks[bi].term = term;
         f.blocks[bi].insts = std::mem::take(&mut fw.out);
     }
+    Ok(())
 }
 
 impl Forwarder<'_> {

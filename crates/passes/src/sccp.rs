@@ -16,6 +16,7 @@ use epre_analysis::AnalysisCache;
 use epre_ir::{BlockId, Const, Function, Inst, Reg, Terminator};
 use epre_ssa::{build_ssa, destroy_ssa, SsaOptions};
 
+use crate::budget::{Budget, BudgetExceeded};
 use crate::peephole::{fold_bin_const, fold_un_const};
 
 /// Lattice value for one SSA name.
@@ -43,7 +44,25 @@ impl Lattice {
 /// round trip renames registers even when no constant propagates, so the
 /// function must be treated as changed.
 pub fn run(f: &mut Function) -> bool {
+    match run_budgeted(f, &Budget::UNLIMITED) {
+        Ok(changed) => changed,
+        Err(_) => unreachable!("unlimited budget cannot be exceeded"),
+    }
+}
+
+/// [`run`] under a resource [`Budget`]: one cooperative checkpoint per
+/// worklist pop of the two-worklist propagation (the only part of the
+/// pass whose trip count depends on lattice convergence). Takes no
+/// analysis cache: the pass rebuilds SSA internally, so nothing cached
+/// for the incoming function survives anyway.
+///
+/// # Errors
+/// [`BudgetExceeded`] when a pop starts over budget; the function is left
+/// mid-transform, possibly still in SSA form (callers needing atomicity
+/// run a clone).
+pub fn run_budgeted(f: &mut Function, budget: &Budget) -> Result<bool, BudgetExceeded> {
     build_ssa(f, SsaOptions { fold_copies: true });
+    let mut meter = budget.start(f);
 
     let nregs = f.reg_count();
     let mut value: Vec<Lattice> = vec![Lattice::Top, Lattice::Top]
@@ -94,6 +113,7 @@ pub fn run(f: &mut Function) -> bool {
 
     while !flow_work.is_empty() || !ssa_work.is_empty() {
         while let Some((from, to)) = flow_work.pop() {
+            meter.tick(f)?;
             if *edge_exec.get(&(from, to)).unwrap_or(&false) {
                 continue;
             }
@@ -113,6 +133,7 @@ pub fn run(f: &mut Function) -> bool {
             }
         }
         while let Some(r) = ssa_work.pop() {
+            meter.tick(f)?;
             if let Some(sites) = uses_of.get(&r) {
                 for &(b, i) in sites {
                     if !block_visited[b.index()] {
@@ -160,7 +181,7 @@ pub fn run(f: &mut Function) -> bool {
     drop_unreachable_with_phis(f, &mut cache);
     prune_phi_args_of_removed_edges(f, &mut cache);
     destroy_ssa(f);
-    true
+    Ok(true)
 }
 
 fn visit_inst(

