@@ -138,14 +138,18 @@ fn main() {
         ));
     }
 
-    let json = format!(
-        "{{\"bench\":\"throughput\",\"quick\":{quick},\"cpus\":{cpus},\"functions\":{},\"reps\":{reps},\"levels\":[{}]}}\n",
+    let entry = format!(
+        "{{\"quick\":{quick},\"cpus\":{cpus},\"functions\":{},\"reps\":{reps},\"levels\":[{}]}}",
         module.functions.len(),
         level_jsons.join(",")
     );
+    // Append to the run history instead of overwriting past results; the
+    // `run` numbers increase monotonically across invocations.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_OPT.json");
+    let existing = std::fs::read_to_string(path).ok();
+    let json = epre_bench::merge_bench_runs(existing.as_deref(), &entry);
     match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
+        Ok(()) => println!("\nwrote {path} ({} run(s) on record)", epre_bench::next_run_number(&json)),
         Err(e) => eprintln!("\ncould not write {path}: {e}"),
     }
 }

@@ -35,15 +35,61 @@ pub fn dynamic_count(routine: &Routine, level: OptLevel) -> u64 {
 
 /// The paper's percentage-improvement convention: `(old - new) / old`,
 /// rendered like Table 1 (empty for no change, `0%`/`-0%` for tiny ones).
-pub fn improvement(old: u64, new: u64) -> String {
-    if old == new {
-        return String::new();
+/// The single implementation lives in `epre-telemetry` (it also renders
+/// the `epre report` table); this re-export keeps the bench API stable.
+pub use epre_telemetry::improvement;
+
+/// One past the largest `"run":N` tag anywhere in a throughput history
+/// file, or 0 when none is present (missing, empty, or legacy file).
+pub fn next_run_number(history: &str) -> u64 {
+    let mut max: Option<u64> = None;
+    let mut rest = history;
+    while let Some(pos) = rest.find("\"run\":") {
+        rest = &rest[pos + "\"run\":".len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(n) = digits.parse::<u64>() {
+            max = Some(max.map_or(n, |m| m.max(n)));
+        }
     }
-    let pct = 100.0 * (old as f64 - new as f64) / old as f64;
-    if pct.abs() < 0.5 {
-        return if pct >= 0.0 { "0%".into() } else { "-0%".into() };
+    max.map_or(0, |m| m + 1)
+}
+
+/// Merge a fresh throughput run into the `BENCH_OPT.json` history
+/// instead of overwriting it.
+///
+/// `entry` is the new run's JSON object *without* a `run` field (it is
+/// assigned here, one past the largest already recorded). `existing` is
+/// the current file contents, if any. The result is the history format
+/// `{"bench":"throughput","runs":[...]}` with runs in recording order; a
+/// legacy single-run file (the old flat format, which this function
+/// recognizes by the absence of a `runs` array) is preserved as run 0.
+///
+/// # Panics
+/// Panics if `entry` is not a brace-delimited JSON object.
+pub fn merge_bench_runs(existing: Option<&str>, entry: &str) -> String {
+    let entry = entry.trim();
+    assert!(
+        entry.starts_with('{') && entry.ends_with('}'),
+        "run entry must be a JSON object"
+    );
+    let mut runs: Vec<String> = Vec::new();
+    if let Some(old) = existing {
+        let old = old.trim();
+        if let Some(list) = old
+            .strip_prefix("{\"bench\":\"throughput\",\"runs\":[")
+            .and_then(|rest| rest.strip_suffix("]}"))
+        {
+            if !list.is_empty() {
+                runs.push(list.to_string());
+            }
+        } else if old.starts_with('{') && old.len() > 2 {
+            // Legacy flat file from before run history: keep it as run 0.
+            runs.push(format!("{{\"run\":0,{}", &old[1..]));
+        }
     }
-    format!("{:.0}%", pct)
+    let next = next_run_number(&runs.join(","));
+    runs.push(format!("{{\"run\":{next},{}", &entry[1..]));
+    format!("{{\"bench\":\"throughput\",\"runs\":[{}]}}\n", runs.join(","))
 }
 
 #[cfg(test)]
@@ -57,6 +103,37 @@ mod tests {
         assert_eq!(improvement(1000, 1001), "-0%");
         assert_eq!(improvement(100, 80), "20%");
         assert_eq!(improvement(100, 112), "-12%");
+    }
+
+    #[test]
+    fn run_numbers_increase_monotonically() {
+        assert_eq!(next_run_number(""), 0);
+        assert_eq!(next_run_number("{\"bench\":\"throughput\",\"quick\":true}"), 0);
+        assert_eq!(next_run_number("{\"runs\":[{\"run\":0,\"x\":1}]}"), 1);
+        assert_eq!(next_run_number("{\"runs\":[{\"run\":0},{\"run\":7},{\"run\":3}]}"), 8);
+    }
+
+    #[test]
+    fn merge_starts_appends_and_wraps_legacy() {
+        // First run ever: history is created with run 0.
+        let first = merge_bench_runs(None, "{\"quick\":true,\"cpus\":8}");
+        assert_eq!(
+            first,
+            "{\"bench\":\"throughput\",\"runs\":[{\"run\":0,\"quick\":true,\"cpus\":8}]}\n"
+        );
+        // Second run appends as run 1 without disturbing run 0.
+        let second = merge_bench_runs(Some(&first), "{\"quick\":false,\"cpus\":8}");
+        assert_eq!(
+            second,
+            "{\"bench\":\"throughput\",\"runs\":[{\"run\":0,\"quick\":true,\"cpus\":8},{\"run\":1,\"quick\":false,\"cpus\":8}]}\n"
+        );
+        // A legacy flat file becomes run 0; the new entry becomes run 1.
+        let legacy = "{\"bench\":\"throughput\",\"quick\":true,\"levels\":[]}\n";
+        let merged = merge_bench_runs(Some(legacy), "{\"quick\":false}");
+        assert_eq!(
+            merged,
+            "{\"bench\":\"throughput\",\"runs\":[{\"run\":0,\"bench\":\"throughput\",\"quick\":true,\"levels\":[]},{\"run\":1,\"quick\":false}]}\n"
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod pipeline;
 pub mod stages;
 pub mod stats;
 pub mod timings;
+pub mod trace;
 pub mod verify_each;
 
 pub use epre_passes::{Budget, BudgetExceeded, BudgetKind};
@@ -53,4 +54,5 @@ pub use pipeline::{run_pass_budgeted, run_pass_cached, run_pass_checked, OptLeve
 pub use stages::{run_staged, try_run_staged, Stage, StagedOutput};
 pub use stats::{measure, measure_module, Measurement};
 pub use timings::{ModuleTimings, PassTiming};
+pub use trace::{opcode_histogram, optimize_function_traced, run_pass_traced};
 pub use verify_each::{run_passes_verified, PassBlame, PipelineViolation};

@@ -242,7 +242,7 @@ impl Optimizer {
 }
 
 /// Render a caught panic payload as a string (best effort).
-fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

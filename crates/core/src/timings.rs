@@ -3,20 +3,27 @@
 //!
 //! The paper reports *dynamic operation counts* (Table 1); this module
 //! measures the optimizer itself — how long each pass takes, how often it
-//! reports a change, and how well the per-function [`AnalysisCache`]
+//! reports a change, and how well the per-function `AnalysisCache`
 //! avoids recomputing CFGs, orders, dominators, and expression universes.
 //! Timing is serial by construction (per-pass attribution across worker
 //! threads would perturb the numbers it reports); module-level parallel
 //! speedups are measured end-to-end by the benchmark instead.
+//!
+//! Since the telemetry layer landed, this module is an *aggregation view*
+//! over the traced pipeline ([`Optimizer::try_optimize_traced`] with wall
+//! clocks enabled): the spans already carry measured nanoseconds, change
+//! reports, and cache totals, and this module folds them into the same
+//! [`ModuleTimings`] report (text and JSON formats unchanged) the
+//! `--timings` flag has always printed.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use epre_analysis::{AnalysisCache, CacheStats};
+use epre_analysis::CacheStats;
 use epre_ir::Module;
 
 use crate::fault::PassFault;
-use crate::pipeline::{run_pass_budgeted, Optimizer};
+use crate::pipeline::Optimizer;
 
 /// Accumulated wall-clock cost of one pass across every function of a
 /// module.
@@ -118,8 +125,8 @@ impl Optimizer {
     /// # Errors
     /// The first [`PassFault`] found in any function.
     pub fn try_optimize_timed(&self, module: &Module) -> Result<(Module, ModuleTimings), PassFault> {
-        let passes = self.passes();
-        let mut timings: Vec<PassTiming> = passes
+        let mut timings: Vec<PassTiming> = self
+            .passes()
             .iter()
             .map(|p| PassTiming {
                 pass: p.name(),
@@ -129,20 +136,31 @@ impl Optimizer {
             })
             .collect();
         let mut cache_totals = CacheStats::default();
-        let mut out = module.clone();
         let start = Instant::now();
-        for f in &mut out.functions {
-            let mut cache = AnalysisCache::new();
-            for (pass, timing) in passes.iter().zip(timings.iter_mut()) {
-                let t0 = Instant::now();
-                let changed = run_pass_budgeted(pass.as_ref(), f, &mut cache, &self.budget())?;
-                timing.duration += t0.elapsed();
-                timing.invocations += 1;
-                timing.changed += usize::from(changed);
-            }
-            cache_totals.merge(cache.stats());
-        }
+        // Serial traced run with wall clocks on: the spans carry the
+        // per-pass nanoseconds and change reports this view aggregates.
+        let (out, trace) = self.try_optimize_traced(module, 1, true)?;
         let total = start.elapsed();
+        for e in &trace.events {
+            match e.kind.as_str() {
+                "span" => {
+                    let timing = timings
+                        .iter_mut()
+                        .find(|t| t.pass == e.pass)
+                        .expect("span names a pipeline pass");
+                    timing.duration += Duration::from_nanos(e.wall_ns);
+                    timing.invocations += 1;
+                    timing.changed += usize::from(e.field_bool("changed").unwrap_or(false));
+                }
+                "cache" => {
+                    cache_totals.merge(CacheStats {
+                        hits: e.field_u64("hits").unwrap_or(0),
+                        misses: e.field_u64("misses").unwrap_or(0),
+                    });
+                }
+                _ => {}
+            }
+        }
         Ok((
             out,
             ModuleTimings {

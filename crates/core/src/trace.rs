@@ -1,0 +1,344 @@
+//! The traced pipeline: structured pass spans, transformation
+//! provenance, and deterministic parallel trace merging.
+//!
+//! This is the same pipeline as [`crate::pipeline`], with a
+//! [`FunctionTrace`] threaded through it. Every pass invocation emits
+//!
+//! * a `span` event carrying the pass's change report, the static
+//!   operation counts around it, and the counters the pass reported
+//!   about its own work (via [`Pass::run_instrumented`]), and
+//! * a `provenance` event carrying the opcode-keyed eliminated/inserted
+//!   delta ([`OpcodeDelta`]) that [`epre_telemetry::ledgers_from_trace`]
+//!   reassembles into per-function accounts for `epre explain`.
+//!
+//! A final per-function `cache` event reports the [`AnalysisCache`]
+//! hit/miss totals.
+//!
+//! ## Determinism
+//!
+//! Virtual span durations are derived from input size (`1 + ops_before`)
+//! rather than the clock, lanes are keyed by module position rather than
+//! worker thread, and the merge concatenates lanes in module order — so
+//! the exported trace is byte-identical at `--jobs 1/2/8`. Wall-clock
+//! time is recorded on the events only when `wall` is requested (the
+//! `--timings` path) and is never exported.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use epre_analysis::AnalysisCache;
+use epre_ir::{Function, Inst, Module, Terminator};
+use epre_passes::{Budget, Pass, PassCounters};
+use epre_telemetry::{FunctionTrace, OpcodeDelta, Trace, Tracer, Value};
+
+use crate::fault::PassFault;
+use crate::pipeline::{panic_payload, Optimizer};
+
+/// Opcode histogram of a function's static operations, keyed by the
+/// textual mnemonic (terminators count as `jump`/`cbr`/`ret`). The total
+/// over all keys equals [`Function::static_op_count`], which is what
+/// makes the provenance conservation law hold by construction.
+pub fn opcode_histogram(f: &Function) -> BTreeMap<String, u64> {
+    let mut h: BTreeMap<String, u64> = BTreeMap::new();
+    let mut bump = |k: &str| *h.entry(k.to_string()).or_insert(0) += 1;
+    for block in &f.blocks {
+        for inst in &block.insts {
+            match inst {
+                Inst::Bin { op, .. } => bump(op.mnemonic()),
+                Inst::Un { op, .. } => bump(op.mnemonic()),
+                Inst::LoadI { .. } => bump("loadi"),
+                Inst::Copy { .. } => bump("copy"),
+                Inst::Load { .. } => bump("load"),
+                Inst::Store { .. } => bump("store"),
+                Inst::Call { .. } => bump("call"),
+                Inst::Phi { .. } => bump("phi"),
+            }
+        }
+        match &block.term {
+            Terminator::Jump { .. } => bump("jump"),
+            Terminator::Branch { .. } => bump("cbr"),
+            Terminator::Return { .. } => bump("ret"),
+        }
+    }
+    h
+}
+
+/// Run one pass over `f` with tracing: [`crate::run_pass_budgeted`] plus
+/// a `span` and a `provenance` event recorded into `trace`. When `wall`
+/// is set the span also carries measured wall-clock nanoseconds (never
+/// exported; the `--timings` aggregation reads them back).
+///
+/// # Errors
+/// A [`PassFault`] with kind `budget` or `verify`, exactly as
+/// [`crate::run_pass_budgeted`].
+pub fn run_pass_traced(
+    pass: &dyn Pass,
+    f: &mut Function,
+    cache: &mut AnalysisCache,
+    budget: &Budget,
+    trace: &mut FunctionTrace,
+    wall: bool,
+) -> Result<bool, PassFault> {
+    let before = opcode_histogram(f);
+    let ops_before = f.static_op_count() as u64;
+    let mut counters = PassCounters::new();
+    let t0 = wall.then(Instant::now);
+    let changed = match pass.run_instrumented(f, cache, budget, &mut counters) {
+        Ok(changed) => changed,
+        Err(e) => return Err(PassFault::budget(pass.name(), &f.name, e)),
+    };
+    let wall_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+    if cfg!(debug_assertions) {
+        if let Err(e) = f.verify() {
+            return Err(PassFault::verify(pass.name(), &f.name, e.to_string()));
+        }
+        if let Err(e) = cache.validate(f) {
+            return Err(PassFault::verify(
+                pass.name(),
+                &f.name,
+                format!("stale analysis cache after pass: {e}"),
+            ));
+        }
+    }
+    let after = opcode_histogram(f);
+    let ops_after = f.static_op_count() as u64;
+    let delta = OpcodeDelta::between(&before, &after);
+
+    let mut fields = vec![
+        ("changed".to_string(), Value::Bool(changed)),
+        ("ops_before".to_string(), Value::U64(ops_before)),
+        ("ops_after".to_string(), Value::U64(ops_after)),
+    ];
+    if !counters.is_empty() {
+        fields.push(("counters".to_string(), counters.to_map()));
+    }
+    trace.span(pass.name(), 1 + ops_before, wall_ns, fields);
+    trace.instant(
+        "provenance",
+        pass.name(),
+        vec![
+            ("ops_before".to_string(), Value::U64(ops_before)),
+            ("ops_after".to_string(), Value::U64(ops_after)),
+            ("eliminated".to_string(), Value::Map(delta.eliminated)),
+            ("inserted".to_string(), Value::Map(delta.inserted)),
+        ],
+    );
+    Ok(changed)
+}
+
+/// Run the optimizer's full pass sequence over one function, recording
+/// the lane's trace. The closing `cache` event carries the function's
+/// [`AnalysisCache`] hit/miss totals.
+///
+/// # Errors
+/// The first [`PassFault`] encountered, if any. The partial trace is
+/// discarded with the error (the module-level drivers report whole
+/// traces only for whole successes).
+pub fn optimize_function_traced(
+    opt: &Optimizer,
+    f: &mut Function,
+    lane: u32,
+    wall: bool,
+) -> Result<FunctionTrace, PassFault> {
+    let mut trace = FunctionTrace::new(&f.name, lane);
+    let mut cache = AnalysisCache::new();
+    for pass in opt.passes() {
+        run_pass_traced(pass.as_ref(), f, &mut cache, &opt.budget(), &mut trace, wall)?;
+    }
+    let stats = cache.stats();
+    trace.instant(
+        "cache",
+        "pipeline",
+        vec![
+            ("hits".to_string(), Value::U64(stats.hits)),
+            ("misses".to_string(), Value::U64(stats.misses)),
+        ],
+    );
+    Ok(trace)
+}
+
+impl Optimizer {
+    /// Optimize a copy of the module with up to `jobs` worker threads,
+    /// additionally producing the merged telemetry [`Trace`].
+    ///
+    /// The optimized module is byte-identical to
+    /// [`Optimizer::try_optimize_jobs`], and the trace is byte-identical
+    /// across `jobs` values: lanes are keyed by module position and
+    /// merged in module order, and all exported numbers are virtual.
+    /// `wall` forces the serial path (per-pass wall-clock attribution
+    /// across workers would perturb what it measures) and records real
+    /// nanoseconds on the events for the `--timings` aggregation.
+    ///
+    /// # Errors
+    /// The first [`PassFault`] in module function order.
+    pub fn try_optimize_traced(
+        &self,
+        module: &Module,
+        jobs: usize,
+        wall: bool,
+    ) -> Result<(Module, Trace), PassFault> {
+        let n = module.functions.len();
+        if wall || jobs <= 1 || n <= 1 {
+            let mut out = module.clone();
+            let mut lanes = Vec::with_capacity(n);
+            for (i, f) in out.functions.iter_mut().enumerate() {
+                lanes.push(optimize_function_traced(self, f, i as u32, wall)?);
+            }
+            return Ok((out, Trace::from_lanes(lanes)));
+        }
+        let next = AtomicUsize::new(0);
+        type Slot = Mutex<Option<Result<(Function, FunctionTrace), PassFault>>>;
+        let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(n) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let src = &module.functions[i];
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let mut f = src.clone();
+                        optimize_function_traced(self, &mut f, i as u32, false)
+                            .map(|trace| (f, trace))
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(PassFault::panic("pipeline", &src.name, panic_payload(payload)))
+                    });
+                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        let mut out = module.clone();
+        out.functions.clear();
+        let mut lanes = Vec::with_capacity(n);
+        for slot in slots {
+            let r = slot.into_inner().expect("result slot poisoned").expect("worker filled slot");
+            let (f, trace) = r?;
+            out.functions.push(f);
+            lanes.push(trace);
+        }
+        Ok((out, Trace::from_lanes(lanes)))
+    }
+
+    /// Optimize a copy of the module with tracing, panicking on faults.
+    ///
+    /// See [`Optimizer::try_optimize_traced`] for the determinism
+    /// guarantees.
+    pub fn optimize_traced(&self, module: &Module, jobs: usize) -> (Module, Trace) {
+        match self.try_optimize_traced(module, jobs, false) {
+            Ok(pair) => pair,
+            Err(fault) => panic!("{fault}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::OptLevel;
+    use epre_frontend::{compile, NamingMode};
+    use epre_telemetry::ledgers_from_trace;
+
+    const FOO: &str = "function foo(y, z)\n\
+                       real y, z, s, x\n\
+                       integer i\n\
+                       begin\n\
+                       s = 0\n\
+                       x = y + z\n\
+                       do i = x, 100\n\
+                         s = i + s + x\n\
+                       enddo\n\
+                       return s\nend\n";
+
+    #[test]
+    fn histogram_totals_match_static_op_count() {
+        let m = compile(FOO, NamingMode::Disciplined).unwrap();
+        for f in &m.functions {
+            let h = opcode_histogram(f);
+            let total: u64 = h.values().sum();
+            assert_eq!(total, f.static_op_count() as u64, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn traced_output_matches_untraced() {
+        let m = compile(FOO, NamingMode::Disciplined).unwrap();
+        for level in OptLevel::PAPER_LEVELS {
+            let opt = Optimizer::new(level);
+            let plain = opt.optimize(&m);
+            let (traced, trace) = opt.optimize_traced(&m, 1);
+            assert_eq!(format!("{plain}"), format!("{traced}"), "{level:?}");
+            assert!(!trace.events.is_empty());
+            // One span + one provenance per pass, one cache event.
+            let spans = trace.events.iter().filter(|e| e.kind == "span").count();
+            assert_eq!(spans, opt.passes().len());
+            let provs = trace.events.iter().filter(|e| e.kind == "provenance").count();
+            assert_eq!(provs, spans);
+            assert_eq!(trace.events.iter().filter(|e| e.kind == "cache").count(), 1);
+        }
+    }
+
+    #[test]
+    fn span_counters_report_pass_work() {
+        let m = compile(FOO, NamingMode::Disciplined).unwrap();
+        let (_, trace) =
+            Optimizer::new(OptLevel::Distribution).optimize_traced(&m, 1);
+        let pre_span = trace
+            .events
+            .iter()
+            .find(|e| e.kind == "span" && e.pass == "pre")
+            .expect("pre span present");
+        let counters = pre_span.field_map("counters").expect("pre reports counters");
+        assert!(
+            counters.iter().any(|(n, _)| n == "exprs_hoisted"),
+            "{counters:?}"
+        );
+        let reas = trace
+            .events
+            .iter()
+            .find(|e| e.kind == "span" && e.pass == "reassociate+distribute")
+            .expect("reassociate span present");
+        let counters = reas.field_map("counters").expect("reassociate reports counters");
+        assert!(counters.iter().any(|(n, _)| n == "regs_ranked"), "{counters:?}");
+    }
+
+    #[test]
+    fn ledgers_from_traced_run_conserve() {
+        let m = compile(FOO, NamingMode::Disciplined).unwrap();
+        let (out, trace) =
+            Optimizer::new(OptLevel::Distribution).optimize_traced(&m, 1);
+        let ledgers = ledgers_from_trace(&trace);
+        assert_eq!(ledgers.len(), m.functions.len());
+        for (ledger, (fin, fout)) in
+            ledgers.iter().zip(m.functions.iter().zip(&out.functions))
+        {
+            assert_eq!(ledger.function, fin.name);
+            assert_eq!(ledger.ops_before, fin.static_op_count() as u64);
+            assert_eq!(ledger.ops_after, fout.static_op_count() as u64);
+            assert!(ledger.conserves(), "{}", ledger.render());
+        }
+    }
+
+    #[test]
+    fn parallel_trace_is_byte_identical_to_serial() {
+        let mut module = compile(FOO, NamingMode::Disciplined).unwrap();
+        let template = module.functions[0].clone();
+        for i in 1..5 {
+            let mut f = template.clone();
+            f.name = format!("foo{i}");
+            module.functions.push(f);
+        }
+        let opt = Optimizer::new(OptLevel::Distribution);
+        let (serial_m, serial_t) = opt.optimize_traced(&module, 1);
+        for jobs in [2, 4, 8] {
+            let (m, t) = opt.optimize_traced(&module, jobs);
+            assert_eq!(format!("{serial_m}"), format!("{m}"), "jobs {jobs}");
+            assert_eq!(serial_t.to_jsonl(), t.to_jsonl(), "jobs {jobs}");
+            assert_eq!(serial_t.to_chrome(), t.to_chrome(), "jobs {jobs}");
+        }
+    }
+}

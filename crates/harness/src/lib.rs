@@ -23,6 +23,8 @@
 //!   *semantic* rollback of any function whose optimized form diverges,
 //! * [`journal`] — a write-ahead journal of finished functions, so a
 //!   killed `epre opt --journal` run resumes byte-identically,
+//! * [`events`] — adapters rendering the reports above as telemetry
+//!   trace events for `epre opt --trace`,
 //! * [`inject`] — a seeded, deterministic fault-injection mutator
 //!   modelling realistic optimizer bugs, plus adversarial pass models
 //!   (non-terminating, unbounded growth) only a budget can stop,
@@ -52,6 +54,7 @@
 #![deny(missing_docs)]
 
 pub mod breaker;
+pub mod events;
 pub mod fuzz;
 pub mod harden;
 pub mod inject;
@@ -63,6 +66,7 @@ pub mod sandbox;
 pub mod watchdog;
 
 pub use breaker::{CircuitBreaker, Quarantine};
+pub use events::{harden_events, journal_events};
 pub use fuzz::{run_campaign, CampaignConfig, CampaignReport, Containment, ALL_LEVELS};
 pub use harden::{HardenedOutput, Harness, JournalError, JournaledOutcome};
 pub use inject::{mutate_module, Mutation, MutationKind, PassFaultModel};

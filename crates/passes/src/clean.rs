@@ -16,6 +16,16 @@ use epre_analysis::AnalysisCache;
 use epre_ir::{Block, BlockId, Function, Terminator};
 
 use crate::budget::{Budget, BudgetExceeded};
+use epre_telemetry::PassCounters;
+
+/// What one clean invocation did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanStats {
+    /// Tidying rounds that changed the function.
+    pub rounds: u64,
+    /// Net basic blocks removed (clean only ever shrinks the block list).
+    pub blocks_removed: u64,
+}
 
 /// Run the clean pass to a fixed point. Returns true if anything changed.
 pub fn run(f: &mut Function) -> bool {
@@ -48,12 +58,43 @@ pub fn run_budgeted(
     cache: &mut AnalysisCache,
     budget: &Budget,
 ) -> Result<bool, BudgetExceeded> {
+    run_budgeted_stats(f, cache, budget).map(|s| s.rounds > 0)
+}
+
+/// Instrumented entry point for the pipeline: [`run_budgeted_stats`] with
+/// the stats folded into `counters`.
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_counted(
+    f: &mut Function,
+    cache: &mut AnalysisCache,
+    budget: &Budget,
+    counters: &mut PassCounters,
+) -> Result<bool, BudgetExceeded> {
+    let stats = run_budgeted_stats(f, cache, budget)?;
+    counters.add("rounds", stats.rounds);
+    counters.add("blocks_removed", stats.blocks_removed);
+    Ok(stats.rounds > 0)
+}
+
+/// [`run_budgeted`], additionally reporting what the invocation did as a
+/// [`CleanStats`].
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_budgeted_stats(
+    f: &mut Function,
+    cache: &mut AnalysisCache,
+    budget: &Budget,
+) -> Result<CleanStats, BudgetExceeded> {
     debug_assert!(
         f.blocks.iter().all(|b| b.phi_count() == 0),
         "clean expects φ-free code"
     );
     let mut meter = budget.start(f);
-    let mut any = false;
+    let blocks_at_entry = f.blocks.len() as u64;
+    let mut stats = CleanStats::default();
     loop {
         meter.tick(f)?;
         let mut changed = false;
@@ -64,9 +105,10 @@ pub fn run_budgeted(
         if !changed {
             break;
         }
-        any = true;
+        stats.rounds += 1;
     }
-    Ok(any)
+    stats.blocks_removed = blocks_at_entry.saturating_sub(f.blocks.len() as u64);
+    Ok(stats)
 }
 
 /// `cbr c -> x, x` becomes `jump x`.

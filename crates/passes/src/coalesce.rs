@@ -18,6 +18,16 @@ use epre_analysis::{AnalysisCache, Liveness};
 use epre_ir::{Function, Inst, Reg};
 
 use crate::budget::{Budget, BudgetExceeded};
+use epre_telemetry::PassCounters;
+
+/// What one coalescing invocation did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Trivial `d <- d` self-copies dropped up front.
+    pub self_copies_removed: u64,
+    /// Non-trivial copies merged away (one per coalescing round).
+    pub copies_coalesced: u64,
+}
 
 /// Run coalescing rounds until no copy can be merged. Returns true if any
 /// copy was removed.
@@ -50,26 +60,57 @@ pub fn run_budgeted(
     cache: &mut AnalysisCache,
     budget: &Budget,
 ) -> Result<bool, BudgetExceeded> {
+    run_budgeted_stats(f, cache, budget)
+        .map(|s| s.self_copies_removed + s.copies_coalesced > 0)
+}
+
+/// Instrumented entry point for the pipeline: [`run_budgeted_stats`] with
+/// the stats folded into `counters`.
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_counted(
+    f: &mut Function,
+    cache: &mut AnalysisCache,
+    budget: &Budget,
+    counters: &mut PassCounters,
+) -> Result<bool, BudgetExceeded> {
+    let stats = run_budgeted_stats(f, cache, budget)?;
+    counters.add("copies_coalesced", stats.copies_coalesced);
+    counters.add("self_copies_removed", stats.self_copies_removed);
+    Ok(stats.self_copies_removed + stats.copies_coalesced > 0)
+}
+
+/// [`run_budgeted`], additionally reporting what the invocation did as a
+/// [`CoalesceStats`].
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_budgeted_stats(
+    f: &mut Function,
+    cache: &mut AnalysisCache,
+    budget: &Budget,
+) -> Result<CoalesceStats, BudgetExceeded> {
     debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "coalesce expects φ-free code");
     let mut meter = budget.start(f);
+    let mut stats = CoalesceStats::default();
     // Drop trivial self-copies first.
-    let mut any = false;
     for b in &mut f.blocks {
         let before = b.insts.len();
         b.insts.retain(|i| !matches!(i, Inst::Copy { dst, src } if dst == src));
-        any |= b.insts.len() != before;
+        stats.self_copies_removed += (before - b.insts.len()) as u64;
     }
     loop {
         meter.tick(f)?;
         if !coalesce_round(f, cache) {
             break;
         }
-        any = true;
+        stats.copies_coalesced += 1;
     }
-    if any {
+    if stats.self_copies_removed + stats.copies_coalesced > 0 {
         cache.invalidate_universe();
     }
-    Ok(any)
+    Ok(stats)
 }
 
 fn coalesce_round(f: &mut Function, cache: &mut AnalysisCache) -> bool {

@@ -14,6 +14,16 @@ use epre_analysis::{AnalysisCache, Liveness};
 use epre_ir::Function;
 
 use crate::budget::{Budget, BudgetExceeded};
+use epre_telemetry::PassCounters;
+
+/// What one DCE invocation did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DceStats {
+    /// Dead instructions deleted.
+    pub ops_killed: u64,
+    /// Liveness rounds that deleted something.
+    pub rounds: u64,
+}
 
 /// Run DCE to a fixed point. Returns true if any instruction was deleted;
 /// the deleted-ops count is observable through
@@ -46,9 +56,39 @@ pub fn run_budgeted(
     cache: &mut AnalysisCache,
     budget: &Budget,
 ) -> Result<bool, BudgetExceeded> {
+    run_budgeted_stats(f, cache, budget).map(|s| s.ops_killed > 0)
+}
+
+/// Instrumented entry point for the pipeline: [`run_budgeted_stats`] with
+/// the stats folded into `counters`.
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_counted(
+    f: &mut Function,
+    cache: &mut AnalysisCache,
+    budget: &Budget,
+    counters: &mut PassCounters,
+) -> Result<bool, BudgetExceeded> {
+    let stats = run_budgeted_stats(f, cache, budget)?;
+    counters.add("ops_killed", stats.ops_killed);
+    counters.add("rounds", stats.rounds);
+    Ok(stats.ops_killed > 0)
+}
+
+/// [`run_budgeted`], additionally reporting what the invocation did as a
+/// [`DceStats`].
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_budgeted_stats(
+    f: &mut Function,
+    cache: &mut AnalysisCache,
+    budget: &Budget,
+) -> Result<DceStats, BudgetExceeded> {
     debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "dce expects φ-free code");
     let mut meter = budget.start(f);
-    let mut any = false;
+    let mut stats = DceStats::default();
     loop {
         meter.tick(f)?;
         let live = Liveness::new(f, cache.cfg(f));
@@ -68,6 +108,7 @@ pub fn run_budgeted(
                 if dead && !inst.has_side_effects() {
                     keep[i] = false;
                     changed = true;
+                    stats.ops_killed += 1;
                     continue;
                 }
                 if let Some(d) = inst.dst() {
@@ -85,10 +126,10 @@ pub fn run_budgeted(
         if !changed {
             break;
         }
-        any = true;
+        stats.rounds += 1;
         cache.invalidate_universe();
     }
-    Ok(any)
+    Ok(stats)
 }
 
 #[cfg(test)]

@@ -28,6 +28,21 @@ use epre_ir::{Function, Inst, Reg};
 use epre_ssa::{build_ssa, destroy_ssa, SsaOptions};
 
 use crate::budget::{Budget, BudgetExceeded};
+use epre_telemetry::PassCounters;
+
+/// What one GVN invocation proved and rewrote: the size of the final
+/// congruence partition and how many operations the renaming actually
+/// touched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GvnStats {
+    /// Number of congruence classes in the stabilized partition.
+    pub partitions: u64,
+    /// Instructions and terminators whose registers the renaming changed
+    /// (the paper's "congruent ops renamed").
+    pub ops_renamed: u64,
+    /// Partition-refinement iterations consumed.
+    pub ticks: u64,
+}
 
 /// Run GVN + renaming on `f`. The function enters and leaves non-SSA form.
 /// Returns `true` unconditionally: the SSA round trip renames registers
@@ -50,11 +65,40 @@ pub fn run(f: &mut Function) -> bool {
 /// function is left in SSA form, un-renamed (callers needing atomicity
 /// run a clone).
 pub fn run_budgeted(f: &mut Function, budget: &Budget) -> Result<bool, BudgetExceeded> {
+    run_budgeted_stats(f, budget).map(|_| true)
+}
+
+/// [`run_budgeted`], additionally reporting what the invocation did as a
+/// [`GvnStats`].
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_budgeted_stats(f: &mut Function, budget: &Budget) -> Result<GvnStats, BudgetExceeded> {
     build_ssa(f, SsaOptions { fold_copies: true });
-    let classes = congruence_classes_budgeted(f, budget)?;
-    rename(f, &classes);
+    let (classes, ticks) = congruence_classes_budgeted(f, budget)?;
+    let mut distinct = classes.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let ops_renamed = rename(f, &classes);
     dedupe_phis(f);
     destroy_ssa(f);
+    Ok(GvnStats { partitions: distinct.len() as u64, ops_renamed, ticks })
+}
+
+/// Instrumented entry point for the pipeline: [`run_budgeted_stats`] with
+/// the stats folded into `counters`.
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_counted(
+    f: &mut Function,
+    budget: &Budget,
+    counters: &mut PassCounters,
+) -> Result<bool, BudgetExceeded> {
+    let stats = run_budgeted_stats(f, budget)?;
+    counters.add("partitions", stats.partitions);
+    counters.add("ops_renamed", stats.ops_renamed);
+    counters.add("ticks", stats.ticks);
     Ok(true)
 }
 
@@ -88,14 +132,17 @@ enum InitKey {
 /// Registers with no definition (unused allocations) map to themselves.
 fn congruence_classes(f: &Function) -> Vec<u32> {
     match congruence_classes_budgeted(f, &Budget::UNLIMITED) {
-        Ok(classes) => classes,
+        Ok((classes, _)) => classes,
         Err(_) => unreachable!("unlimited budget cannot be exceeded"),
     }
 }
 
 /// [`congruence_classes`] with a cooperative checkpoint per refinement
-/// iteration.
-fn congruence_classes_budgeted(f: &Function, budget: &Budget) -> Result<Vec<u32>, BudgetExceeded> {
+/// iteration. Also returns the number of refinement iterations consumed.
+fn congruence_classes_budgeted(
+    f: &Function,
+    budget: &Budget,
+) -> Result<(Vec<u32>, u64), BudgetExceeded> {
     let mut meter = budget.start(f);
     let nregs = f.reg_count();
     // Gather definitions.
@@ -208,11 +255,14 @@ fn congruence_classes_budgeted(f: &Function, budget: &Budget) -> Result<Vec<u32>
         }
         class = new_class;
     }
-    Ok(class)
+    let ticks = meter.ticks();
+    Ok((class, ticks))
 }
 
-/// Rewrite every definition and use so each class has exactly one register.
-fn rename(f: &mut Function, class: &[u32]) {
+/// Rewrite every definition and use so each class has exactly one
+/// register. Returns how many instructions and terminators actually
+/// changed.
+fn rename(f: &mut Function, class: &[u32]) -> u64 {
     // Representative per class: a parameter if the class has one (the
     // signature must not change), otherwise the lowest-numbered member.
     let mut rep: HashMap<u32, Reg> = HashMap::new();
@@ -224,15 +274,25 @@ fn rename(f: &mut Function, class: &[u32]) {
     }
     let map = |r: Reg| rep[&class[r.index()]];
 
+    let mut renamed = 0u64;
     for block in &mut f.blocks {
         for inst in &mut block.insts {
+            let before = inst.clone();
             inst.map_uses(map);
             if let Some(d) = inst.dst() {
                 inst.set_dst(map(d));
             }
+            if *inst != before {
+                renamed += 1;
+            }
         }
+        let before = block.term.clone();
         block.term.map_uses(map);
+        if block.term != before {
+            renamed += 1;
+        }
     }
+    renamed
 }
 
 /// Drop duplicate φs (same destination and arguments) left by renaming.

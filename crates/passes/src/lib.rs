@@ -62,6 +62,7 @@ pub mod reassoc;
 pub mod sccp;
 
 pub use budget::{Budget, BudgetExceeded, BudgetKind, Meter};
+pub use epre_telemetry::PassCounters;
 
 use epre_analysis::{AnalysisCache, PreservedAnalyses};
 use epre_ir::Function;
@@ -135,6 +136,29 @@ pub trait Pass {
         meter.finish(f)?;
         Ok(changed)
     }
+
+    /// [`Pass::run_budgeted`], additionally reporting the pass's own
+    /// work counters into `counters` (the telemetry layer's per-span
+    /// payload: expressions hoisted, partitions found, ops folded, …).
+    ///
+    /// The default ignores `counters` and simply delegates, so a pass
+    /// without instrumentation still runs correctly under tracing — its
+    /// spans just carry an empty counter set. Implementations MUST leave
+    /// the function and cache in exactly the state [`Pass::run_budgeted`]
+    /// would: tracing may never change the optimization result.
+    ///
+    /// # Errors
+    /// [`BudgetExceeded`] exactly as [`Pass::run_budgeted`].
+    fn run_instrumented(
+        &self,
+        f: &mut Function,
+        cache: &mut AnalysisCache,
+        budget: &Budget,
+        counters: &mut PassCounters,
+    ) -> Result<bool, BudgetExceeded> {
+        let _ = counters;
+        self.run_budgeted(f, cache, budget)
+    }
 }
 
 /// The statistics-reporting pass objects used by the driver crate.
@@ -144,7 +168,8 @@ pub mod passes {
     macro_rules! simple_pass {
         ($(#[$doc:meta])* $name:ident, $label:literal, $fun:path
          $(, preserves: $pres:expr)?
-         $(, budgeted_uncached: $bud:path)?) => {
+         $(, budgeted_uncached: $bud:path)?
+         $(, instrumented_uncached: $ins:path)?) => {
             $(#[$doc])*
             #[derive(Debug, Clone, Copy, Default)]
             pub struct $name;
@@ -178,6 +203,25 @@ pub mod passes {
                         Ok(changed)
                     }
                 )?
+                $(
+                    // `instrumented_uncached`: the module's counted entry
+                    // point takes no cache either; retention mirrors
+                    // `budgeted_uncached` so tracing never changes the
+                    // cache state the untraced pipeline would have.
+                    fn run_instrumented(
+                        &self,
+                        f: &mut Function,
+                        cache: &mut AnalysisCache,
+                        budget: &Budget,
+                        counters: &mut PassCounters,
+                    ) -> Result<bool, BudgetExceeded> {
+                        let changed = $ins(f, budget, counters)?;
+                        if changed {
+                            cache.retain(self.preserves());
+                        }
+                        Ok(changed)
+                    }
+                )?
             }
         };
     }
@@ -187,7 +231,8 @@ pub mod passes {
         ConstProp,
         "constprop",
         crate::sccp::run,
-        budgeted_uncached: crate::sccp::run_budgeted
+        budgeted_uncached: crate::sccp::run_budgeted,
+        instrumented_uncached: crate::sccp::run_counted
     );
     /// Global peephole optimization. Instruction rewrites keep the CFG
     /// intact; only folding a conditional branch changes block shape, and
@@ -212,6 +257,31 @@ pub mod passes {
                 cache.invalidate_universe();
             }
             outcome.changed()
+        }
+        fn run_instrumented(
+            &self,
+            f: &mut Function,
+            cache: &mut AnalysisCache,
+            budget: &Budget,
+            counters: &mut PassCounters,
+        ) -> Result<bool, BudgetExceeded> {
+            // Mirrors the trait's default run_budgeted (single sweep,
+            // growth/deadline held post-hoc) with run_cached inlined so
+            // the detailed outcome feeds the counters.
+            let meter = budget.is_limited().then(|| budget.start(f));
+            let outcome = crate::peephole::run_detailed(f);
+            if outcome.changed() {
+                if outcome.cfg_changed {
+                    cache.invalidate_cfg();
+                }
+                cache.invalidate_universe();
+            }
+            if let Some(meter) = meter {
+                meter.finish(f)?;
+            }
+            counters.add("rewrites", outcome.rewrites);
+            counters.add("branches_folded", outcome.branches_folded);
+            Ok(outcome.changed())
         }
     }
     /// Dead code elimination. Deletes instructions only — never blocks
@@ -243,6 +313,15 @@ pub mod passes {
         ) -> Result<bool, BudgetExceeded> {
             crate::dce::run_budgeted(f, cache, budget)
         }
+        fn run_instrumented(
+            &self,
+            f: &mut Function,
+            cache: &mut AnalysisCache,
+            budget: &Budget,
+            counters: &mut PassCounters,
+        ) -> Result<bool, BudgetExceeded> {
+            crate::dce::run_counted(f, cache, budget, counters)
+        }
     }
 
     /// Chaitin-style copy coalescing. Renames registers and drops copies
@@ -273,6 +352,15 @@ pub mod passes {
         ) -> Result<bool, BudgetExceeded> {
             crate::coalesce::run_budgeted(f, cache, budget)
         }
+        fn run_instrumented(
+            &self,
+            f: &mut Function,
+            cache: &mut AnalysisCache,
+            budget: &Budget,
+            counters: &mut PassCounters,
+        ) -> Result<bool, BudgetExceeded> {
+            crate::coalesce::run_counted(f, cache, budget, counters)
+        }
     }
 
     /// Empty-block elimination / CFG tidying. `run_cached` shares the
@@ -299,20 +387,31 @@ pub mod passes {
         ) -> Result<bool, BudgetExceeded> {
             crate::clean::run_budgeted(f, cache, budget)
         }
+        fn run_instrumented(
+            &self,
+            f: &mut Function,
+            cache: &mut AnalysisCache,
+            budget: &Budget,
+            counters: &mut PassCounters,
+        ) -> Result<bool, BudgetExceeded> {
+            crate::clean::run_counted(f, cache, budget, counters)
+        }
     }
     simple_pass!(
         /// Partial redundancy elimination (Drechsler–Stadel).
         Pre,
         "pre",
         crate::pre::run,
-        budgeted_uncached: crate::pre::run_budgeted
+        budgeted_uncached: crate::pre::run_budgeted,
+        instrumented_uncached: crate::pre::run_counted
     );
     simple_pass!(
         /// Partition-based global value numbering + renaming.
         Gvn,
         "gvn",
         crate::gvn::run,
-        budgeted_uncached: crate::gvn::run_budgeted
+        budgeted_uncached: crate::gvn::run_budgeted,
+        instrumented_uncached: crate::gvn::run_counted
     );
     simple_pass!(
         /// Hash-based local value numbering. Rewrites and deletes
@@ -320,7 +419,8 @@ pub mod passes {
         Lvn,
         "lvn",
         crate::lvn::run,
-        preserves: PreservedAnalyses::none().with_cfg()
+        preserves: PreservedAnalyses::none().with_cfg(),
+        instrumented_uncached: crate::lvn::run_counted
     );
 
     /// Global reassociation (rank + forward propagation + sorting), with or
@@ -359,6 +459,22 @@ pub mod passes {
                 f,
                 crate::reassoc::ReassocOptions { distribute: self.distribute },
                 budget,
+            )?;
+            cache.retain(self.preserves());
+            Ok(true)
+        }
+        fn run_instrumented(
+            &self,
+            f: &mut Function,
+            cache: &mut AnalysisCache,
+            budget: &Budget,
+            counters: &mut PassCounters,
+        ) -> Result<bool, BudgetExceeded> {
+            crate::reassoc::reassociate_counted(
+                f,
+                crate::reassoc::ReassocOptions { distribute: self.distribute },
+                budget,
+                counters,
             )?;
             cache.retain(self.preserves());
             Ok(true)

@@ -14,18 +14,67 @@ use std::collections::HashMap;
 
 use epre_ir::{Const, Function, Inst, Reg};
 
+use crate::budget::{Budget, BudgetExceeded};
+use epre_telemetry::PassCounters;
+
 /// Value number.
 type Vn = u32;
+
+/// What one LVN invocation did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LvnStats {
+    /// Redundant recomputations deleted outright (value already in its
+    /// canonical home register).
+    pub redundant_deleted: u64,
+    /// Recomputations rewritten into copies from the canonical home.
+    pub copies_rewritten: u64,
+}
+
+impl LvnStats {
+    /// Did the invocation change the function at all?
+    pub fn changed(&self) -> bool {
+        self.redundant_deleted + self.copies_rewritten > 0
+    }
+}
 
 /// Run local value numbering over every block. Returns true if any
 /// instruction was rewritten or deleted.
 pub fn run(f: &mut Function) -> bool {
+    run_stats(f).changed()
+}
+
+/// [`run`], additionally reporting what the invocation did as an
+/// [`LvnStats`].
+pub fn run_stats(f: &mut Function) -> LvnStats {
     debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "lvn expects φ-free code");
-    let mut changed = false;
+    let mut stats = LvnStats::default();
     for block in &mut f.blocks {
-        changed |= number_block(block);
+        number_block(block, &mut stats);
     }
-    changed
+    stats
+}
+
+/// Instrumented entry point for the pipeline: [`run_stats`] with the
+/// stats folded into `counters`, held to the growth and deadline budget
+/// dimensions post-hoc (LVN is a single bounded sweep — there is no loop
+/// to checkpoint cooperatively).
+///
+/// # Errors
+/// [`BudgetExceeded`] when the post-hoc check finds the sweep over
+/// budget.
+pub fn run_counted(
+    f: &mut Function,
+    budget: &Budget,
+    counters: &mut PassCounters,
+) -> Result<bool, BudgetExceeded> {
+    let meter = budget.is_limited().then(|| budget.start(f));
+    let stats = run_stats(f);
+    if let Some(meter) = meter {
+        meter.finish(f)?;
+    }
+    counters.add("redundant_deleted", stats.redundant_deleted);
+    counters.add("copies_rewritten", stats.copies_rewritten);
+    Ok(stats.changed())
 }
 
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -35,8 +84,7 @@ enum VnKey {
     Un(epre_ir::UnOp, epre_ir::Ty, Vn),
 }
 
-fn number_block(block: &mut epre_ir::Block) -> bool {
-    let mut changed = false;
+fn number_block(block: &mut epre_ir::Block, stats: &mut LvnStats) {
     let mut next: Vn = 0;
     // Value number currently held by each register.
     let mut vn_of_reg: HashMap<Reg, Vn> = HashMap::new();
@@ -104,10 +152,11 @@ fn number_block(block: &mut epre_ir::Block) -> bool {
                             // Recomputation into its own canonical home:
                             // a pure no-op, delete it.
                             keep[idx] = false;
+                            stats.redundant_deleted += 1;
                         } else {
                             *inst = Inst::Copy { dst: d, src: home };
+                            stats.copies_rewritten += 1;
                         }
-                        changed = true;
                         vn_of_reg.insert(d, vn);
                         continue;
                     }
@@ -136,7 +185,6 @@ fn number_block(block: &mut epre_ir::Block) -> bool {
     }
     let mut it = keep.iter();
     block.insts.retain(|_| *it.next().unwrap());
-    changed
 }
 
 #[cfg(test)]

@@ -31,6 +31,11 @@ pub struct Outcome {
     /// A constant conditional branch was folded into a jump (the only
     /// peephole rewrite that edits the CFG).
     pub cfg_changed: bool,
+    /// Individual instruction/operand rewrites applied (constant folds,
+    /// identities, copy propagations, strength reductions).
+    pub rewrites: u64,
+    /// Constant conditional branches folded into jumps.
+    pub branches_folded: u64,
 }
 
 impl Outcome {
@@ -55,6 +60,8 @@ pub fn run_detailed(f: &mut Function) -> Outcome {
         let block = rewrite_block(f, bi);
         outcome.insts_changed |= block.insts_changed;
         outcome.cfg_changed |= block.cfg_changed;
+        outcome.rewrites += block.rewrites;
+        outcome.branches_folded += block.branches_folded;
     }
     outcome
 }
@@ -75,6 +82,7 @@ fn rewrite_block(f: &mut Function, bi: usize) -> Outcome {
             let resolved = resolve(&copies, r);
             if resolved != r {
                 outcome.insts_changed = true;
+                outcome.rewrites += 1;
             }
             resolved
         });
@@ -85,6 +93,7 @@ fn rewrite_block(f: &mut Function, bi: usize) -> Outcome {
         if let Some(new) = rewritten {
             if *inst != new {
                 outcome.insts_changed = true;
+                outcome.rewrites += 1;
             }
             *inst = new;
         }
@@ -120,6 +129,7 @@ fn rewrite_block(f: &mut Function, bi: usize) -> Outcome {
         let resolved = resolve(&copies, r);
         if resolved != r {
             outcome.insts_changed = true;
+            outcome.rewrites += 1;
         }
         resolved
     });
@@ -128,6 +138,7 @@ fn rewrite_block(f: &mut Function, bi: usize) -> Outcome {
             let target = if c.is_zero() { else_to } else { then_to };
             block.term = Terminator::Jump { target };
             outcome.cfg_changed = true;
+            outcome.branches_folded += 1;
         }
     }
     outcome

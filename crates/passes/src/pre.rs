@@ -37,6 +37,32 @@ use epre_cfg::Cfg;
 use epre_ir::{BlockId, Function, Inst};
 
 use crate::budget::{Budget, BudgetExceeded, Meter};
+use epre_telemetry::PassCounters;
+
+/// What one [`run_budgeted_stats`] invocation did, in the paper's own
+/// vocabulary: how many critical edges were split, how many expression
+/// computations were hoisted onto edges, and how many upward-exposed
+/// occurrences were deleted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreStats {
+    /// Outer application rounds that changed the function.
+    pub rounds: u64,
+    /// Critical edges split to create insertion landing sites.
+    pub edges_split: u64,
+    /// Expression computations inserted on edges (the paper's "hoisted").
+    pub exprs_hoisted: u64,
+    /// Upward-exposed occurrences deleted as redundant.
+    pub occurrences_deleted: u64,
+    /// Cooperative-checkpoint ticks consumed.
+    pub ticks: u64,
+}
+
+impl PreStats {
+    /// Did the invocation change the function at all?
+    pub fn changed(&self) -> bool {
+        self.edges_split + self.exprs_hoisted + self.occurrences_deleted > 0
+    }
+}
 
 /// Run PRE to a fixed point. Returns true if any round changed the
 /// function (including critical-edge splitting, which edits the CFG).
@@ -64,23 +90,52 @@ pub fn run(f: &mut Function) -> bool {
 /// [`BudgetExceeded`] when a round or sweep starts over budget; completed
 /// rounds stay applied (callers needing atomicity run a clone).
 pub fn run_budgeted(f: &mut Function, budget: &Budget) -> Result<bool, BudgetExceeded> {
+    run_budgeted_stats(f, budget).map(|s| s.changed())
+}
+
+/// [`run_budgeted`], additionally reporting what the invocation did as a
+/// [`PreStats`].
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_budgeted_stats(f: &mut Function, budget: &Budget) -> Result<PreStats, BudgetExceeded> {
     let mut meter = budget.start(f);
-    let mut any = false;
+    let mut stats = PreStats::default();
     for _ in 0..10 {
         meter.tick(f)?;
-        if !run_once_metered(f, &mut meter)? {
+        if !run_once_metered(f, &mut meter, &mut stats)? {
             break;
         }
-        any = true;
+        stats.rounds += 1;
     }
-    Ok(any)
+    stats.ticks = meter.ticks();
+    Ok(stats)
+}
+
+/// Instrumented entry point for the pipeline: [`run_budgeted_stats`] with
+/// the stats folded into `counters`.
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_counted(
+    f: &mut Function,
+    budget: &Budget,
+    counters: &mut PassCounters,
+) -> Result<bool, BudgetExceeded> {
+    let stats = run_budgeted_stats(f, budget)?;
+    counters.add("rounds", stats.rounds);
+    counters.add("edges_split", stats.edges_split);
+    counters.add("exprs_hoisted", stats.exprs_hoisted);
+    counters.add("occurrences_deleted", stats.occurrences_deleted);
+    counters.add("ticks", stats.ticks);
+    Ok(stats.changed())
 }
 
 /// One application of Drechsler–Stadel PRE; returns true if anything
 /// changed (edges split, insertions, or deletions).
 pub fn run_once(f: &mut Function) -> bool {
     let mut meter = Budget::UNLIMITED.start(f);
-    match run_once_metered(f, &mut meter) {
+    match run_once_metered(f, &mut meter, &mut PreStats::default()) {
         Ok(changed) => changed,
         Err(_) => unreachable!("unlimited budget cannot be exceeded"),
     }
@@ -88,9 +143,14 @@ pub fn run_once(f: &mut Function) -> bool {
 
 /// [`run_once`] charging its LATER/LATERIN sweeps to a caller-owned
 /// [`Meter`], so the budget spans all rounds of an outer fixed point.
-fn run_once_metered(f: &mut Function, meter: &mut Meter) -> Result<bool, BudgetExceeded> {
+fn run_once_metered(
+    f: &mut Function,
+    meter: &mut Meter,
+    stats: &mut PreStats,
+) -> Result<bool, BudgetExceeded> {
     debug_assert!(f.blocks.iter().all(|b| b.phi_count() == 0), "PRE expects φ-free code");
     let splits = split_critical_edges(f);
+    stats.edges_split += splits as u64;
     let cfg = Cfg::new(f);
     let universe = ExprUniverse::new(f);
     if universe.is_empty() {
@@ -220,6 +280,7 @@ fn run_once_metered(f: &mut Function, meter: &mut Meter) -> Result<bool, BudgetE
                 if del.contains(e.index()) && !killed.contains(e.index()) {
                     keep[idx] = false;
                     any_change = true;
+                    stats.occurrences_deleted += 1;
                 }
             }
             if let Some(d) = inst.dst() {
@@ -235,6 +296,7 @@ fn run_once_metered(f: &mut Function, meter: &mut Meter) -> Result<bool, BudgetE
     // Insertions.
     for (i, j, exprs) in insert {
         any_change = true;
+        stats.exprs_hoisted += exprs.len() as u64;
         let insts = materialize(&universe, &exprs);
         if cfg.succs(i).len() == 1 {
             let block = &mut f.blocks[i.index()];

@@ -36,6 +36,7 @@ use epre_ir::{BinOp, Const, Function, Inst, Reg, Terminator, Ty, UnOp};
 use epre_ssa::{build_ssa, destroy_ssa, SsaOptions};
 
 use crate::budget::{Budget, BudgetExceeded, Meter};
+use epre_telemetry::PassCounters;
 
 /// Options for [`reassociate`].
 #[derive(Copy, Clone, Debug, Default)]
@@ -53,6 +54,11 @@ pub struct ReassocStats {
     pub ops_before: usize,
     /// Operations after forward propagation and re-emission.
     pub ops_after: usize,
+    /// Registers assigned a non-zero rank (rank 0 marks constants).
+    pub regs_ranked: usize,
+    /// Low-ranked multipliers actually distributed over rank groups of a
+    /// higher-ranked sum (zero unless `distribute` is enabled).
+    pub distributions: u64,
 }
 
 impl ReassocStats {
@@ -91,6 +97,7 @@ pub fn reassociate_budgeted(
     // Step 0+1: pruned SSA with copies folded into φs, then ranks.
     build_ssa(f, SsaOptions { fold_copies: true });
     let ranks = compute_ranks(f);
+    let regs_ranked = ranks.iter().filter(|&&r| r > 0).count();
 
     // Step 2a: φs become copies in (split) predecessors. Their targets are
     // the *variable names* of the reassociated program.
@@ -98,10 +105,28 @@ pub fn reassociate_budgeted(
 
     // Step 2b+3: forward-propagate trees into every sink, reassociating
     // along the way.
-    forward_propagate(f, &ranks, options, &mut meter)?;
+    let distributions = forward_propagate(f, &ranks, options, &mut meter)?;
 
     let ops_after = f.static_op_count();
-    Ok(ReassocStats { ops_before, ops_after })
+    Ok(ReassocStats { ops_before, ops_after, regs_ranked, distributions })
+}
+
+/// Instrumented entry point for the pipeline: [`reassociate_budgeted`]
+/// with the Table 2 statistics folded into `counters`.
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`reassociate_budgeted`].
+pub fn reassociate_counted(
+    f: &mut Function,
+    options: ReassocOptions,
+    budget: &Budget,
+    counters: &mut PassCounters,
+) -> Result<ReassocStats, BudgetExceeded> {
+    let stats = reassociate_budgeted(f, options, budget)?;
+    counters.add("regs_ranked", stats.regs_ranked as u64);
+    counters.add("distributions", stats.distributions);
+    counters.add("ops_emitted", stats.ops_after as u64);
+    Ok(stats)
 }
 
 /// Ranks per register (paper §3.1). Must run on SSA.
@@ -158,17 +183,20 @@ struct Forwarder<'a> {
     defs: HashMap<Reg, Inst>,
     /// Output buffer for the block being rewritten.
     out: Vec<Inst>,
+    /// Multiplier-over-sum distributions performed so far.
+    dists: u64,
 }
 
 /// Rewrite every block: delete pure-expression instructions and re-emit
 /// reassociated trees immediately before each sink. Ticks `meter` once
 /// per block, so growth is policed while distribution expands trees.
+/// Returns the number of distributions performed.
 fn forward_propagate(
     f: &mut Function,
     ranks: &[u32],
     options: ReassocOptions,
     meter: &mut Meter,
-) -> Result<(), BudgetExceeded> {
+) -> Result<u64, BudgetExceeded> {
     // Pure expression defs (still single-assignment for expression
     // registers: copy targets — φ names — are multiply-defined but opaque).
     let mut defs: HashMap<Reg, Inst> = HashMap::new();
@@ -188,7 +216,7 @@ fn forward_propagate(
     // pipeline, but `reassociate` accepts arbitrary verified input.)
     defs.retain(|r, _| multiply_defined[r] == 1);
 
-    let mut fw = Forwarder { ranks, options, defs, out: Vec::new() };
+    let mut fw = Forwarder { ranks, options, defs, out: Vec::new(), dists: 0 };
 
     // Grow the rank table for registers the rewrite allocates: new regs
     // carry the rank of the tree they hold, but ranks are only read for
@@ -267,7 +295,7 @@ fn forward_propagate(
         f.blocks[bi].term = term;
         f.blocks[bi].insts = std::mem::take(&mut fw.out);
     }
-    Ok(())
+    Ok(fw.dists)
 }
 
 impl Forwarder<'_> {
@@ -281,7 +309,11 @@ impl Forwarder<'_> {
         let tree = self.build_tree(r);
         let tree = normalize(tree);
         let tree = flatten(tree);
-        let tree = if self.options.distribute { distribute(tree, self.ranks) } else { tree };
+        let tree = if self.options.distribute {
+            distribute(tree, self.ranks, &mut self.dists)
+        } else {
+            tree
+        };
         let tree = sort_by_rank(tree, self.ranks);
         self.emit(f, &tree)
     }
@@ -483,12 +515,13 @@ fn sort_by_rank(tree: Tree, ranks: &[u32]) -> Tree {
 /// Distribute a low-ranked multiplier over the *rank groups* of a
 /// higher-ranked sum (paper §3.1: partial distribution; a complete
 /// distribution "would result in extra multiplications without allowing
-/// any additional code motion"). Applied bottom-up.
-fn distribute(tree: Tree, ranks: &[u32]) -> Tree {
+/// any additional code motion"). Applied bottom-up. Each distribution
+/// performed increments `count` (the pass counter `distributions`).
+fn distribute(tree: Tree, ranks: &[u32], count: &mut u64) -> Tree {
     match tree {
         Tree::Nary(BinOp::Mul, ty, factors) => {
             let factors: Vec<(Tree, bool)> =
-                factors.into_iter().map(|(t, n)| (distribute(t, ranks), n)).collect();
+                factors.into_iter().map(|(t, n)| (distribute(t, ranks, count), n)).collect();
             // Exactly one sum factor, and the rest strictly lower-ranked?
             let sums: Vec<usize> = factors
                 .iter()
@@ -525,6 +558,7 @@ fn distribute(tree: Tree, ranks: &[u32]) -> Tree {
                     None => groups.push((level, vec![(t, n)])),
                 }
             }
+            *count += 1;
             let others: Vec<(Tree, bool)> = factors
                 .into_iter()
                 .enumerate()
@@ -556,15 +590,17 @@ fn distribute(tree: Tree, ranks: &[u32]) -> Tree {
         Tree::Nary(op, ty, terms) => Tree::Nary(
             op,
             ty,
-            terms.into_iter().map(|(t, n)| (distribute(t, ranks), n)).collect(),
+            terms.into_iter().map(|(t, n)| (distribute(t, ranks, count), n)).collect(),
         ),
         Tree::Bin(op, ty, l, r) => Tree::Bin(
             op,
             ty,
-            Box::new(distribute(*l, ranks)),
-            Box::new(distribute(*r, ranks)),
+            Box::new(distribute(*l, ranks, count)),
+            Box::new(distribute(*r, ranks, count)),
         ),
-        Tree::Un(op, ty, inner) => Tree::Un(op, ty, Box::new(distribute(*inner, ranks))),
+        Tree::Un(op, ty, inner) => {
+            Tree::Un(op, ty, Box::new(distribute(*inner, ranks, count)))
+        }
         t => t,
     }
 }

@@ -18,6 +18,19 @@ use epre_ssa::{build_ssa, destroy_ssa, SsaOptions};
 
 use crate::budget::{Budget, BudgetExceeded};
 use crate::peephole::{fold_bin_const, fold_un_const};
+use epre_telemetry::PassCounters;
+
+/// What one SCCP invocation proved: operations rewritten to `loadi` and
+/// conditional branches folded to jumps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SccpStats {
+    /// Instructions rewritten into `loadi` of a proven constant.
+    pub ops_folded: u64,
+    /// Conditional branches folded into unconditional jumps.
+    pub branches_folded: u64,
+    /// Worklist pops consumed.
+    pub ticks: u64,
+}
 
 /// Lattice value for one SSA name.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -61,6 +74,33 @@ pub fn run(f: &mut Function) -> bool {
 /// mid-transform, possibly still in SSA form (callers needing atomicity
 /// run a clone).
 pub fn run_budgeted(f: &mut Function, budget: &Budget) -> Result<bool, BudgetExceeded> {
+    run_budgeted_stats(f, budget).map(|_| true)
+}
+
+/// Instrumented entry point for the pipeline: [`run_budgeted_stats`] with
+/// the stats folded into `counters`.
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_counted(
+    f: &mut Function,
+    budget: &Budget,
+    counters: &mut PassCounters,
+) -> Result<bool, BudgetExceeded> {
+    let stats = run_budgeted_stats(f, budget)?;
+    counters.add("ops_folded", stats.ops_folded);
+    counters.add("branches_folded", stats.branches_folded);
+    counters.add("ticks", stats.ticks);
+    Ok(true)
+}
+
+/// [`run_budgeted`], additionally reporting what the invocation did as an
+/// [`SccpStats`].
+///
+/// # Errors
+/// [`BudgetExceeded`] exactly as [`run_budgeted`].
+pub fn run_budgeted_stats(f: &mut Function, budget: &Budget) -> Result<SccpStats, BudgetExceeded> {
+    let mut stats = SccpStats::default();
     build_ssa(f, SsaOptions { fold_copies: true });
     let mut meter = budget.start(f);
 
@@ -160,7 +200,11 @@ pub fn run_budgeted(f: &mut Function, budget: &Budget) -> Result<bool, BudgetExc
             }
             if let Some(d) = inst.dst() {
                 if let Lattice::Val(c) = value[d.index()] {
-                    *inst = Inst::LoadI { dst: d, value: c };
+                    let folded = Inst::LoadI { dst: d, value: c };
+                    if *inst != folded {
+                        stats.ops_folded += 1;
+                    }
+                    *inst = folded;
                 }
             }
         }
@@ -168,10 +212,12 @@ pub fn run_budgeted(f: &mut Function, budget: &Budget) -> Result<bool, BudgetExc
             if let Lattice::Val(c) = value[cond.index()] {
                 let target = if c.is_zero() { else_to } else { then_to };
                 block.term = Terminator::Jump { target };
+                stats.branches_folded += 1;
             }
         }
         let _ = bid;
     }
+    stats.ticks = meter.ticks();
 
     // Unreachable blocks may now contain φs naming removed edges; drop
     // unreachable blocks before SSA destruction. Both cleanups need the
@@ -181,7 +227,7 @@ pub fn run_budgeted(f: &mut Function, budget: &Budget) -> Result<bool, BudgetExc
     drop_unreachable_with_phis(f, &mut cache);
     prune_phi_args_of_removed_edges(f, &mut cache);
     destroy_ssa(f);
-    Ok(true)
+    Ok(stats)
 }
 
 fn visit_inst(

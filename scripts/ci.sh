@@ -23,4 +23,34 @@ cargo clippy --workspace $CARGO_FLAGS -- -D warnings
 echo "==> bench smoke"
 CARGO_FLAGS="$CARGO_FLAGS" scripts/bench_smoke.sh
 
+echo "==> report smoke (epre report --quick)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+target/release/epre report --quick --out "$tmpdir/BENCH_TABLE1.json" > /dev/null
+grep -q '^{"bench":"table1","levels":\["baseline","partial","reassociation","distribution"\]' \
+    "$tmpdir/BENCH_TABLE1.json"
+
+echo "==> trace schema sanity"
+# Export a JSONL trace for a tiny module and require every line to carry
+# the telemetry schema: a leading dense seq plus pass and function tags.
+cat > "$tmpdir/trace_smoke.iloc" << 'ILOC'
+module data 0
+function smoke(r0:i) -> i
+block b0:
+  r1 <- loadi 2:i
+  r2 <- add.i r0, r1
+  r3 <- add.i r0, r1
+  r4 <- mul.i r2, r3
+  ret r4
+end
+ILOC
+target/release/epre opt "$tmpdir/trace_smoke.iloc" \
+    --trace "$tmpdir/trace.jsonl" --trace-format jsonl > /dev/null
+lines="$(wc -l < "$tmpdir/trace.jsonl")"
+schema_ok="$(grep -c '^{"seq":[0-9]*,.*"function":.*"pass":' "$tmpdir/trace.jsonl")"
+[ "$lines" -gt 0 ] && [ "$schema_ok" -eq "$lines" ] || {
+    echo "trace schema check failed: $schema_ok of $lines line(s) well-formed" >&2
+    exit 1
+}
+
 echo "==> ci: all green"

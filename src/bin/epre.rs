@@ -5,7 +5,12 @@
 //! epre rules                                      list the lint rule registry
 //! epre opt <file.iloc|-> [--level L] [--verify-each] [--best-effort] [--fuel N]
 //!          [--jobs N] [--timings] [--deadline-ms N] [--max-growth X]
-//!          [--journal PATH] [--resume]            optimize ILOC, print result
+//!          [--journal PATH] [--resume]
+//!          [--trace PATH] [--trace-format jsonl|chrome]
+//!                                                 optimize ILOC, print result
+//! epre report [--quick] [--json] [--out PATH]     the paper's Table 1 over the suite
+//! epre explain <file.iloc|-> <function> [--level L]
+//!                                                 per-pass provenance ledgers
 //! epre fuzz <file.iloc|-> [--seed N] [--iters N] [--fuel N] [--level L]
 //!                                                 seeded fault-injection campaign
 //! epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch)
@@ -27,26 +32,51 @@
 //! `fuzz` exits 1 when any injected fault escaped containment. `reduce`
 //! prints the shrunk module on stdout and statistics on stderr, exiting 2
 //! when the failure predicate does not even hold on the input.
+//!
+//! `opt --trace PATH` additionally exports the run's telemetry trace —
+//! pass spans with per-pass counters and provenance deltas on the plain
+//! path, fault/rollback/quarantine/journal events under `--best-effort`
+//! — as JSON Lines or Chrome `trace_event` JSON (loadable in
+//! `about://tracing`). Exported traces are deterministic: byte-identical
+//! across `--jobs` values. `report` measures the bundled 50-routine suite
+//! at the paper's four levels, prints Table 1 (dynamic operation counts,
+//! % improvement vs baseline), and writes the JSON form to
+//! `BENCH_TABLE1.json` (or `--out PATH`). `explain` prints per-function
+//! ledgers of which pass eliminated or inserted how many of which opcode,
+//! level by level.
 
 use std::io::Read;
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use effective_pre::report::collect_table1;
 use epre::{Budget, OptLevel, Optimizer};
 use epre_harness::{
-    reduce as ddmin_reduce, run_campaign, CampaignConfig, FailureSpec, FaultPolicy, Harness,
-    JournalError, OracleConfig,
+    harden_events, journal_events, reduce as ddmin_reduce, run_campaign, CampaignConfig,
+    FailureSpec, FaultPolicy, Harness, JournalError, OracleConfig,
 };
 use epre_ir::parse_module;
 use epre_lint::{lint_module, LintOptions, Rule};
+use epre_telemetry::{ledgers_from_trace, Trace};
 
 const USAGE: &str = "usage:\n  \
     epre lint <file.iloc|-> [--json] [--no-audit]\n  \
     epre rules\n  \
-    epre opt <file.iloc|-> [--level baseline|partial|reassociation|distribution|distribution+lvn] [--verify-each] [--best-effort] [--fuel N] [--jobs N] [--timings] [--deadline-ms N] [--max-growth X] [--journal PATH] [--resume]\n  \
+    epre opt <file.iloc|-> [--level baseline|partial|reassociation|distribution|distribution+lvn] [--verify-each] [--best-effort] [--fuel N] [--jobs N] [--timings] [--deadline-ms N] [--max-growth X] [--journal PATH] [--resume] [--trace PATH] [--trace-format jsonl|chrome]\n  \
+    epre report [--quick] [--json] [--out PATH]\n  \
+    epre explain <file.iloc|-> <function> [--level L]\n  \
     epre fuzz <file.iloc|-> [--seed N] [--iters N] [--fuel N] [--level L]\n  \
     epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch) [--level L] [--fuel N]";
+
+/// Render `trace` in the chosen export format and write it to `path`.
+fn write_trace(path: &str, trace: &Trace, format: &str) -> Result<(), String> {
+    let body = match format {
+        "chrome" => trace.to_chrome(),
+        _ => trace.to_jsonl(),
+    };
+    std::fs::write(path, body).map_err(|e| format!("writing trace `{path}`: {e}"))
+}
 
 fn read_input(path: &str) -> Result<String, String> {
     if path == "-" {
@@ -156,6 +186,8 @@ fn cmd_opt(args: &[String]) -> ExitCode {
     let mut max_growth: Option<f64> = None;
     let mut journal: Option<String> = None;
     let mut resume = false;
+    let mut trace_path: Option<String> = None;
+    let mut trace_format = "jsonl".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -163,6 +195,21 @@ fn cmd_opt(args: &[String]) -> ExitCode {
             "--best-effort" => best_effort = true,
             "--timings" => timings = true,
             "--resume" => resume = true,
+            "--trace" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--trace needs a file path");
+                    return ExitCode::from(2);
+                };
+                trace_path = Some(p.clone());
+            }
+            "--trace-format" => {
+                let Some(f) = it.next().filter(|f| ["jsonl", "chrome"].contains(&f.as_str()))
+                else {
+                    eprintln!("--trace-format needs one of: jsonl chrome");
+                    return ExitCode::from(2);
+                };
+                trace_format = f.clone();
+            }
             "--deadline-ms" => match parse_u64("--deadline-ms", it.next()) {
                 Ok(n) if n >= 1 => deadline_ms = Some(n),
                 Ok(_) => {
@@ -256,6 +303,13 @@ fn cmd_opt(args: &[String]) -> ExitCode {
                         j.fresh,
                         if j.resumed_torn { " (torn tail discarded)" } else { "" }
                     );
+                    if let Some(tpath) = &trace_path {
+                        let trace = Trace::from_events(journal_events(&j));
+                        if let Err(e) = write_trace(tpath, &trace, &trace_format) {
+                            eprintln!("error: {e}");
+                            return ExitCode::from(2);
+                        }
+                    }
                     j.output
                 }
                 Err(e @ (JournalError::Io(_) | JournalError::HeaderMismatch { .. })) => {
@@ -268,7 +322,15 @@ fn cmd_opt(args: &[String]) -> ExitCode {
                 }
             }
         } else {
-            harness.optimize_jobs(&module, jobs).expect("best-effort never fails fast")
+            let out = harness.optimize_jobs(&module, jobs).expect("best-effort never fails fast");
+            if let Some(tpath) = &trace_path {
+                let trace = Trace::from_events(harden_events(&out));
+                if let Err(e) = write_trace(tpath, &trace, &trace_format) {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            out
         };
         for f in &out.faults {
             eprintln!("contained: {f}");
@@ -306,6 +368,9 @@ fn cmd_opt(args: &[String]) -> ExitCode {
         if timings {
             eprintln!("note: --timings is ignored under --verify-each");
         }
+        if trace_path.is_some() {
+            eprintln!("note: --trace is ignored under --verify-each");
+        }
         match opt.optimize_verified(&module) {
             Ok(m) => m,
             Err(e) => {
@@ -316,9 +381,26 @@ fn cmd_opt(args: &[String]) -> ExitCode {
     } else if timings {
         // Per-pass attribution requires the serial pipeline; --jobs is
         // measured end-to-end by the `throughput` benchmark instead.
+        if trace_path.is_some() {
+            eprintln!("note: --trace is ignored under --timings");
+        }
         let (out, report) = opt.optimize_timed(&module);
         eprint!("{report}");
         out
+    } else if let Some(tpath) = &trace_path {
+        match opt.try_optimize_traced(&module, jobs, false) {
+            Ok((m, trace)) => {
+                if let Err(e) = write_trace(tpath, &trace, &trace_format) {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+                m
+            }
+            Err(f) => {
+                eprintln!("error: {f}");
+                return ExitCode::from(1);
+            }
+        }
     } else {
         opt.optimize_jobs(&module, jobs)
     };
@@ -468,12 +550,117 @@ fn cmd_reduce(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_report(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_TABLE1.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--quick" => quick = true,
+            "--out" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::from(2);
+                };
+                out_path = p.clone();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let table = collect_table1(quick);
+    let json_body = table.to_json();
+    if json {
+        println!("{json_body}");
+    } else {
+        print!("{}", table.render_text());
+    }
+    if let Err(e) = std::fs::write(&out_path, format!("{json_body}\n")) {
+        eprintln!("error: writing `{out_path}`: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_explain(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut function: Option<&str> = None;
+    let mut only: Option<OptLevel> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--level" => {
+                let Some(l) = it.next().and_then(|s| level_by_label(s)) else {
+                    eprintln!("--level needs one of: baseline partial reassociation distribution distribution+lvn");
+                    return ExitCode::from(2);
+                };
+                only = Some(l);
+            }
+            other if path.is_none() && (!other.starts_with('-') || other == "-") => {
+                path = Some(other);
+            }
+            other if function.is_none() && !other.starts_with('-') => function = Some(other),
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(path), Some(function)) = (path, function) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let module = match parse_input(path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !module.functions.iter().any(|f| f.name == function) {
+        eprintln!("error: no function `{function}` in `{path}`");
+        return ExitCode::from(2);
+    }
+    let levels: Vec<OptLevel> = match only {
+        Some(l) => vec![l],
+        None => OptLevel::PAPER_LEVELS.to_vec(),
+    };
+    for (i, level) in levels.iter().enumerate() {
+        let opt = Optimizer::new(*level);
+        let trace = match opt.try_optimize_traced(&module, 1, false) {
+            Ok((_, trace)) => trace,
+            Err(f) => {
+                eprintln!("error: {f}");
+                return ExitCode::from(1);
+            }
+        };
+        let ledgers = ledgers_from_trace(&trace);
+        let ledger = ledgers
+            .iter()
+            .find(|l| l.function == function)
+            .expect("every optimized function has a ledger");
+        if i > 0 {
+            println!();
+        }
+        println!("== {} ==", level.label());
+        print!("{}", ledger.render());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
         Some("rules") => cmd_rules(),
         Some("opt") => cmd_opt(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("reduce") => cmd_reduce(&args[1..]),
         _ => {
