@@ -54,30 +54,30 @@ pub fn next_run_number(history: &str) -> u64 {
     max.map_or(0, |m| m + 1)
 }
 
-/// Merge a fresh throughput run into the `BENCH_OPT.json` history
-/// instead of overwriting it.
+/// Merge a fresh run into a named bench-history file instead of
+/// overwriting it.
 ///
 /// `entry` is the new run's JSON object *without* a `run` field (it is
 /// assigned here, one past the largest already recorded). `existing` is
 /// the current file contents, if any. The result is the history format
-/// `{"bench":"throughput","runs":[...]}` with runs in recording order; a
+/// `{"bench":"<name>","runs":[...]}` with runs in recording order; a
 /// legacy single-run file (the old flat format, which this function
 /// recognizes by the absence of a `runs` array) is preserved as run 0.
 ///
 /// # Panics
 /// Panics if `entry` is not a brace-delimited JSON object.
-pub fn merge_bench_runs(existing: Option<&str>, entry: &str) -> String {
+pub fn merge_named_runs(bench: &str, existing: Option<&str>, entry: &str) -> String {
     let entry = entry.trim();
     assert!(
         entry.starts_with('{') && entry.ends_with('}'),
         "run entry must be a JSON object"
     );
+    let prefix = format!("{{\"bench\":\"{bench}\",\"runs\":[");
     let mut runs: Vec<String> = Vec::new();
     if let Some(old) = existing {
         let old = old.trim();
-        if let Some(list) = old
-            .strip_prefix("{\"bench\":\"throughput\",\"runs\":[")
-            .and_then(|rest| rest.strip_suffix("]}"))
+        if let Some(list) =
+            old.strip_prefix(prefix.as_str()).and_then(|rest| rest.strip_suffix("]}"))
         {
             if !list.is_empty() {
                 runs.push(list.to_string());
@@ -89,7 +89,39 @@ pub fn merge_bench_runs(existing: Option<&str>, entry: &str) -> String {
     }
     let next = next_run_number(&runs.join(","));
     runs.push(format!("{{\"run\":{next},{}", &entry[1..]));
-    format!("{{\"bench\":\"throughput\",\"runs\":[{}]}}\n", runs.join(","))
+    format!("{prefix}{}]}}\n", runs.join(","))
+}
+
+/// [`merge_named_runs`] for the `BENCH_OPT.json` throughput history —
+/// the original entry point, kept stable for the throughput bench.
+pub fn merge_bench_runs(existing: Option<&str>, entry: &str) -> String {
+    merge_named_runs("throughput", existing, entry)
+}
+
+/// Are the `"run":N` tags in a bench-history file strictly increasing in
+/// file order? A clean history always is — [`merge_named_runs`] assigns
+/// one past the maximum — so disorder or duplication is the signature of
+/// a hand-edited or corrupted file, and `epre report` refuses to build
+/// on it. Files without any `run` tag (empty, missing, legacy flat
+/// format) are trivially monotonic.
+pub fn runs_monotonic(history: &str) -> bool {
+    let mut last: Option<u64> = None;
+    let mut rest = history;
+    while let Some(pos) = rest.find("\"run\":") {
+        rest = &rest[pos + "\"run\":".len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        match digits.parse::<u64>() {
+            Ok(n) => {
+                if last.is_some_and(|l| n <= l) {
+                    return false;
+                }
+                last = Some(n);
+            }
+            // A bare `"run":` with no digits is corruption, not history.
+            Err(_) => return false,
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -134,6 +166,34 @@ mod tests {
             merged,
             "{\"bench\":\"throughput\",\"runs\":[{\"run\":0,\"bench\":\"throughput\",\"quick\":true,\"levels\":[]},{\"run\":1,\"quick\":false}]}\n"
         );
+    }
+
+    #[test]
+    fn named_histories_do_not_cross_contaminate() {
+        let serve = merge_named_runs("serve", None, "{\"cold_ms\":10}");
+        assert_eq!(serve, "{\"bench\":\"serve\",\"runs\":[{\"run\":0,\"cold_ms\":10}]}\n");
+        let serve2 = merge_named_runs("serve", Some(&serve), "{\"cold_ms\":12}");
+        assert_eq!(
+            serve2,
+            "{\"bench\":\"serve\",\"runs\":[{\"run\":0,\"cold_ms\":10},{\"run\":1,\"cold_ms\":12}]}\n"
+        );
+        // A throughput history handed to the serve bench is treated as
+        // legacy content, not silently re-tagged in place.
+        let cross = merge_named_runs("serve", Some("{\"bench\":\"throughput\",\"runs\":[]}"), "{\"a\":1}");
+        assert!(cross.starts_with("{\"bench\":\"serve\",\"runs\":["));
+    }
+
+    #[test]
+    fn monotonicity_accepts_clean_histories_and_rejects_tampering() {
+        assert!(runs_monotonic(""));
+        assert!(runs_monotonic("{\"bench\":\"throughput\",\"quick\":true}"), "legacy flat file");
+        let mut h = merge_bench_runs(None, "{\"a\":1}");
+        h = merge_bench_runs(Some(&h), "{\"a\":2}");
+        h = merge_bench_runs(Some(&h), "{\"a\":3}");
+        assert!(runs_monotonic(&h), "every merged history is monotonic: {h}");
+        assert!(!runs_monotonic("{\"runs\":[{\"run\":1},{\"run\":1}]}"), "duplicates");
+        assert!(!runs_monotonic("{\"runs\":[{\"run\":2},{\"run\":0}]}"), "disorder");
+        assert!(!runs_monotonic("{\"runs\":[{\"run\":}]}"), "digitless tag");
     }
 
     #[test]

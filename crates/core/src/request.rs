@@ -1,0 +1,146 @@
+//! Request-scoped budgets: the resource-governance contract between an
+//! admission-controlled server and the per-pass [`Budget`] machinery.
+//!
+//! A serve request arrives with an optional *relative* deadline ("finish
+//! within 5000 ms"). Admission stamps it into an absolute instant; by the
+//! time a worker dequeues the request, part of that allowance is already
+//! spent waiting. [`RequestBudget`] carries both views:
+//!
+//! * [`RequestBudget::live_budget`] converts **remaining** wall-clock time
+//!   into a per-pass [`Budget::deadline`], so the optimizer cooperatively
+//!   stops when the client has stopped caring. An expired request yields
+//!   `None` — the server sheds it with a typed `deadline` response
+//!   instead of burning a pipeline on an answer nobody will read.
+//! * [`RequestBudget::keyed_budget`] is the **deterministic** view — the
+//!   caps plus the *requested* (not remaining) deadline — used wherever
+//!   the budget participates in a cache key or a journal header. Two
+//!   retries of one request must produce the same key no matter how long
+//!   each sat in the queue.
+//!
+//! The split is the whole point: live time governs work, requested time
+//! names it.
+
+use std::time::{Duration, Instant};
+
+use crate::Budget;
+
+/// One request's resource envelope: deterministic caps plus an absolute
+/// wall-clock deadline stamped at admission.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestBudget {
+    /// The deterministic caps (iteration / growth, and any configured
+    /// per-pass deadline) the request runs under.
+    pub caps: Budget,
+    /// The deadline the client asked for, relative to admission. `None`
+    /// means the client is willing to wait indefinitely.
+    pub requested: Option<Duration>,
+    /// When the request was admitted (deadline anchor).
+    pub admitted: Instant,
+}
+
+impl RequestBudget {
+    /// Admit a request now: `caps` for the deterministic dimensions plus
+    /// an optional relative deadline in milliseconds.
+    pub fn admit(caps: Budget, deadline_ms: Option<u64>) -> RequestBudget {
+        RequestBudget {
+            caps,
+            requested: deadline_ms.map(Duration::from_millis),
+            admitted: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time left before the request's deadline, `None` when
+    /// the request has no deadline.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.requested.map(|d| d.saturating_sub(self.admitted.elapsed()))
+    }
+
+    /// Has the deadline already passed? Requests without one never
+    /// expire.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_some_and(|r| r.is_zero())
+    }
+
+    /// The budget to actually run under: the caps with
+    /// [`Budget::deadline`] tightened to the *remaining* allowance.
+    /// Returns `None` when the request is already expired — the caller
+    /// must shed it, not start it.
+    pub fn live_budget(&self) -> Option<Budget> {
+        match self.remaining() {
+            None => Some(self.caps),
+            Some(r) if r.is_zero() => None,
+            Some(r) => {
+                let deadline = match self.caps.deadline {
+                    Some(d) => d.min(r),
+                    None => r,
+                };
+                Some(Budget { deadline: Some(deadline), ..self.caps })
+            }
+        }
+    }
+
+    /// The deterministic budget for cache keys and journal headers: the
+    /// caps with the **requested** deadline, independent of queueing
+    /// delay. Identical requests (and their retries) map to identical
+    /// keyed budgets.
+    pub fn keyed_budget(&self) -> Budget {
+        Budget { deadline: self.requested, ..self.caps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deadline_never_expires_and_keeps_caps() {
+        let rb = RequestBudget::admit(Budget::governed(), None);
+        assert!(!rb.expired());
+        assert_eq!(rb.remaining(), None);
+        assert_eq!(rb.live_budget(), Some(Budget::governed()));
+        assert_eq!(rb.keyed_budget(), Budget::governed());
+    }
+
+    #[test]
+    fn live_budget_threads_remaining_time_into_the_deadline() {
+        let rb = RequestBudget::admit(Budget::governed(), Some(60_000));
+        let live = rb.live_budget().expect("a fresh minute-long request is not expired");
+        let d = live.deadline.expect("deadline must be set");
+        assert!(d <= Duration::from_millis(60_000));
+        assert!(d > Duration::from_millis(59_000), "barely any time has passed: {d:?}");
+        // The non-deadline caps ride along untouched.
+        assert_eq!(live.max_iters, Budget::governed().max_iters);
+        assert_eq!(live.max_growth, Budget::governed().max_growth);
+    }
+
+    #[test]
+    fn expired_request_yields_no_budget() {
+        let mut rb = RequestBudget::admit(Budget::governed(), Some(10));
+        // Simulate a long queue wait without sleeping: move admission
+        // into the past.
+        rb.admitted = Instant::now() - Duration::from_millis(50);
+        assert!(rb.expired());
+        assert_eq!(rb.live_budget(), None, "an expired request must be shed, not run");
+    }
+
+    #[test]
+    fn keyed_budget_is_queueing_delay_independent() {
+        let caps = Budget::governed();
+        let mut early = RequestBudget::admit(caps, Some(5_000));
+        let mut late = RequestBudget::admit(caps, Some(5_000));
+        early.admitted = Instant::now() - Duration::from_millis(1);
+        late.admitted = Instant::now() - Duration::from_millis(4_900);
+        assert_eq!(early.keyed_budget(), late.keyed_budget());
+        assert_eq!(early.keyed_budget().deadline, Some(Duration::from_millis(5_000)));
+    }
+
+    #[test]
+    fn configured_pass_deadline_is_never_loosened() {
+        // A server-side per-pass deadline tighter than the remaining
+        // request allowance must win.
+        let caps = Budget { deadline: Some(Duration::from_millis(5)), ..Budget::governed() };
+        let rb = RequestBudget::admit(caps, Some(60_000));
+        let live = rb.live_budget().unwrap();
+        assert_eq!(live.deadline, Some(Duration::from_millis(5)));
+    }
+}

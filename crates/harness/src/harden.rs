@@ -255,8 +255,23 @@ impl Harness {
         Ok(self.oracle_stage(module, out, report))
     }
 
-    /// The shared back half of every hardened run: compare against the
-    /// input, roll back divergent functions, assemble the output.
+    /// The shared back half of every hardened run: compare `out` against
+    /// `input` with the differential oracle, roll back divergent
+    /// functions to their input form, and assemble the output.
+    ///
+    /// Public because the serve daemon assembles candidate modules from a
+    /// mix of cache replays and fresh pipelines and then needs exactly
+    /// this stage: whatever the candidate's provenance, the emitted
+    /// module must agree with the input on the oracle's vectors.
+    pub fn finish_with_oracle(
+        &self,
+        input: &Module,
+        out: Module,
+        report: SandboxReport,
+    ) -> HardenedOutput {
+        self.oracle_stage(input, out, report)
+    }
+
     fn oracle_stage(&self, input: &Module, mut out: Module, report: SandboxReport) -> HardenedOutput {
         let SandboxReport { faults, retries, skipped, quarantined } = report;
         let oracle = compare_modules_detailed(input, &out, &self.oracle);

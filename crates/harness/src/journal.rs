@@ -114,6 +114,14 @@ fn take_line<'a>(text: &'a str, pos: &mut usize) -> Option<&'a str> {
 ///
 /// Tolerant of a torn tail (see module docs); strict about the header.
 ///
+/// Crash-before-first-record edge cases resolve to [`JournalLoad::Fresh`]
+/// rather than a torn resume or an error: a zero-length file (killed
+/// between `create` and the header write) and a file whose only content
+/// is a partial header with no newline (killed mid-header) both carry no
+/// records and no trustworthy header, so the run simply starts over. A
+/// header-only file (the header landed, no records yet) resumes cleanly
+/// with zero entries and `torn_tail == false`.
+///
 /// # Errors
 /// Only real I/O errors. A missing file is [`JournalLoad::Fresh`]; any
 /// malformed content is handled by tolerance or [`JournalLoad::Mismatch`].
@@ -129,7 +137,11 @@ pub fn load_journal(path: &Path, expected_header: &str) -> io::Result<JournalLoa
     let text = String::from_utf8_lossy(&bytes);
     let mut pos = 0usize;
     let Some(header) = take_line(&text, &mut pos) else {
-        return Ok(JournalLoad::Resumed(ResumeState { torn_tail: true, ..Default::default() }));
+        // Empty file, or a partial header the kill cut before its
+        // newline: nothing was journaled, so there is nothing to resume
+        // *or* to mourn — start fresh instead of reporting a torn tail
+        // that never held a record.
+        return Ok(JournalLoad::Fresh);
     };
     if header != expected_header {
         return Ok(JournalLoad::Mismatch { found: header.to_string() });
@@ -325,6 +337,43 @@ mod tests {
     fn missing_file_is_fresh() {
         let path = tmp("definitely-not-created");
         assert!(matches!(load_journal(&path, &header()).unwrap(), JournalLoad::Fresh));
+    }
+
+    #[test]
+    fn zero_length_file_is_fresh_not_torn() {
+        // A kill between `File::create` and the header write leaves a
+        // zero-length file: no header, no records, nothing torn.
+        let path = tmp("zero-length");
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(load_journal(&path, &header()).unwrap(), JournalLoad::Fresh));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partial_header_without_newline_is_fresh() {
+        // A kill mid-header leaves a newline-less prefix. It must not be
+        // treated as a mismatch (error) or a torn resume; it is a
+        // crash-before-first-record and the run starts over.
+        let path = tmp("partial-header");
+        let h = header();
+        std::fs::write(&path, &h.as_bytes()[..h.len() - 10]).unwrap();
+        assert!(matches!(load_journal(&path, &header()).unwrap(), JournalLoad::Fresh));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_only_file_resumes_cleanly_with_no_entries() {
+        // The header landed but the kill arrived before the first record:
+        // a clean, empty resume — not torn, not an error.
+        let path = tmp("header-only");
+        JournalWriter::create(&path, &header()).unwrap();
+        let JournalLoad::Resumed(st) = load_journal(&path, &header()).unwrap() else {
+            panic!("expected resume");
+        };
+        assert!(!st.torn_tail, "an empty journal has no torn tail");
+        assert_eq!(st.corrupt_dropped, 0);
+        assert!(st.entries.is_empty());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

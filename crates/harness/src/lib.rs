@@ -65,7 +65,7 @@ pub mod rng;
 pub mod sandbox;
 pub mod watchdog;
 
-pub use breaker::{CircuitBreaker, Quarantine};
+pub use breaker::{CircuitBreaker, Quarantine, QuarantineOutcome, ServeQuarantine};
 pub use events::{harden_events, journal_events};
 pub use fuzz::{run_campaign, CampaignConfig, CampaignReport, Containment, ALL_LEVELS};
 pub use harden::{HardenedOutput, Harness, JournalError, JournaledOutcome};

@@ -1,0 +1,265 @@
+//! The persistent, content-addressed result cache — the journal
+//! machinery wearing a different hat.
+//!
+//! Every entry maps a *cache key* (a 16-hex-digit FNV-1a fingerprint
+//! over the optimization configuration line plus one function's input
+//! text) to that function's optimized body. Entries are appended
+//! write-ahead-journal style through [`epre_harness::JournalWriter`]: one
+//! locked write+flush per insert, **before** the response frame that
+//! advertises the result leaves the server. A `kill -9` therefore loses
+//! at most the entry being written; on restart
+//! [`epre_harness::load_journal`] tolerates the torn tail, drops
+//! corrupt records by their output fingerprint, and [`ResultCache::open`]
+//! compacts the file clean.
+//!
+//! A cache entry is only ever *advisory*: bodies are fingerprint-
+//! verified when the journal loads, re-parsed and name-checked on every
+//! replay, and only ever inserted after passing the differential oracle
+//! under the identical (config, input) key. A wrong cache entry degrades
+//! to a miss and a fresh, oracle-checked run; it cannot change an
+//! answer.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use epre_harness::{fingerprint64, load_journal, JournalLoad, JournalWriter};
+
+/// The cache file's header line. Versioned separately from the journal
+/// magic: a cache written by an incompatible server version is discarded
+/// wholesale, never misread.
+pub const CACHE_HEADER: &str = "EPRE-SERVE-CACHE v1";
+
+/// What [`ResultCache::open`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheRecovery {
+    /// Entries recovered from the file.
+    pub recovered: usize,
+    /// The file carried a torn tail (the signature of a kill) that was
+    /// discarded during compaction.
+    pub resumed_torn: bool,
+    /// Records dropped because their output fingerprint did not match
+    /// their body (torn or bit-rotted mid-file).
+    pub corrupt_dropped: usize,
+    /// The file existed but carried an incompatible header and was
+    /// discarded wholesale.
+    pub discarded_incompatible: bool,
+}
+
+/// A persistent (or purely in-memory) content-addressed result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    /// Append-only writer; `None` for an in-memory cache.
+    writer: Option<JournalWriter>,
+    entries: Mutex<BTreeMap<String, String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    recovery: CacheRecovery,
+}
+
+impl ResultCache {
+    /// Open (or create) the cache file at `path`, replaying surviving
+    /// entries and compacting away any torn tail. An incompatible or
+    /// unreadable-as-a-journal file is discarded and recreated — a cache
+    /// may always be rebuilt, so recovery never refuses to start.
+    pub fn open(path: &Path) -> io::Result<ResultCache> {
+        let mut recovery = CacheRecovery::default();
+        let (writer, entries) = match load_journal(path, CACHE_HEADER)? {
+            JournalLoad::Fresh => (JournalWriter::create(path, CACHE_HEADER)?, BTreeMap::new()),
+            JournalLoad::Mismatch { .. } => {
+                recovery.discarded_incompatible = true;
+                (JournalWriter::create(path, CACHE_HEADER)?, BTreeMap::new())
+            }
+            JournalLoad::Resumed(st) => {
+                recovery.recovered = st.entries.len();
+                recovery.resumed_torn = st.torn_tail;
+                recovery.corrupt_dropped = st.corrupt_dropped;
+                let w = JournalWriter::rewrite(path, CACHE_HEADER, &st.entries)?;
+                (w, st.entries)
+            }
+        };
+        let entries = entries.into_values().map(|e| (e.function, e.body)).collect();
+        Ok(ResultCache {
+            writer: Some(writer),
+            entries: Mutex::new(entries),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            recovery,
+        })
+    }
+
+    /// A cache that lives only as long as the server (no file).
+    pub fn in_memory() -> ResultCache {
+        ResultCache {
+            writer: None,
+            entries: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            recovery: CacheRecovery::default(),
+        }
+    }
+
+    /// The content-addressed key: configuration line (level, policy,
+    /// keyed budget — exactly the journal header line) plus one
+    /// function's input text.
+    pub fn key(config_line: &str, function_text: &str) -> String {
+        format!("{:016x}", fingerprint64(&format!("{config_line}\n{function_text}")))
+    }
+
+    /// Look up a key, counting the hit or miss.
+    pub fn lookup(&self, key: &str) -> Option<String> {
+        let found = self.entries.lock().expect("cache map poisoned").get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert write-ahead: the entry is on disk (written and flushed)
+    /// before this returns, so a crash after the caller's response frame
+    /// can never lose a result the client already saw advertised.
+    pub fn insert(&self, key: &str, body: &str) -> io::Result<()> {
+        if let Some(w) = &self.writer {
+            w.record(key, fingerprint64(body), body)?;
+        }
+        self.entries.lock().expect("cache map poisoned").insert(key.to_string(), body.to_string());
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries inserted by this process (excludes recovered ones).
+    pub fn inserts(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache map poisoned").len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// What `open` found on disk (all-zero for in-memory caches).
+    pub fn recovery(&self) -> CacheRecovery {
+        self.recovery
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("epre-serve-cache-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn keys_separate_config_from_content() {
+        let k1 = ResultCache::key("cfg-a", "function f\n");
+        let k2 = ResultCache::key("cfg-b", "function f\n");
+        let k3 = ResultCache::key("cfg-a", "function g\n");
+        assert_ne!(k1, k2, "same function under a different config is a different key");
+        assert_ne!(k1, k3);
+        assert_eq!(k1, ResultCache::key("cfg-a", "function f\n"), "keys are stable");
+        assert_eq!(k1.len(), 16);
+    }
+
+    #[test]
+    fn in_memory_cache_counts_hits_and_misses() {
+        let c = ResultCache::in_memory();
+        assert_eq!(c.lookup("k"), None);
+        c.insert("k", "body\n").unwrap();
+        assert_eq!(c.lookup("k").as_deref(), Some("body\n"));
+        assert_eq!((c.hits(), c.misses(), c.inserts(), c.len()), (1, 1, 1, 1));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let path = tmp("persist");
+        let _ = fs::remove_file(&path);
+        {
+            let c = ResultCache::open(&path).unwrap();
+            c.insert("aaaa", "function f()\nbody\n").unwrap();
+            c.insert("bbbb", "function g()\nbody\n").unwrap();
+        }
+        let c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.recovery().recovered, 2);
+        assert!(!c.recovery().resumed_torn);
+        assert_eq!(c.lookup("aaaa").as_deref(), Some("function f()\nbody\n"));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_compacted() {
+        let path = tmp("torn");
+        let _ = fs::remove_file(&path);
+        {
+            let c = ResultCache::open(&path).unwrap();
+            c.insert("aaaa", "kept body\n").unwrap();
+            c.insert("bbbb", "to be torn\n").unwrap();
+        }
+        // Tear the file mid-final-record, as a kill would.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let c = ResultCache::open(&path).unwrap();
+        assert!(c.recovery().resumed_torn);
+        assert_eq!(c.recovery().recovered, 1);
+        assert_eq!(c.lookup("aaaa").as_deref(), Some("kept body\n"));
+        assert_eq!(c.lookup("bbbb"), None, "the torn entry is gone");
+        // Compaction rewrote the file clean: reopening sees no tear.
+        drop(c);
+        let c2 = ResultCache::open(&path).unwrap();
+        assert!(!c2.recovery().resumed_torn);
+        assert_eq!(c2.recovery().recovered, 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn incompatible_header_is_discarded_not_fatal() {
+        let path = tmp("incompat");
+        fs::write(&path, "SOME-OTHER-FORMAT v9\njunk\n").unwrap();
+        let c = ResultCache::open(&path).unwrap();
+        assert!(c.recovery().discarded_incompatible);
+        assert_eq!(c.len(), 0);
+        c.insert("aaaa", "body\n").unwrap();
+        drop(c);
+        let c2 = ResultCache::open(&path).unwrap();
+        assert_eq!(c2.recovery().recovered, 1);
+        assert!(!c2.recovery().discarded_incompatible);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_length_cache_file_opens_fresh() {
+        let path = tmp("zero");
+        fs::write(&path, "").unwrap();
+        let c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.recovery(), CacheRecovery::default());
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,676 @@
+//! The transport-independent request engine.
+//!
+//! [`ServerCore`] owns everything a request needs — the result cache,
+//! the per-client quarantine, the counters, the telemetry log — and
+//! exposes one entry point, [`ServerCore::handle`], that maps a decoded
+//! [`Request`] to a stream of [`Response`] frames through a caller-
+//! supplied emitter. The TCP and stdio transports in
+//! [`crate::server`] are thin shells around it, and tests drive it
+//! in-process with a `Vec` emitter — same engine, no sockets.
+//!
+//! # The optimize path
+//!
+//! ```text
+//! quarantine gate → parse → deadline admission → per-function cache
+//! lookup → governed pipeline over the misses → reassemble in module
+//! order → differential oracle over the WHOLE module → write-ahead
+//! cache insert of clean fresh functions → frames
+//! ```
+//!
+//! The oracle runs over the assembled module whenever *any* function
+//! was freshly optimized, so a replayed body that rides along with new
+//! work is re-checked in context. A fully-replayed request skips the
+//! oracle — safely, because a body only enters the cache after passing
+//! the oracle under the identical (config, input) key, the journal
+//! fingerprint-verifies every body it loads, and each replay is
+//! re-parsed and name-checked. Corruption anywhere in that chain
+//! degrades the entry to a miss (and a fresh, oracle-checked run); it
+//! never changes an answer.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use epre::{Budget, OptLevel, Optimizer, RequestBudget};
+use epre_harness::{
+    header_line, run_module_governed, FaultPolicy, Harness, OracleConfig, PassFaultModel,
+    QuarantineOutcome, SandboxReport, ServeQuarantine,
+};
+use epre_ir::{parse_function, parse_module, Function};
+use epre_lint::LintOptions;
+use epre_telemetry::{Event, Trace};
+
+use crate::cache::ResultCache;
+use crate::events::{recover_event, request_event, shed_event, RequestAccounting};
+use crate::protocol::{DoneFrame, ErrorCode, FunctionFrame, OptimizeRequest, Request, Response};
+
+/// Serve-side configuration (per-request knobs arrive with the request).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Admission queue depth; connection attempts beyond it are shed
+    /// with a typed `overloaded` response.
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Parallel jobs inside one request's governed driver.
+    pub request_jobs: usize,
+    /// Per-request circuit-breaker threshold (faults per pass).
+    pub breaker_threshold: usize,
+    /// Per-client quarantine threshold: distinct (pass, module) fault
+    /// evidence pairs before a client's requests are refused.
+    pub client_threshold: usize,
+    /// Differential-oracle settings applied to every response.
+    pub oracle: OracleConfig,
+    /// Server-side resource caps; a request's deadline can only tighten
+    /// them.
+    pub caps: Budget,
+    /// Chaos injection: splice this adversarial pass model into every
+    /// pipeline (chaos-testing only).
+    pub chaos: Option<PassFaultModel>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 16,
+            workers: 2,
+            request_jobs: 1,
+            breaker_threshold: 3,
+            client_threshold: 3,
+            oracle: OracleConfig::default(),
+            caps: Budget::governed(),
+            chaos: None,
+        }
+    }
+}
+
+/// Monotonic server counters, exported through `stats` frames and the
+/// telemetry log. All relaxed atomics — they are counters, not locks.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    degraded: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_quarantined: AtomicU64,
+    rejected_parse: AtomicU64,
+    rejected_protocol: AtomicU64,
+    functions_reused: AtomicU64,
+    functions_fresh: AtomicU64,
+}
+
+/// The engine: cache + quarantine + counters + telemetry, no transport.
+pub struct ServerCore {
+    /// The serving configuration.
+    pub config: ServeConfig,
+    cache: ResultCache,
+    quarantine: ServeQuarantine,
+    stats: ServerStats,
+    telemetry: Option<Mutex<Box<dyn Write + Send>>>,
+    shutdown: AtomicBool,
+}
+
+impl ServerCore {
+    /// Build an engine over `cache`. Logs the cache's recovery event
+    /// immediately if a telemetry sink is attached later — call
+    /// [`ServerCore::attach_telemetry`] before serving to capture it.
+    pub fn new(config: ServeConfig, cache: ResultCache) -> ServerCore {
+        ServerCore {
+            quarantine: ServeQuarantine::new(config.client_threshold),
+            config,
+            cache,
+            stats: ServerStats::default(),
+            telemetry: None,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Attach a telemetry sink (JSON Lines, one event per line) and log
+    /// the cache-recovery event through it.
+    pub fn attach_telemetry(&mut self, sink: Box<dyn Write + Send>) {
+        self.telemetry = Some(Mutex::new(sink));
+        let rec = self.cache.recovery();
+        self.log_events(vec![recover_event(&rec)]);
+    }
+
+    /// The result cache (counters are read by `stats`).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Has a `shutdown` request been accepted?
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Record an admission-queue overflow (the acceptor sheds the
+    /// connection with a typed `overloaded` response).
+    pub fn note_overload_shed(&self) {
+        self.stats.shed_overload.fetch_add(1, Ordering::Relaxed);
+        self.log_events(vec![shed_event(ErrorCode::Overloaded.label(), "")]);
+    }
+
+    /// Record a request refused before reaching `handle` (unreadable or
+    /// malformed frame).
+    pub fn note_protocol_reject(&self) {
+        self.stats.rejected_protocol.fetch_add(1, Ordering::Relaxed);
+        self.log_events(vec![shed_event(ErrorCode::Protocol.label(), "")]);
+    }
+
+    /// Counter snapshot in stable, documented order.
+    pub fn stats_snapshot(&self) -> Vec<(String, u64)> {
+        let s = &self.stats;
+        let rec = self.cache.recovery();
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("requests".into(), load(&s.requests)),
+            ("completed".into(), load(&s.completed)),
+            ("degraded".into(), load(&s.degraded)),
+            ("shed_overload".into(), load(&s.shed_overload)),
+            ("shed_deadline".into(), load(&s.shed_deadline)),
+            ("shed_quarantined".into(), load(&s.shed_quarantined)),
+            ("rejected_parse".into(), load(&s.rejected_parse)),
+            ("rejected_protocol".into(), load(&s.rejected_protocol)),
+            ("functions_reused".into(), load(&s.functions_reused)),
+            ("functions_fresh".into(), load(&s.functions_fresh)),
+            ("cache_hits".into(), self.cache.hits()),
+            ("cache_misses".into(), self.cache.misses()),
+            ("cache_entries".into(), self.cache.len() as u64),
+            ("cache_recovered".into(), rec.recovered as u64),
+            ("cache_recovered_torn".into(), u64::from(rec.resumed_torn)),
+            ("cache_corrupt_dropped".into(), rec.corrupt_dropped as u64),
+            ("quarantined_clients".into(), self.quarantine.open_clients().len() as u64),
+        ]
+    }
+
+    /// Serve one decoded request, emitting response frames through
+    /// `emit`. Always ends with exactly one terminal frame. I/O errors
+    /// from `emit` abort the conversation (the client vanished — its
+    /// retry will be served from cache).
+    pub fn handle(
+        &self,
+        req: &Request,
+        emit: &mut dyn FnMut(Response) -> io::Result<()>,
+    ) -> io::Result<()> {
+        match req {
+            Request::Ping => emit(Response::Ack { what: "pong".into() }),
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                emit(Response::Ack { what: "shutdown".into() })
+            }
+            Request::Stats => emit(Response::Stats(self.stats_snapshot())),
+            Request::Optimize(r) => self.handle_optimize(r, emit),
+        }
+    }
+
+    fn handle_optimize(
+        &self,
+        r: &OptimizeRequest,
+        emit: &mut dyn FnMut(Response) -> io::Result<()>,
+    ) -> io::Result<()> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+
+        // Gate 1: a quarantined client is refused before any work.
+        if self.quarantine.is_open(&r.client) {
+            self.stats.shed_quarantined.fetch_add(1, Ordering::Relaxed);
+            self.log_events(vec![shed_event(ErrorCode::Quarantined.label(), &r.client)]);
+            return emit(Response::Error {
+                code: ErrorCode::Quarantined,
+                message: format!(
+                    "client {:?} is quarantined ({} distinct fault evidence pairs)",
+                    r.client,
+                    self.quarantine.evidence_of(&r.client)
+                ),
+            });
+        }
+
+        // Gate 2: the request must name a servable configuration.
+        let Some(level) = level_from_label(&r.level) else {
+            self.stats.rejected_protocol.fetch_add(1, Ordering::Relaxed);
+            return emit(Response::Error {
+                code: ErrorCode::Protocol,
+                message: format!("unknown optimization level {:?}", r.level),
+            });
+        };
+        let policy = match policy_from_label(&r.policy) {
+            Ok(p) => p,
+            Err(message) => {
+                self.stats.rejected_protocol.fetch_add(1, Ordering::Relaxed);
+                return emit(Response::Error { code: ErrorCode::Protocol, message });
+            }
+        };
+
+        // Gate 3: the module must parse.
+        let module = match parse_module(&r.module_text) {
+            Ok(m) => m,
+            Err(e) => {
+                self.stats.rejected_parse.fetch_add(1, Ordering::Relaxed);
+                self.log_events(vec![shed_event(ErrorCode::Parse.label(), &r.client)]);
+                return emit(Response::Error {
+                    code: ErrorCode::Parse,
+                    message: format!("module does not parse: {e}"),
+                });
+            }
+        };
+
+        // Gate 4: deadline admission. The keyed (requested) deadline
+        // names the work for caching; the live (remaining) deadline
+        // governs it.
+        let rb = RequestBudget::admit(self.config.caps, r.deadline_ms);
+        let config_line = header_line(level.label(), policy.label(), &rb.keyed_budget());
+
+        // Per-function cache partition: a hit must re-parse to a
+        // function of the same name, or it degrades to a miss.
+        let n = module.functions.len();
+        let mut slots: Vec<Option<Function>> = vec![None; n];
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, f) in module.functions.iter().enumerate() {
+            let key = ResultCache::key(&config_line, &format!("{f}"));
+            let replayed = self.cache.lookup(&key).and_then(|body| {
+                let parsed = parse_function(&body).ok()?;
+                (parsed.name == f.name).then_some(parsed)
+            });
+            match replayed {
+                Some(parsed) => slots[i] = Some(parsed),
+                None => miss_idx.push(i),
+            }
+        }
+        let reused = n - miss_idx.len();
+
+        // Run the governed pipeline over the misses only.
+        let mut report = SandboxReport::default();
+        if !miss_idx.is_empty() {
+            let Some(live) = rb.live_budget() else {
+                self.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                self.log_events(vec![shed_event(ErrorCode::Deadline.label(), &r.client)]);
+                return emit(Response::Error {
+                    code: ErrorCode::Deadline,
+                    message: "request deadline expired before optimization started".into(),
+                });
+            };
+            let mut sub = module.clone();
+            sub.functions = miss_idx.iter().map(|&i| module.functions[i].clone()).collect();
+            let chaos = self.config.chaos;
+            let passes_for = move || {
+                let mut passes = Vec::new();
+                if let Some(model) = chaos {
+                    passes.push(model.build());
+                }
+                passes.extend(Optimizer::new(level).passes());
+                passes
+            };
+            let governed = run_module_governed(
+                &sub,
+                &passes_for,
+                policy,
+                &LintOptions::invariants_only(),
+                &live,
+                self.config.breaker_threshold,
+                self.config.request_jobs,
+            );
+            match governed {
+                Ok((optimized, rep)) => {
+                    for (slot, f) in miss_idx.iter().zip(optimized.functions) {
+                        slots[*slot] = Some(f);
+                    }
+                    report = rep;
+                }
+                // Only FailFast returns Err, and fail-fast was rejected
+                // above — but a daemon treats "impossible" as sheddable,
+                // not as a panic.
+                Err(fault) => {
+                    self.stats.rejected_protocol.fetch_add(1, Ordering::Relaxed);
+                    return emit(Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: format!("pipeline fault escaped containment: {fault}"),
+                    });
+                }
+            }
+        }
+
+        // Assemble in module order. Any request that optimized at least
+        // one function runs the differential oracle over the WHOLE
+        // module — replayed and fresh functions alike. A fully-replayed
+        // request skips it: every cached body was oracle-validated at
+        // insert time under this exact (config, input) key, is
+        // fingerprint-verified when the journal loads, and was re-parsed
+        // and name-checked above — a second oracle run would re-prove a
+        // proven fact at full interpretation cost, which is exactly the
+        // work the cache exists to skip.
+        let mut candidate = module.clone();
+        candidate.functions =
+            slots.into_iter().map(|s| s.expect("every slot filled")).collect();
+        let out = if miss_idx.is_empty() {
+            epre_harness::HardenedOutput {
+                module: candidate,
+                faults: Vec::new(),
+                divergences: Vec::new(),
+                retries: 0,
+                skipped: 0,
+                quarantined: Vec::new(),
+                inconclusive: 0,
+            }
+        } else {
+            let harness = Harness {
+                level,
+                policy,
+                oracle: self.config.oracle,
+                budget: rb.live_budget().unwrap_or(self.config.caps),
+                breaker_threshold: self.config.breaker_threshold,
+                function_deadline: None,
+            };
+            harness.finish_with_oracle(&module, candidate, report)
+        };
+        let rolled_back: Vec<String> =
+            out.rolled_back_functions().into_iter().map(str::to_string).collect();
+
+        // Write-ahead cache insert: only functions whose pipeline ran
+        // clean and complete, from a request with no quarantine/skip
+        // (a skipped pass would cache an under-optimized body that a
+        // fresh run would not reproduce).
+        let request_fully_ran = out.quarantined.is_empty() && out.skipped == 0;
+        let miss_set: std::collections::BTreeSet<usize> = miss_idx.iter().copied().collect();
+        if request_fully_ran {
+            for (i, (input_f, out_f)) in
+                module.functions.iter().zip(&out.module.functions).enumerate()
+            {
+                let clean = !rolled_back.iter().any(|rb| rb == &input_f.name)
+                    && !out.faults.iter().any(|ft| ft.function == input_f.name);
+                if miss_set.contains(&i) && clean {
+                    let key = ResultCache::key(&config_line, &format!("{input_f}"));
+                    if let Err(e) = self.cache.insert(&key, &format!("{out_f}")) {
+                        // A full disk must not fail the request: the
+                        // result is still correct, only uncached.
+                        self.log_events(vec![shed_event("cache-write-failed", &r.client)]);
+                        let _ = e;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Per-client quarantine evidence: each contained fault counts
+        // once per distinct (pass, module) pair.
+        let module_fp = format!("{:016x}", epre_harness::fingerprint64(&r.module_text));
+        let mut client_quarantined = false;
+        for fault in &out.faults {
+            if self.quarantine.record(&r.client, &fault.pass, &module_fp)
+                == QuarantineOutcome::Tripped
+            {
+                client_quarantined = true;
+            }
+        }
+
+        // Frames: one per function in module order, then the terminal.
+        for (i, f) in module.functions.iter().enumerate() {
+            emit(Response::Function(FunctionFrame {
+                name: f.name.clone(),
+                cached: !miss_set.contains(&i),
+                faults: out.faults.iter().filter(|ft| ft.function == f.name).count() as u64,
+                rolled_back: rolled_back.iter().any(|rb| rb == &f.name),
+            }))?;
+        }
+        let status = if out.is_clean() { "clean" } else { "degraded" };
+        let idempotency =
+            if r.idempotency.is_empty() { r.idempotency_key() } else { r.idempotency.clone() };
+        let done = DoneFrame {
+            status: status.into(),
+            idempotency,
+            module_text: format!("{}", out.module),
+            reused: reused as u64,
+            fresh: miss_idx.len() as u64,
+            faults: out.faults.len() as u64,
+            rollbacks: rolled_back.len() as u64,
+            quarantined: out.quarantined.len() as u64,
+            inconclusive: out.inconclusive as u64,
+            client_quarantined,
+        };
+
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        if status == "degraded" {
+            self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.functions_reused.fetch_add(reused as u64, Ordering::Relaxed);
+        self.stats.functions_fresh.fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+        self.log_events(vec![request_event(&RequestAccounting {
+            client: r.client.clone(),
+            status: status.into(),
+            reused: reused as u64,
+            fresh: miss_idx.len() as u64,
+            faults: out.faults.len() as u64,
+            rollbacks: rolled_back.len() as u64,
+            cache_hits: reused as u64,
+            cache_misses: miss_idx.len() as u64,
+        })]);
+
+        emit(Response::Done(done))
+    }
+
+    fn log_events(&self, events: Vec<Event>) {
+        if let Some(sink) = &self.telemetry {
+            let rendered = Trace::from_events(events).to_jsonl();
+            let mut w = sink.lock().expect("telemetry sink poisoned");
+            // Telemetry is best-effort: a full disk must not take the
+            // server down with it.
+            let _ = w.write_all(rendered.as_bytes());
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Map a wire label to an [`OptLevel`] (all five levels are servable).
+pub fn level_from_label(label: &str) -> Option<OptLevel> {
+    let mut levels = OptLevel::PAPER_LEVELS.to_vec();
+    levels.push(OptLevel::DistributionLvn);
+    levels.into_iter().find(|l| l.label() == label)
+}
+
+/// Map a wire label to a [`FaultPolicy`]. `fail-fast` is rejected with
+/// an explanation: a daemon degrades per function, it does not abort a
+/// whole request on the first fault.
+pub fn policy_from_label(label: &str) -> Result<FaultPolicy, String> {
+    match label {
+        "best-effort" => Ok(FaultPolicy::BestEffort),
+        "retry-then-skip" => Ok(FaultPolicy::RetryThenSkip),
+        "fail-fast" => Err("policy 'fail-fast' is not servable: the daemon degrades per \
+                            function instead of failing whole requests"
+            .into()),
+        other => Err(format!("unknown fault policy {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre_frontend::{compile, NamingMode};
+
+    const SRC: &str = "function tri(n)\n\
+                       integer n, i, s\n\
+                       begin\n\
+                       s = 0\n\
+                       do i = 1, n\n\
+                         s = s + i\n\
+                       enddo\n\
+                       return s\nend\n\
+                       function mix(a, b)\n\
+                       integer a, b, t\n\
+                       begin\n\
+                       t = a * b + a\n\
+                       return t + a * b\nend\n";
+
+    fn module_text() -> String {
+        format!("{}", compile(SRC, NamingMode::Disciplined).unwrap())
+    }
+
+    fn optimize_request(text: &str) -> OptimizeRequest {
+        OptimizeRequest {
+            client: "test".into(),
+            level: "distribution".into(),
+            policy: "best-effort".into(),
+            deadline_ms: None,
+            idempotency: String::new(),
+            module_text: text.to_string(),
+        }
+    }
+
+    fn drive(core: &ServerCore, req: &Request) -> Vec<Response> {
+        let mut frames = Vec::new();
+        core.handle(req, &mut |resp| {
+            frames.push(resp);
+            Ok(())
+        })
+        .unwrap();
+        frames
+    }
+
+    fn done_of(frames: &[Response]) -> &DoneFrame {
+        match frames.last() {
+            Some(Response::Done(d)) => d,
+            other => panic!("expected a done frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serves_a_clean_module_and_matches_the_harness() {
+        let text = module_text();
+        let core = ServerCore::new(ServeConfig::default(), ResultCache::in_memory());
+        let frames = drive(&core, &Request::Optimize(optimize_request(&text)));
+        assert_eq!(frames.len(), 3, "two function frames + done");
+        let done = done_of(&frames);
+        assert_eq!(done.status, "clean");
+        assert_eq!((done.reused, done.fresh), (0, 2));
+
+        // Byte-identical to the plain hardened run under the same knobs.
+        let module = parse_module(&text).unwrap();
+        let harness = Harness::new(OptLevel::Distribution, FaultPolicy::BestEffort);
+        let expected = harness.optimize(&module).unwrap();
+        assert_eq!(done.module_text, format!("{}", expected.module));
+    }
+
+    #[test]
+    fn second_submit_is_served_from_cache_byte_identically() {
+        let text = module_text();
+        let core = ServerCore::new(ServeConfig::default(), ResultCache::in_memory());
+        let first = drive(&core, &Request::Optimize(optimize_request(&text)));
+        let second = drive(&core, &Request::Optimize(optimize_request(&text)));
+        let (d1, d2) = (done_of(&first), done_of(&second));
+        assert_eq!((d2.reused, d2.fresh), (2, 0), "warm submit reuses every function");
+        assert_eq!(d1.module_text, d2.module_text, "cache replay is byte-identical");
+        assert_eq!(d1.idempotency, d2.idempotency);
+        for f in &second[..2] {
+            match f {
+                Response::Function(f) => assert!(f.cached),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_pass_degrades_but_never_lies() {
+        let text = module_text();
+        let config =
+            ServeConfig { chaos: Some(PassFaultModel::NonTerminating), ..Default::default() };
+        let core = ServerCore::new(config, ResultCache::in_memory());
+        let frames = drive(&core, &Request::Optimize(optimize_request(&text)));
+        let done = done_of(&frames);
+        assert_eq!(done.status, "degraded");
+        assert!(done.faults >= 1, "the chaos pass faulted under its budget");
+        // The module still agrees with the input: faulting passes roll
+        // back, and the oracle guards the assembled result.
+        let module = parse_module(&text).unwrap();
+        let out = parse_module(&done.module_text).unwrap();
+        let divergences = epre_harness::compare_modules(&module, &out, &OracleConfig::default());
+        assert!(divergences.is_empty());
+        // Nothing from a degraded, quarantine-tripping request was
+        // cached with a skipped pipeline.
+        let warm = drive(&core, &Request::Optimize(optimize_request(&text)));
+        assert_eq!(done_of(&warm).module_text, done.module_text, "degraded replay agrees");
+    }
+
+    #[test]
+    fn parse_and_protocol_rejections_are_typed() {
+        let core = ServerCore::new(ServeConfig::default(), ResultCache::in_memory());
+        let mut bad = optimize_request("this is not iloc");
+        let frames = drive(&core, &Request::Optimize(bad.clone()));
+        assert!(
+            matches!(frames.last(), Some(Response::Error { code: ErrorCode::Parse, .. })),
+            "{frames:?}"
+        );
+        bad.level = "warp-speed".into();
+        let frames = drive(&core, &Request::Optimize(bad.clone()));
+        assert!(matches!(frames.last(), Some(Response::Error { code: ErrorCode::Protocol, .. })));
+        bad.level = "distribution".into();
+        bad.policy = "fail-fast".into();
+        let frames = drive(&core, &Request::Optimize(bad));
+        assert!(matches!(frames.last(), Some(Response::Error { code: ErrorCode::Protocol, .. })));
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_with_a_typed_response() {
+        let text = module_text();
+        let core = ServerCore::new(ServeConfig::default(), ResultCache::in_memory());
+        let mut req = optimize_request(&text);
+        req.deadline_ms = Some(0);
+        let frames = drive(&core, &Request::Optimize(req));
+        assert!(
+            matches!(frames.last(), Some(Response::Error { code: ErrorCode::Deadline, .. })),
+            "{frames:?}"
+        );
+        let stats = core.stats_snapshot();
+        let shed = stats.iter().find(|(k, _)| k == "shed_deadline").unwrap().1;
+        assert_eq!(shed, 1);
+    }
+
+    #[test]
+    fn faulty_client_is_quarantined_and_then_refused() {
+        let text = module_text();
+        let config = ServeConfig {
+            chaos: Some(PassFaultModel::QuadraticGrowth),
+            client_threshold: 2,
+            breaker_threshold: 100, // let every fault through to evidence
+            ..Default::default()
+        };
+        let core = ServerCore::new(config, ResultCache::in_memory());
+        // Distinct modules build distinct (pass, module) evidence pairs.
+        let mut req1 = optimize_request(&text);
+        req1.client = "noisy".into();
+        let mut req2 = req1.clone();
+        req2.module_text = format!("{text}\n");
+        drive(&core, &Request::Optimize(req1.clone()));
+        let frames = drive(&core, &Request::Optimize(req2));
+        let tripped = match frames.last() {
+            Some(Response::Done(d)) => d.client_quarantined,
+            Some(Response::Error { code: ErrorCode::Quarantined, .. }) => true,
+            other => panic!("unexpected terminal {other:?}"),
+        };
+        assert!(tripped, "second distinct faulting module trips threshold 2");
+        let frames = drive(&core, &Request::Optimize(req1));
+        assert!(
+            matches!(frames.last(), Some(Response::Error { code: ErrorCode::Quarantined, .. })),
+            "quarantined client is refused, {frames:?}"
+        );
+        // Other clients are unaffected by the noisy one.
+        let clean_core_req = optimize_request(&text);
+        let frames = drive(&core, &Request::Optimize(clean_core_req));
+        assert!(matches!(frames.last(), Some(Response::Done(_))));
+    }
+
+    #[test]
+    fn stats_and_acks_answer() {
+        let core = ServerCore::new(ServeConfig::default(), ResultCache::in_memory());
+        let frames = drive(&core, &Request::Ping);
+        assert_eq!(frames, vec![Response::Ack { what: "pong".into() }]);
+        let frames = drive(&core, &Request::Stats);
+        match &frames[0] {
+            Response::Stats(counters) => {
+                assert!(counters.iter().any(|(k, _)| k == "cache_hits"));
+                assert!(counters.iter().any(|(k, _)| k == "requests"));
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        assert!(!core.shutdown_requested());
+        drive(&core, &Request::Shutdown);
+        assert!(core.shutdown_requested());
+    }
+}

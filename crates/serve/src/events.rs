@@ -1,0 +1,98 @@
+//! Telemetry adapters: serve outcomes as structured trace events.
+//!
+//! Mirrors `epre_harness::events` — the daemon aggregates each request
+//! into a typed accounting struct, and these adapters render it as
+//! [`Event`]s for the server's `--telemetry` JSON Lines log. Because the
+//! events are derived from deterministic per-request accounting, a given
+//! request sequence always produces the same log (modulo the `seq`
+//! numbering, which is per-batch in an append-only log).
+
+use epre_telemetry::{Event, Value};
+
+use crate::cache::CacheRecovery;
+
+/// Per-request accounting rendered into one `request` event.
+#[derive(Debug, Clone, Default)]
+pub struct RequestAccounting {
+    /// The client that sent the request.
+    pub client: String,
+    /// `"clean"` or `"degraded"`.
+    pub status: String,
+    /// Functions replayed from the result cache.
+    pub reused: u64,
+    /// Functions freshly optimized.
+    pub fresh: u64,
+    /// Contained pass faults.
+    pub faults: u64,
+    /// Functions rolled back to their input form.
+    pub rollbacks: u64,
+    /// Cache lookups that hit.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+}
+
+/// One completed request as a `request` event.
+pub fn request_event(acc: &RequestAccounting) -> Event {
+    Event::instant("request", "", "serve")
+        .with("client", Value::Str(acc.client.clone()))
+        .with("status", Value::Str(acc.status.clone()))
+        .with("reused", Value::U64(acc.reused))
+        .with("fresh", Value::U64(acc.fresh))
+        .with("faults", Value::U64(acc.faults))
+        .with("rollbacks", Value::U64(acc.rollbacks))
+        .with("cache_hits", Value::U64(acc.cache_hits))
+        .with("cache_misses", Value::U64(acc.cache_misses))
+}
+
+/// A shed request (overload, expired deadline, client quarantine,
+/// or unparsable input) as a `shed` event — the typed alternative to a
+/// hang.
+pub fn shed_event(code: &str, client: &str) -> Event {
+    Event::instant("shed", "", "serve")
+        .with("code", Value::Str(code.to_string()))
+        .with("client", Value::Str(client.to_string()))
+}
+
+/// Cache recovery at startup as a `recover` event.
+pub fn recover_event(rec: &CacheRecovery) -> Event {
+    Event::instant("recover", "", "serve")
+        .with("recovered", Value::U64(rec.recovered as u64))
+        .with("resumed_torn", Value::Bool(rec.resumed_torn))
+        .with("corrupt_dropped", Value::U64(rec.corrupt_dropped as u64))
+        .with("discarded_incompatible", Value::Bool(rec.discarded_incompatible))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epre_telemetry::Trace;
+
+    #[test]
+    fn serve_events_render_through_the_standard_sinks() {
+        let acc = RequestAccounting {
+            client: "ci".into(),
+            status: "clean".into(),
+            reused: 2,
+            fresh: 1,
+            cache_hits: 2,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        let rec = CacheRecovery { recovered: 5, resumed_torn: true, ..Default::default() };
+        let trace = Trace::from_events(vec![
+            recover_event(&rec),
+            request_event(&acc),
+            shed_event("overloaded", "ci"),
+        ]);
+        let jsonl = trace.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.contains(r#""kind":"recover""#));
+        assert!(jsonl.contains(r#""kind":"request""#));
+        assert!(jsonl.contains(r#""kind":"shed""#));
+        assert!(jsonl.contains(r#""code":"overloaded""#));
+        let e = request_event(&acc);
+        assert_eq!(e.field_str("status"), Some("clean"));
+        assert_eq!(e.field_u64("cache_hits"), Some(2));
+    }
+}

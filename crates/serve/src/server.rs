@@ -1,0 +1,284 @@
+//! The transports: a TCP accept loop with bounded admission, and a
+//! stdio-JSONL mode for pipe-driven use.
+//!
+//! # Admission control
+//!
+//! The acceptor thread does **no** request I/O — it only moves accepted
+//! connections into a bounded [`sync_channel`]. When the queue is full,
+//! the connection is shed immediately with a typed `overloaded` frame
+//! and closed: the client sees a fast, explicit refusal, never a hang.
+//! Worker threads drain the queue, applying a per-connection read
+//! timeout so a stalled or malicious peer cannot pin a worker.
+//!
+//! # Shutdown
+//!
+//! A `shutdown` request flips the core's flag; the worker that served
+//! it pokes the acceptor awake with a loopback connection. The acceptor
+//! stops accepting, the queue drains, the workers join, and
+//! [`serve_tcp`] returns — every admitted request is answered.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::core::ServerCore;
+use crate::protocol::{read_frame, write_frame, ErrorCode, FrameError, Request, Response};
+
+/// Per-connection read timeout: a peer that sends a length prefix and
+/// then stalls loses its worker after this long, not forever.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Serve on an already-bound listener until a `shutdown` request
+/// arrives. Blocks the calling thread; returns after the queue drains.
+pub fn serve_tcp(core: Arc<ServerCore>, listener: TcpListener) -> io::Result<()> {
+    let local = listener.local_addr()?;
+    let (tx, rx) = sync_channel::<TcpStream>(core.config.queue_capacity.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<_> = (0..core.config.workers.max(1))
+        .map(|_| {
+            let core = Arc::clone(&core);
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || worker_loop(&core, &rx, local))
+        })
+        .collect();
+
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            // A failed accept (peer reset mid-handshake) is not a server
+            // problem; keep accepting.
+            Err(_) => continue,
+        };
+        if core.shutdown_requested() {
+            break;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                core.note_overload_shed();
+                shed_overloaded(stream, &core);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    drop(tx); // workers drain the queue, then see the hangup
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(())
+}
+
+fn worker_loop(core: &ServerCore, rx: &Mutex<Receiver<TcpStream>>, local: std::net::SocketAddr) {
+    loop {
+        // Hold the lock only for the dequeue, not the request.
+        let conn = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match conn {
+            Ok(stream) => {
+                if let Err(e) = handle_conn(core, stream) {
+                    // The peer vanished mid-conversation; its retry will
+                    // hit the cache. Nothing useful to do with `e`.
+                    let _ = e;
+                }
+                if core.shutdown_requested() {
+                    // Poke the acceptor awake so it notices the flag;
+                    // then keep draining — every admitted connection is
+                    // still answered. (After the acceptor exits, the
+                    // poke just fails to connect, which is fine.)
+                    let _ = TcpStream::connect(local);
+                }
+            }
+            Err(_) => return, // acceptor hung up and the queue is dry
+        }
+    }
+}
+
+/// Best-effort overload refusal: a short write timeout so a slow client
+/// cannot turn the shed path itself into a hang.
+fn shed_overloaded(stream: TcpStream, _core: &ServerCore) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut w = BufWriter::new(stream);
+    let resp = Response::Error {
+        code: ErrorCode::Overloaded,
+        message: "admission queue full; back off and retry".into(),
+    };
+    let _ = write_frame(&mut w, &resp.encode());
+}
+
+/// One conversation: read a single request frame, answer it, close.
+fn handle_conn(core: &ServerCore, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let write_half = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let payload = match read_frame(&mut reader) {
+        Ok(Some(p)) => p,
+        // Clean EOF before any frame: the shutdown poke, a port scan, a
+        // health check. Nothing to answer.
+        Ok(None) => return Ok(()),
+        Err(FrameError::Io(e)) => return Err(e),
+        Err(e @ (FrameError::Torn | FrameError::Malformed(_))) => {
+            core.note_protocol_reject();
+            let resp =
+                Response::Error { code: ErrorCode::Protocol, message: format!("{e}") };
+            return write_frame(&mut writer, &resp.encode());
+        }
+    };
+    let req = match Request::decode(&payload) {
+        Ok(r) => r,
+        Err(message) => {
+            core.note_protocol_reject();
+            let resp = Response::Error { code: ErrorCode::Protocol, message };
+            return write_frame(&mut writer, &resp.encode());
+        }
+    };
+    core.handle(&req, &mut |resp| write_frame(&mut writer, &resp.encode()))
+}
+
+/// Serve request frames from `stdin`, answering on `stdout`, until EOF
+/// or a `shutdown` request. Serial by construction — the pipe is the
+/// admission queue.
+pub fn serve_stdio(
+    core: &ServerCore,
+    input: &mut dyn Read,
+    output: &mut dyn Write,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(input);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()),
+            Err(FrameError::Io(e)) => return Err(e),
+            Err(e @ (FrameError::Torn | FrameError::Malformed(_))) => {
+                core.note_protocol_reject();
+                let resp =
+                    Response::Error { code: ErrorCode::Protocol, message: format!("{e}") };
+                write_frame(output, &resp.encode())?;
+                // Framing is lost; there is no resynchronization point.
+                return Ok(());
+            }
+        };
+        match Request::decode(&payload) {
+            Ok(req) => {
+                core.handle(&req, &mut |resp| write_frame(output, &resp.encode()))?;
+                if core.shutdown_requested() {
+                    return Ok(());
+                }
+            }
+            Err(message) => {
+                core.note_protocol_reject();
+                let resp = Response::Error { code: ErrorCode::Protocol, message };
+                write_frame(output, &resp.encode())?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ResultCache;
+    use crate::core::ServeConfig;
+    use crate::protocol::OptimizeRequest;
+    use epre_frontend::{compile, NamingMode};
+
+    const SRC: &str = "function sq(a)\n\
+                       integer a\n\
+                       begin\n\
+                       return a * a\nend\n";
+
+    fn module_text() -> String {
+        format!("{}", compile(SRC, NamingMode::Disciplined).unwrap())
+    }
+
+    fn optimize_payload() -> String {
+        Request::Optimize(OptimizeRequest {
+            client: "t".into(),
+            level: "partial".into(),
+            policy: "best-effort".into(),
+            deadline_ms: None,
+            idempotency: String::new(),
+            module_text: module_text(),
+        })
+        .encode()
+    }
+
+    #[test]
+    fn stdio_mode_answers_a_full_conversation() {
+        let core = ServerCore::new(ServeConfig::default(), ResultCache::in_memory());
+        let mut input = Vec::new();
+        write_frame(&mut input, &optimize_payload()).unwrap();
+        write_frame(&mut input, &Request::Stats.encode()).unwrap();
+        write_frame(&mut input, &Request::Shutdown.encode()).unwrap();
+        let mut output = Vec::new();
+        serve_stdio(&core, &mut &input[..], &mut output).unwrap();
+        let mut r = std::io::BufReader::new(&output[..]);
+        let mut kinds = Vec::new();
+        while let Some(p) = read_frame(&mut r).unwrap() {
+            kinds.push(match Response::decode(&p).unwrap() {
+                Response::Function(_) => "function",
+                Response::Done(_) => "done",
+                Response::Error { .. } => "error",
+                Response::Stats(_) => "stats",
+                Response::Ack { .. } => "ack",
+            });
+        }
+        assert_eq!(kinds, ["function", "done", "stats", "ack"]);
+    }
+
+    #[test]
+    fn stdio_mode_types_garbage_instead_of_hanging() {
+        let core = ServerCore::new(ServeConfig::default(), ResultCache::in_memory());
+        let mut output = Vec::new();
+        serve_stdio(&core, &mut "7\nnot js\n".as_bytes(), &mut output).unwrap();
+        let mut r = std::io::BufReader::new(&output[..]);
+        let p = read_frame(&mut r).unwrap().unwrap();
+        assert!(
+            matches!(Response::decode(&p), Ok(Response::Error { code: ErrorCode::Protocol, .. }))
+        );
+    }
+
+    #[test]
+    fn tcp_serves_submits_and_sheds_shutdown_cleanly() {
+        let core = Arc::new(ServerCore::new(ServeConfig::default(), ResultCache::in_memory()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || serve_tcp(core, listener))
+        };
+
+        let ask = |req: &Request| -> Vec<Response> {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut w = BufWriter::new(stream.try_clone().unwrap());
+            write_frame(&mut w, &req.encode()).unwrap();
+            let mut r = BufReader::new(stream);
+            let mut frames = Vec::new();
+            while let Some(p) = read_frame(&mut r).unwrap() {
+                frames.push(Response::decode(&p).unwrap());
+            }
+            frames
+        };
+
+        let frames = ask(&Request::Optimize(OptimizeRequest {
+            client: "tcp".into(),
+            level: "distribution".into(),
+            policy: "best-effort".into(),
+            deadline_ms: Some(30_000),
+            idempotency: String::new(),
+            module_text: module_text(),
+        }));
+        assert!(matches!(frames.last(), Some(Response::Done(d)) if d.status == "clean"));
+
+        let frames = ask(&Request::Ping);
+        assert_eq!(frames, vec![Response::Ack { what: "pong".into() }]);
+
+        let frames = ask(&Request::Shutdown);
+        assert_eq!(frames, vec![Response::Ack { what: "shutdown".into() }]);
+        server.join().unwrap().unwrap();
+    }
+}

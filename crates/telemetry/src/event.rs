@@ -31,6 +31,11 @@ pub enum Value {
 /// | `rollback`    | the harness rolled a function back to its input    |
 /// | `quarantine`  | the circuit breaker quarantined a pass             |
 /// | `journal`     | journal reuse/fresh/torn-tail accounting           |
+/// | `request`     | one serve request: status + per-request accounting |
+/// | `shed`        | admission control refused work (overload/deadline/ |
+/// |               | client quarantine) — typed, never a hang           |
+/// | `recover`     | serve cache recovery after a crash: entries kept,  |
+/// |               | torn tail discarded, corrupt records dropped       |
 ///
 /// [`AnalysisCache`]: https://docs.rs/epre-analysis
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +103,14 @@ impl Event {
     pub fn field_bool(&self, name: &str) -> Option<bool> {
         self.fields.iter().find_map(|(n, v)| match v {
             Value::Bool(x) if n == name => Some(*x),
+            _ => None,
+        })
+    }
+
+    /// Look up a `Str` field by name.
+    pub fn field_str(&self, name: &str) -> Option<&str> {
+        self.fields.iter().find_map(|(n, v)| match v {
+            Value::Str(s) if n == name => Some(s.as_str()),
             _ => None,
         })
     }
@@ -190,5 +203,9 @@ mod tests {
         assert_eq!(e.field_u64("ops_before"), Some(12));
         assert_eq!(e.field_u64("changed"), None, "type mismatch yields None");
         assert_eq!(e.field_map("hist").unwrap(), &[("add".to_string(), 2)]);
+        let s = Event::instant("request", "", "serve").with("status", Value::Str("ok".into()));
+        assert_eq!(s.field_str("status"), Some("ok"));
+        assert_eq!(s.field_str("absent"), None);
+        assert_eq!(s.field_u64("status"), None, "type mismatch yields None");
     }
 }

@@ -25,7 +25,8 @@ CARGO_FLAGS="$CARGO_FLAGS" scripts/bench_smoke.sh
 
 echo "==> report smoke (epre report --quick)"
 tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
+serve_pid=""
+trap '[ -n "$serve_pid" ] && kill -9 "$serve_pid" 2>/dev/null; rm -rf "$tmpdir"' EXIT
 target/release/epre report --quick --out "$tmpdir/BENCH_TABLE1.json" > /dev/null
 grep -q '^{"bench":"table1","levels":\["baseline","partial","reassociation","distribution"\]' \
     "$tmpdir/BENCH_TABLE1.json"
@@ -50,6 +51,68 @@ lines="$(wc -l < "$tmpdir/trace.jsonl")"
 schema_ok="$(grep -c '^{"seq":[0-9]*,.*"function":.*"pass":' "$tmpdir/trace.jsonl")"
 [ "$lines" -gt 0 ] && [ "$schema_ok" -eq "$lines" ] || {
     echo "trace schema check failed: $schema_ok of $lines line(s) well-formed" >&2
+    exit 1
+}
+
+echo "==> serve smoke (daemon, warm cache, kill -9, recovery)"
+# Start the daemon on an ephemeral port, scrape the bound address, and
+# submit the same module twice: the second answer must come entirely from
+# the cache and be byte-identical to the first.
+start_serve() {
+    : > "$tmpdir/serve.log"
+    target/release/epre serve --port 0 --cache "$tmpdir/serve.cache" \
+        --telemetry "$tmpdir/serve.tel" > "$tmpdir/serve.log" 2>/dev/null &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "$tmpdir/serve.log")"
+        [ -n "$addr" ] && return 0
+        sleep 0.1
+    done
+    echo "serve daemon did not come up" >&2
+    exit 1
+}
+start_serve
+target/release/epre submit "$tmpdir/trace_smoke.iloc" --addr "$addr" \
+    > "$tmpdir/serve1.iloc" 2>/dev/null
+target/release/epre submit "$tmpdir/trace_smoke.iloc" --addr "$addr" \
+    > "$tmpdir/serve2.iloc" 2>/dev/null
+cmp -s "$tmpdir/serve1.iloc" "$tmpdir/serve2.iloc" || {
+    echo "cached resubmit diverged from the cold answer" >&2
+    exit 1
+}
+# Capture stats before grepping: `grep -q` closing the pipe early would
+# make the client's stdout writes fail mid-listing.
+stats="$(target/release/epre submit --stats --addr "$addr")"
+printf '%s\n' "$stats" | grep -q '^cache_hits 1$' || {
+    echo "warm resubmit did not hit the cache" >&2
+    exit 1
+}
+# Crash the daemon outright; a restart over the same cache must serve the
+# same module from the recovered entries, byte-identically.
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+start_serve
+target/release/epre submit "$tmpdir/trace_smoke.iloc" --addr "$addr" \
+    > "$tmpdir/serve3.iloc" 2>/dev/null
+cmp -s "$tmpdir/serve1.iloc" "$tmpdir/serve3.iloc" || {
+    echo "post-crash answer diverged" >&2
+    exit 1
+}
+stats="$(target/release/epre submit --stats --addr "$addr")"
+printf '%s\n' "$stats" | grep -q '^cache_recovered 1$' || {
+    echo "restart did not recover the journaled cache entry" >&2
+    exit 1
+}
+target/release/epre submit --shutdown --addr "$addr" > /dev/null
+wait "$serve_pid" || { echo "daemon did not exit cleanly on shutdown" >&2; exit 1; }
+serve_pid=""
+
+echo "==> serve bench smoke"
+# shellcheck disable=SC2086
+cargo bench -p epre-bench --bench serve $CARGO_FLAGS -- --quick
+grep -q '^{"bench":"serve","runs":\[' BENCH_SERVE.json || {
+    echo "BENCH_SERVE.json schema check failed" >&2
     exit 1
 }
 

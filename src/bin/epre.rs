@@ -15,6 +15,14 @@
 //!                                                 seeded fault-injection campaign
 //! epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch)
 //!             [--level L] [--fuel N]              ddmin-shrink a failing module
+//! epre serve [--port N | --stdio] [--cache PATH] [--queue N] [--workers N] [--jobs N]
+//!            [--breaker N] [--client-threshold N] [--fuel N]
+//!            [--chaos-inject nonterminating|quadratic-growth] [--telemetry PATH]
+//!                                                 run the optimization daemon
+//! epre submit <file.iloc|-> [--addr HOST:PORT] [--level L] [--policy P] [--deadline-ms N]
+//!             [--retries N] [--seed N] [--client ID]
+//! epre submit (--stats | --ping | --shutdown) [--addr HOST:PORT]
+//!                                                 talk to a running daemon
 //! ```
 //!
 //! `lint` exits 0 when no error-severity diagnostics were found, 1 when
@@ -32,6 +40,20 @@
 //! `fuzz` exits 1 when any injected fault escaped containment. `reduce`
 //! prints the shrunk module on stdout and statistics on stderr, exiting 2
 //! when the failure predicate does not even hold on the input.
+//!
+//! `serve` runs the crash-safe optimization daemon of `epre-serve`: a
+//! length-prefixed JSONL protocol over TCP (`--port`, `0` picks an
+//! ephemeral port; the bound address is printed as `listening on …`) or
+//! stdio (`--stdio`). Results are cached content-addressed in `--cache
+//! PATH` write-ahead style — a `kill -9` loses at most the in-flight
+//! function and restart recovers the rest. `submit` is the matching
+//! client: it optimizes a file through the daemon with jittered
+//! exponential-backoff retries, exiting 0 on a clean response, 3 on a
+//! degraded one (faults were contained; the module on stdout is still
+//! safe), 1 when the server refused or every retry failed, 2 on usage
+//! errors. `report` refuses (exit 1) to run when an existing
+//! `BENCH_OPT.json` carries a non-monotonic `runs[]` history — the
+//! signature of hand-editing or concurrent-writer corruption.
 //!
 //! `opt --trace PATH` additionally exports the run's telemetry trace —
 //! pass spans with per-pass counters and provenance deltas on the plain
@@ -54,10 +76,15 @@ use effective_pre::report::collect_table1;
 use epre::{Budget, OptLevel, Optimizer};
 use epre_harness::{
     harden_events, journal_events, reduce as ddmin_reduce, run_campaign, CampaignConfig,
-    FailureSpec, FaultPolicy, Harness, JournalError, OracleConfig,
+    FailureSpec, FaultPolicy, Harness, JournalError, OracleConfig, PassFaultModel,
 };
 use epre_ir::parse_module;
 use epre_lint::{lint_module, LintOptions, Rule};
+use epre_serve::{
+    ping as serve_ping, serve_stdio, serve_tcp, shutdown as serve_shutdown,
+    stats as serve_stats, submit as serve_submit, ClientConfig, OptimizeRequest, ResultCache,
+    ServeConfig, ServerCore,
+};
 use epre_telemetry::{ledgers_from_trace, Trace};
 
 const USAGE: &str = "usage:\n  \
@@ -67,7 +94,10 @@ const USAGE: &str = "usage:\n  \
     epre report [--quick] [--json] [--out PATH]\n  \
     epre explain <file.iloc|-> <function> [--level L]\n  \
     epre fuzz <file.iloc|-> [--seed N] [--iters N] [--fuel N] [--level L]\n  \
-    epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch) [--level L] [--fuel N]";
+    epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch) [--level L] [--fuel N]\n  \
+    epre serve [--port N | --stdio] [--cache PATH] [--queue N] [--workers N] [--jobs N] [--breaker N] [--client-threshold N] [--fuel N] [--chaos-inject nonterminating|quadratic-growth] [--telemetry PATH]\n  \
+    epre submit <file.iloc|-> [--addr HOST:PORT] [--level L] [--policy best-effort|retry-then-skip] [--deadline-ms N] [--retries N] [--seed N] [--client ID]\n  \
+    epre submit (--stats | --ping | --shutdown) [--addr HOST:PORT]";
 
 /// Render `trace` in the chosen export format and write it to `path`.
 fn write_trace(path: &str, trace: &Trace, format: &str) -> Result<(), String> {
@@ -572,6 +602,17 @@ fn cmd_report(args: &[String]) -> ExitCode {
             }
         }
     }
+    // A corrupted bench history invalidates any trend the report would
+    // sit next to: refuse before doing the expensive measurement.
+    if let Ok(history) = std::fs::read_to_string("BENCH_OPT.json") {
+        if !epre_bench::runs_monotonic(&history) {
+            eprintln!(
+                "error: BENCH_OPT.json run history is not monotonic (hand-edited or \
+                 corrupted?); move the file aside and re-run the benches"
+            );
+            return ExitCode::from(1);
+        }
+    }
     let table = collect_table1(quick);
     let json_body = table.to_json();
     if json {
@@ -653,6 +694,321 @@ fn cmd_explain(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut port: u16 = 9944;
+    let mut stdio = false;
+    let mut cache_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stdio" => stdio = true,
+            "--port" => match parse_u64("--port", it.next()) {
+                Ok(n) if n <= u16::MAX as u64 => port = n as u16,
+                Ok(_) => {
+                    eprintln!("--port needs a value in 0..=65535");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--cache" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--cache needs a file path");
+                    return ExitCode::from(2);
+                };
+                cache_path = Some(p.clone());
+            }
+            "--telemetry" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--telemetry needs a file path");
+                    return ExitCode::from(2);
+                };
+                telemetry_path = Some(p.clone());
+            }
+            "--queue" => match parse_u64("--queue", it.next()) {
+                Ok(n) if n >= 1 => config.queue_capacity = n as usize,
+                Ok(_) => {
+                    eprintln!("--queue needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--workers" => match parse_u64("--workers", it.next()) {
+                Ok(n) if n >= 1 => config.workers = n as usize,
+                Ok(_) => {
+                    eprintln!("--workers needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--jobs" => match parse_u64("--jobs", it.next()) {
+                Ok(n) if n >= 1 => config.request_jobs = n as usize,
+                Ok(_) => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--breaker" => match parse_u64("--breaker", it.next()) {
+                Ok(n) if n >= 1 => config.breaker_threshold = n as usize,
+                Ok(_) => {
+                    eprintln!("--breaker needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--client-threshold" => match parse_u64("--client-threshold", it.next()) {
+                Ok(n) if n >= 1 => config.client_threshold = n as usize,
+                Ok(_) => {
+                    eprintln!("--client-threshold needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--fuel" => match parse_u64("--fuel", it.next()) {
+                Ok(n) => config.oracle.fuel = n,
+                Err(code) => return code,
+            },
+            "--chaos-inject" => {
+                let model = it.next().and_then(|s| match s.as_str() {
+                    "nonterminating" => Some(PassFaultModel::NonTerminating),
+                    "quadratic-growth" => Some(PassFaultModel::QuadraticGrowth),
+                    _ => None,
+                });
+                let Some(model) = model else {
+                    eprintln!("--chaos-inject needs one of: nonterminating quadratic-growth");
+                    return ExitCode::from(2);
+                };
+                config.chaos = Some(model);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let cache = match &cache_path {
+        Some(p) => match ResultCache::open(Path::new(p)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: opening cache `{p}`: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => ResultCache::in_memory(),
+    };
+    let rec = cache.recovery();
+    if rec.recovered > 0 || rec.resumed_torn || rec.corrupt_dropped > 0 {
+        eprintln!(
+            "cache: {} entr{} recovered{}{}",
+            rec.recovered,
+            if rec.recovered == 1 { "y" } else { "ies" },
+            if rec.resumed_torn { ", torn tail discarded" } else { "" },
+            if rec.corrupt_dropped > 0 {
+                format!(", {} corrupt record(s) dropped", rec.corrupt_dropped)
+            } else {
+                String::new()
+            }
+        );
+    }
+    let mut core = ServerCore::new(config, cache);
+    if let Some(p) = &telemetry_path {
+        match std::fs::OpenOptions::new().create(true).append(true).open(p) {
+            Ok(f) => core.attach_telemetry(Box::new(f)),
+            Err(e) => {
+                eprintln!("error: opening telemetry log `{p}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if stdio {
+        // stdout is the protocol channel in stdio mode; status goes to
+        // stderr only.
+        eprintln!("serving on stdio");
+        let (mut stdin, mut stdout) = (std::io::stdin().lock(), std::io::stdout().lock());
+        return match serve_stdio(&core, &mut stdin, &mut stdout) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    let listener = match std::net::TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: binding 127.0.0.1:{port}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => {
+            // Scrapable by wrappers (`--port 0` picks an ephemeral port).
+            println!("listening on {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match serve_tcp(std::sync::Arc::new(core), listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut cfg = ClientConfig::default();
+    let mut level = OptLevel::Distribution;
+    let mut policy = "best-effort".to_string();
+    let mut deadline_ms: Option<u64> = None;
+    let mut client = String::new();
+    let mut stats_only = false;
+    let mut ping_only = false;
+    let mut shutdown_only = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stats" => stats_only = true,
+            "--ping" => ping_only = true,
+            "--shutdown" => shutdown_only = true,
+            "--addr" => {
+                let Some(addr) = it.next() else {
+                    eprintln!("--addr needs HOST:PORT");
+                    return ExitCode::from(2);
+                };
+                cfg.addr = addr.clone();
+            }
+            "--client" => {
+                let Some(id) = it.next() else {
+                    eprintln!("--client needs an identifier");
+                    return ExitCode::from(2);
+                };
+                client = id.clone();
+            }
+            "--policy" => {
+                let Some(p) = it
+                    .next()
+                    .filter(|p| ["best-effort", "retry-then-skip"].contains(&p.as_str()))
+                else {
+                    eprintln!("--policy needs one of: best-effort retry-then-skip");
+                    return ExitCode::from(2);
+                };
+                policy = p.clone();
+            }
+            "--deadline-ms" => match parse_u64("--deadline-ms", it.next()) {
+                Ok(n) => deadline_ms = Some(n),
+                Err(code) => return code,
+            },
+            "--retries" => match parse_u64("--retries", it.next()) {
+                Ok(n) => cfg.attempts = (n as u32).saturating_add(1),
+                Err(code) => return code,
+            },
+            "--seed" => match parse_u64("--seed", it.next()) {
+                Ok(n) => cfg.seed = n,
+                Err(code) => return code,
+            },
+            "--level" => {
+                let Some(l) = it.next().and_then(|s| level_by_label(s)) else {
+                    eprintln!("--level needs one of: baseline partial reassociation distribution distribution+lvn");
+                    return ExitCode::from(2);
+                };
+                level = l;
+            }
+            other if path.is_none() && (!other.starts_with('-') || other == "-") => {
+                path = Some(other);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if ping_only {
+        return match serve_ping(&cfg) {
+            Ok(()) => {
+                println!("pong");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    if shutdown_only {
+        return match serve_shutdown(&cfg) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    if stats_only {
+        return match serve_stats(&cfg) {
+            Ok(counters) => {
+                for (name, value) in counters {
+                    println!("{name} {value}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let module_text = match read_input(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let request = OptimizeRequest {
+        client,
+        level: level.label().to_string(),
+        policy,
+        deadline_ms,
+        idempotency: String::new(),
+        module_text,
+    };
+    match serve_submit(&cfg, &request) {
+        Ok(outcome) => {
+            let done = &outcome.done;
+            eprintln!(
+                "serve: {} — {} reused, {} fresh, {} fault(s), {} rollback(s), attempt {}",
+                done.status, done.reused, done.fresh, done.faults, done.rollbacks,
+                outcome.attempts
+            );
+            print!("{}", done.module_text);
+            if done.status == "clean" {
+                ExitCode::SUCCESS
+            } else {
+                // Same convention as `opt --best-effort`: the module on
+                // stdout is safe, but something degraded along the way.
+                ExitCode::from(3)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -663,6 +1019,8 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("reduce") => cmd_reduce(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)

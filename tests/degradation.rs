@@ -384,6 +384,70 @@ fn budget_faults_are_job_count_invariant() {
     }
 }
 
+/// The serve path inherits the quarantine's concurrency contract: two
+/// requests from the same client faulting on the same (pass, module)
+/// pair — racing through the daemon's engine on separate threads —
+/// must record exactly *one* piece of evidence. Double-counting a
+/// single offense would let one racy client quarantine itself (or,
+/// server-side, an innocent tenant) at half the configured threshold.
+#[test]
+fn concurrent_serve_requests_record_fault_evidence_once() {
+    use std::sync::Arc;
+
+    use epre_harness::PassFaultModel;
+    use epre_serve::{OptimizeRequest, Request, Response, ResultCache, ServeConfig, ServerCore};
+
+    let src = "function f(a, b)\n\
+               integer f, a, b\n\
+               begin\n\
+               return a * b + a\n\
+               end\n";
+    let text = format!("{}", compile(src, NamingMode::Disciplined).unwrap());
+    let config = ServeConfig {
+        chaos: Some(PassFaultModel::QuadraticGrowth),
+        client_threshold: 2,
+        breaker_threshold: 100, // let every fault through to evidence
+        ..Default::default()
+    };
+    let core = Arc::new(ServerCore::new(config, ResultCache::in_memory()));
+    let request = OptimizeRequest {
+        client: "racer".into(),
+        level: "distribution".into(),
+        policy: "best-effort".into(),
+        deadline_ms: None,
+        idempotency: String::new(),
+        module_text: text,
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let core = Arc::clone(&core);
+            let request = request.clone();
+            s.spawn(move || {
+                let mut terminal = None;
+                core.handle(&Request::Optimize(request), &mut |resp| {
+                    terminal = Some(resp);
+                    Ok(())
+                })
+                .unwrap();
+                match terminal {
+                    Some(Response::Done(d)) => {
+                        assert_eq!(d.status, "degraded", "the chaos pass must fault");
+                        assert!(!d.client_quarantined, "one offense is below threshold 2");
+                    }
+                    other => panic!("expected a done frame, got {other:?}"),
+                }
+            });
+        }
+    });
+
+    // Both racers faulted on the identical (pass, module) pair: one
+    // evidence entry, client still serving.
+    let stats = core.stats_snapshot();
+    let open = stats.iter().find(|(k, _)| k == "quarantined_clients").unwrap().1;
+    assert_eq!(open, 0, "a single racy offense must not trip the quarantine");
+}
+
 /// A *non-cooperative* hang — a pass that simply never returns for one
 /// function — must not block the rest of the module: the watchdog rolls
 /// the hung function back to its input form and the siblings come out

@@ -91,6 +91,32 @@ fn journal_resume_is_byte_identical_after_a_kill() {
     let _ = std::fs::remove_file(&journal);
 }
 
+/// Regression: a zero-length journal file (a crash after `open(2)` but
+/// before the header write reached the disk) must behave like a fresh
+/// start — exit 0, byte-identical output, no torn-tail chatter — not
+/// like a corrupt or mismatched journal.
+#[test]
+fn resume_over_an_empty_journal_starts_fresh() {
+    let input = write_fixture("empty-journal.iloc");
+    let journal = tmp("empty-journal.journal");
+    let input_s = input.to_str().unwrap();
+    let journal_s = journal.to_str().unwrap();
+
+    let reference = epre(&["opt", input_s, "--best-effort"]);
+    assert_eq!(code(&reference), 0);
+
+    std::fs::write(&journal, "").unwrap();
+    let resumed = epre(&["opt", input_s, "--best-effort", "--journal", journal_s, "--resume"]);
+    assert_eq!(code(&resumed), 0, "stderr: {}", String::from_utf8_lossy(&resumed.stderr));
+    assert_eq!(reference.stdout, resumed.stdout, "fresh start must match a plain run");
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(!stderr.contains("torn tail"), "an empty file is fresh, not torn: {stderr}");
+    assert!(stderr.contains("2 optimized fresh"), "stderr: {stderr}");
+
+    let _ = std::fs::remove_file(&input);
+    let _ = std::fs::remove_file(&journal);
+}
+
 #[test]
 fn resume_under_a_different_config_is_refused() {
     let input = write_fixture("mismatch.iloc");

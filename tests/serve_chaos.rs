@@ -1,0 +1,287 @@
+//! Chaos campaign against the real `epre serve` daemon: kill it with
+//! SIGKILL, tear its cache file, inject adversarial passes, and feed it
+//! garbage frames. The invariants under every abuse are the ISSUE's
+//! acceptance bar: **zero wrong answers** (every served module is
+//! byte-identical to the in-process hardened optimizer, or provably
+//! equivalent under the differential oracle), **zero hangs** (every
+//! failure is a typed refusal or a bounded retry exhaustion), and
+//! **bounded recovery** (a restart over crash wreckage serves correct
+//! answers immediately).
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use epre_frontend::{compile, NamingMode};
+use epre_harness::{compare_modules, FaultPolicy, Harness, OracleConfig};
+use epre_ir::parse_module;
+use epre_serve::{
+    submit, ClientConfig, ClientError, OptimizeRequest, Response,
+};
+use epre::OptLevel;
+
+/// Two functions so the cache holds more than one entry.
+const SRC: &str = "function tri(n)\n\
+                   integer n, s, i, tri\n\
+                   begin\n\
+                   s = 0\n\
+                   do i = 1, n\n\
+                     s = s + i\n\
+                   enddo\n\
+                   return s\n\
+                   end\n\
+                   function mix(a, b)\n\
+                   real a, b, x\n\
+                   begin\n\
+                   x = a * b + a\n\
+                   return x + a * b\n\
+                   end\n";
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("epre-chaos-{}-{name}", std::process::id()))
+}
+
+fn module_text() -> String {
+    format!("{}", compile(SRC, NamingMode::Disciplined).unwrap())
+}
+
+/// A daemon child whose port was scraped from its stdout. Killed on drop
+/// so a failing assertion cannot leak a process.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawn `epre serve --port 0 [extra...]` and wait for its
+    /// `listening on <addr>` line (bounded, not forever).
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_epre"))
+            .args(["serve", "--port", "0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn epre serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let line = lines
+            .next()
+            .expect("daemon exited before announcing its address")
+            .expect("read daemon stdout");
+        let addr = line
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> ClientConfig {
+        ClientConfig {
+            addr: self.addr.clone(),
+            attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            read_timeout: Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    fn kill9(&mut self) {
+        self.child.kill().expect("SIGKILL the daemon");
+        self.child.wait().expect("reap the daemon");
+    }
+
+    fn shutdown(mut self) {
+        epre_serve::shutdown(&self.client()).expect("shutdown ack");
+        let status = self.child.wait().expect("reap the daemon");
+        assert!(status.success(), "daemon must exit cleanly on shutdown");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn request(text: &str) -> OptimizeRequest {
+    OptimizeRequest {
+        client: "chaos".into(),
+        level: "distribution".into(),
+        policy: "best-effort".into(),
+        deadline_ms: Some(60_000),
+        idempotency: String::new(),
+        module_text: text.to_string(),
+    }
+}
+
+/// The campaign's spine: correct when healthy, correct from cache,
+/// typed (not hung) while dead, correct again after restarting over a
+/// SIGKILLed, hand-torn cache file.
+#[test]
+fn kill9_and_torn_cache_never_change_an_answer() {
+    let cache = tmp("kill9.cache");
+    let _ = std::fs::remove_file(&cache);
+    let text = module_text();
+
+    // Ground truth from the in-process hardened optimizer.
+    let module = parse_module(&text).unwrap();
+    let expected = Harness::new(OptLevel::Distribution, FaultPolicy::BestEffort)
+        .optimize(&module)
+        .unwrap();
+    let expected_text = format!("{}", expected.module);
+
+    let mut daemon = Daemon::spawn(&["--cache", cache.to_str().unwrap()]);
+    let cfg = daemon.client();
+
+    let cold = submit(&cfg, &request(&text)).expect("cold submit");
+    assert_eq!(cold.done.status, "clean");
+    assert_eq!((cold.done.reused, cold.done.fresh), (0, 2));
+    assert_eq!(cold.done.module_text, expected_text, "daemon answer == harness answer");
+
+    let warm = submit(&cfg, &request(&text)).expect("warm submit");
+    assert_eq!((warm.done.reused, warm.done.fresh), (2, 0));
+    assert_eq!(warm.done.module_text, expected_text, "cache replay is byte-identical");
+    assert_eq!(warm.done.idempotency, cold.done.idempotency);
+
+    // Crash. A client against the corpse gets a typed error after a
+    // bounded number of retries — never a hang.
+    daemon.kill9();
+    match submit(&cfg, &request(&text)) {
+        Err(ClientError::Exhausted { attempts, .. }) => assert_eq!(attempts, 3),
+        other => panic!("expected bounded retry exhaustion, got {other:?}"),
+    }
+
+    // Tear the cache mid-record, as the kill could have. The recovered
+    // entries must still be served byte-identically; the torn one is
+    // recomputed, not trusted.
+    let bytes = std::fs::read(&cache).unwrap();
+    assert!(bytes.len() > 9, "cache file suspiciously small");
+    std::fs::write(&cache, &bytes[..bytes.len() - 9]).unwrap();
+
+    let daemon = Daemon::spawn(&["--cache", cache.to_str().unwrap()]);
+    let cfg = daemon.client();
+    let recovered = submit(&cfg, &request(&text)).expect("post-crash submit");
+    assert_eq!(recovered.done.status, "clean");
+    assert_eq!(recovered.done.module_text, expected_text, "recovery never changes an answer");
+    assert_eq!(
+        (recovered.done.reused, recovered.done.fresh),
+        (1, 1),
+        "one entry survived the tear, one was recomputed"
+    );
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&cache);
+}
+
+/// Injected adversarial passes (the harness's fault models) degrade the
+/// daemon's answers, never corrupt them: faults are reported, and the
+/// served module stays observationally equivalent to the input.
+#[test]
+fn chaos_injection_degrades_but_never_lies() {
+    let text = module_text();
+    let module = parse_module(&text).unwrap();
+    for model in ["nonterminating", "quadratic-growth"] {
+        let daemon = Daemon::spawn(&["--chaos-inject", model]);
+        let out = submit(&daemon.client(), &request(&text))
+            .unwrap_or_else(|e| panic!("{model}: {e}"));
+        assert_eq!(out.done.status, "degraded", "{model}");
+        assert!(out.done.faults >= 1, "{model}: the injected pass must fault");
+        let served = parse_module(&out.done.module_text).unwrap();
+        let divergences = compare_modules(&module, &served, &OracleConfig::default());
+        assert!(divergences.is_empty(), "{model}: wrong answer under chaos: {divergences:?}");
+        daemon.shutdown();
+    }
+}
+
+/// The campaign at suite scale: the whole 50-routine module through the
+/// real daemon — cold, warm, SIGKILLed and recovered, then under an
+/// injected quadratic-growth pass — with byte-identity between every
+/// clean answer and oracle equivalence for the degraded one.
+#[test]
+fn full_suite_campaign_survives_kill_and_injection() {
+    use std::collections::HashSet;
+
+    use epre_ir::{Inst, Module};
+
+    // Fuse the suite as the throughput bench does: prefixed names keep
+    // functions unique, local call targets follow.
+    let mut fused = Module::new();
+    for r in epre_suite::all_routines() {
+        let m = r.compile(NamingMode::Disciplined).unwrap();
+        let local: HashSet<String> = m.functions.iter().map(|f| f.name.clone()).collect();
+        fused.data_words = fused.data_words.max(m.data_words);
+        for mut f in m.functions {
+            f.name = format!("{}__{}", r.name, f.name);
+            for block in &mut f.blocks {
+                for inst in &mut block.insts {
+                    if let Inst::Call { callee, .. } = inst {
+                        if local.contains(callee.as_str()) {
+                            *callee = format!("{}__{}", r.name, callee);
+                        }
+                    }
+                }
+            }
+            fused.functions.push(f);
+        }
+    }
+    let text = format!("{fused}");
+    let n = fused.functions.len() as u64;
+
+    let cache = tmp("suite.cache");
+    let _ = std::fs::remove_file(&cache);
+    let mut daemon = Daemon::spawn(&["--cache", cache.to_str().unwrap()]);
+    let cold = submit(&daemon.client(), &request(&text)).expect("cold suite submit");
+    assert_eq!(cold.done.status, "clean");
+    assert_eq!((cold.done.reused, cold.done.fresh), (0, n));
+
+    // Crash and recover: every function must replay from the journaled
+    // cache, byte-identically.
+    daemon.kill9();
+    let daemon = Daemon::spawn(&["--cache", cache.to_str().unwrap()]);
+    let warm = submit(&daemon.client(), &request(&text)).expect("post-kill suite submit");
+    assert_eq!(warm.done.status, "clean");
+    assert_eq!((warm.done.reused, warm.done.fresh), (n, 0), "full recovery");
+    assert_eq!(warm.done.module_text, cold.done.module_text, "recovery is byte-identical");
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&cache);
+
+    // Injection at suite scale: degraded accounting, equivalent module.
+    let daemon = Daemon::spawn(&["--chaos-inject", "quadratic-growth"]);
+    let out = submit(&daemon.client(), &request(&text)).expect("chaos suite submit");
+    assert_eq!(out.done.status, "degraded");
+    assert!(out.done.faults >= 1);
+    let served = parse_module(&out.done.module_text).unwrap();
+    let divergences = compare_modules(&fused, &served, &OracleConfig::default());
+    assert!(divergences.is_empty(), "wrong answer at suite scale: {divergences:?}");
+    daemon.shutdown();
+}
+
+/// Garbage on the wire gets a typed protocol refusal, and the daemon
+/// keeps serving well-formed clients afterwards.
+#[test]
+fn garbage_frames_are_refused_typed_and_do_not_poison_the_daemon() {
+    use std::io::Write;
+
+    let daemon = Daemon::spawn(&[]);
+    let mut stream = std::net::TcpStream::connect(&daemon.addr).expect("connect");
+    stream.write_all(b"not a frame at all\n").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    let frame = epre_serve::read_frame(&mut reader)
+        .expect("typed response, not a dropped connection")
+        .expect("a frame, not silence");
+    match Response::decode(&frame) {
+        Ok(Response::Error { code, .. }) => {
+            assert_eq!(code.label(), "protocol");
+        }
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+
+    // The daemon is unharmed: a well-formed request still succeeds.
+    let text = module_text();
+    let out = submit(&daemon.client(), &request(&text)).expect("submit after garbage");
+    assert_eq!(out.done.status, "clean");
+    daemon.shutdown();
+}
