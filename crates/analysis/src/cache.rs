@@ -26,6 +26,7 @@ use epre_cfg::{order, Cfg, Dominators};
 use epre_ir::{BlockId, Function};
 
 use crate::exprs::ExprUniverse;
+use crate::liveness::Liveness;
 
 /// The set of cached analyses a pass keeps valid when it changes the IR.
 ///
@@ -33,22 +34,26 @@ use crate::exprs::ExprUniverse;
 /// each other: `cfg` covers the whole control-flow family (CFG, reverse
 /// postorder, postorder, dominators), which is invalidated only by edits
 /// to block structure or terminators; `universe` covers the lexical
-/// expression universe, invalidated by any instruction edit.
+/// expression universe, invalidated by any instruction edit; `liveness`
+/// covers the per-block live-variable sets, invalidated by any edit that
+/// adds, removes, or renames a definition or use (which in practice means
+/// any instruction edit — CFG edits drop it transitively).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PreservedAnalyses {
     cfg: bool,
     universe: bool,
+    liveness: bool,
 }
 
 impl PreservedAnalyses {
     /// Nothing survives — the safe default for a transforming pass.
     pub fn none() -> Self {
-        PreservedAnalyses { cfg: false, universe: false }
+        PreservedAnalyses { cfg: false, universe: false, liveness: false }
     }
 
     /// Everything survives — what a pass reporting "no change" implies.
     pub fn all() -> Self {
-        PreservedAnalyses { cfg: true, universe: true }
+        PreservedAnalyses { cfg: true, universe: true, liveness: true }
     }
 
     /// Builder: additionally preserve the control-flow family (CFG,
@@ -64,6 +69,12 @@ impl PreservedAnalyses {
         self
     }
 
+    /// Builder: additionally preserve the live-variable sets.
+    pub fn with_liveness(mut self) -> Self {
+        self.liveness = true;
+        self
+    }
+
     /// Does the set include the control-flow family?
     pub fn preserves_cfg(&self) -> bool {
         self.cfg
@@ -72,6 +83,11 @@ impl PreservedAnalyses {
     /// Does the set include the expression universe?
     pub fn preserves_universe(&self) -> bool {
         self.universe
+    }
+
+    /// Does the set include the live-variable sets?
+    pub fn preserves_liveness(&self) -> bool {
+        self.liveness
     }
 }
 
@@ -118,6 +134,7 @@ pub struct AnalysisCache {
     postorder: Option<Vec<BlockId>>,
     doms: Option<Dominators>,
     universe: Option<ExprUniverse>,
+    liveness: Option<Liveness>,
     stats: CacheStats,
 }
 
@@ -190,6 +207,23 @@ impl AnalysisCache {
         self.universe.as_ref().expect("just ensured")
     }
 
+    /// Per-block live-variable sets (φ-free code only).
+    ///
+    /// The sets are the backbone of the incremental interference
+    /// representation behind coalescing and of the dead-code sweeps:
+    /// both passes run back to back at the tail of every level, so a
+    /// quiesced `dce` hands its final liveness to `coalesce` for free.
+    pub fn liveness(&mut self, f: &Function) -> &Liveness {
+        if self.liveness.is_none() {
+            self.ensure_cfg(f);
+            self.stats.misses += 1;
+            self.liveness = Some(Liveness::new(f, self.cfg.as_ref().expect("just ensured")));
+        } else {
+            self.stats.hits += 1;
+        }
+        self.liveness.as_ref().expect("just ensured")
+    }
+
     /// CFG and dominators together (both borrows live simultaneously).
     pub fn cfg_and_dominators(&mut self, f: &Function) -> (&Cfg, &Dominators) {
         if self.doms.is_none() {
@@ -209,19 +243,27 @@ impl AnalysisCache {
         self.postorder = None;
         self.doms = None;
         self.universe = None;
+        self.liveness = None;
     }
 
     /// Drop the control-flow family (CFG, traversal orders, dominators).
+    /// Liveness is built on top of the CFG, so it falls with it.
     pub fn invalidate_cfg(&mut self) {
         self.cfg = None;
         self.rpo = None;
         self.postorder = None;
         self.doms = None;
+        self.liveness = None;
     }
 
     /// Drop the expression universe.
     pub fn invalidate_universe(&mut self) {
         self.universe = None;
+    }
+
+    /// Drop the live-variable sets.
+    pub fn invalidate_liveness(&mut self) {
+        self.liveness = None;
     }
 
     /// Keep exactly the analyses in `preserved`, dropping the rest. This is
@@ -233,6 +275,9 @@ impl AnalysisCache {
         if !preserved.preserves_universe() {
             self.invalidate_universe();
         }
+        if !preserved.preserves_liveness() {
+            self.invalidate_liveness();
+        }
     }
 
     /// Is a CFG currently cached? (Inspection hook for tests.)
@@ -243,6 +288,11 @@ impl AnalysisCache {
     /// Is an expression universe currently cached?
     pub fn has_universe(&self) -> bool {
         self.universe.is_some()
+    }
+
+    /// Are live-variable sets currently cached?
+    pub fn has_liveness(&self) -> bool {
+        self.liveness.is_some()
     }
 
     /// Hit/miss counters since construction.
@@ -279,6 +329,15 @@ impl AnalysisCache {
         if let Some(cached) = &self.universe {
             if *cached != ExprUniverse::new(f) {
                 return Err("cached expression universe is stale (instructions changed under a pass that claimed to preserve it)".into());
+            }
+        }
+        if let Some(cached) = &self.liveness {
+            // The CFG check above already caught structural drift; an
+            // independent fresh CFG keeps this check self-contained even
+            // when only liveness is cached.
+            let cfg = Cfg::new(f);
+            if *cached != Liveness::new(f, &cfg) {
+                return Err("cached liveness is stale (defs/uses changed under a pass that claimed to preserve it)".into());
             }
         }
         Ok(())
@@ -363,6 +422,43 @@ mod tests {
         // compares analyses; the universe check fires first.
         let err2 = cache2.validate(&f2).expect_err("stale universe must be caught");
         assert!(err2.contains("universe"), "{err2}");
+    }
+
+    #[test]
+    fn liveness_is_cached_and_invalidated_with_cfg() {
+        let f = diamond();
+        let mut cache = AnalysisCache::new();
+        let live_in_entry = cache.liveness(&f).live_in[0].clone();
+        assert!(cache.has_liveness());
+        let misses = cache.stats().misses;
+        assert_eq!(cache.liveness(&f).live_in[0], live_in_entry); // hit
+        assert_eq!(cache.stats().misses, misses);
+        assert!(cache.validate(&f).is_ok());
+
+        // CFG invalidation takes liveness down with it.
+        cache.invalidate_cfg();
+        assert!(!cache.has_liveness());
+
+        // retain() honors the liveness flag; all() keeps it.
+        let _ = cache.liveness(&f);
+        cache.retain(PreservedAnalyses::all());
+        assert!(cache.has_liveness());
+        cache.retain(PreservedAnalyses::none().with_cfg().with_universe());
+        assert!(!cache.has_liveness());
+    }
+
+    #[test]
+    fn validate_detects_stale_liveness() {
+        let mut f = diamond();
+        let mut cache = AnalysisCache::new();
+        let _ = cache.liveness(&f);
+        assert!(cache.validate(&f).is_ok());
+        // Dropping the compare changes upward-exposed uses (and the
+        // universe, but only liveness is cached here).
+        f.blocks[0].insts.pop();
+        f.blocks[0].insts.pop();
+        let err = cache.validate(&f).expect_err("stale liveness must be caught");
+        assert!(err.contains("liveness"), "{err}");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use epre_cfg::Cfg;
 use epre_ir::{Function, Inst};
 
 /// Per-block `LIVEIN`/`LIVEOUT` register sets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Liveness {
     /// Registers live on entry to each block.
     pub live_in: Vec<BitSet>,

@@ -127,12 +127,21 @@ fn main() {
         println!("{:18} {:>8.1}ms {cells}", level.label(), ms(serial));
 
         // Per-pass breakdown + cache hit rates, once per level (the timed
-        // pipeline is the serial one; see `epre::timings`).
+        // pipeline is the serial one; see `epre::timings`). The coalesce
+        // share of total pass time is recorded per run — including in
+        // `--quick` CI smokes — so the hot-spot trajectory stays visible
+        // PR over PR.
         let (_, report) = opt.optimize_timed(&module);
+        let pass_ms: f64 = report.passes.iter().map(|p| ms(p.duration)).sum();
+        let coalesce_ms: f64 =
+            report.passes.iter().filter(|p| p.pass == "coalesce").map(|p| ms(p.duration)).sum();
+        let coalesce_share = if pass_ms > 0.0 { coalesce_ms / pass_ms } else { 0.0 };
+        println!("{:18} coalesce {:.1}% of pass time", "", coalesce_share * 100.0);
         level_jsons.push(format!(
-            "{{\"level\":\"{}\",\"serial_ms\":{:.3},\"jobs\":[{}],\"timings\":{}}}",
+            "{{\"level\":\"{}\",\"serial_ms\":{:.3},\"coalesce_share\":{:.3},\"jobs\":[{}],\"timings\":{}}}",
             level.label(),
             ms(serial),
+            coalesce_share,
             jobs_json.join(","),
             report.to_json()
         ));
@@ -148,6 +157,10 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_OPT.json");
     let existing = std::fs::read_to_string(path).ok();
     let json = epre_bench::merge_bench_runs(existing.as_deref(), &entry);
+    assert!(
+        epre_bench::runs_monotonic(&json),
+        "appending this run must keep the monotonic `run` history `epre report` enforces"
+    );
     match std::fs::write(path, &json) {
         Ok(()) => println!("\nwrote {path} ({} run(s) on record)", epre_bench::next_run_number(&json)),
         Err(e) => eprintln!("\ncould not write {path}: {e}"),

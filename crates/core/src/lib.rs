@@ -43,6 +43,7 @@
 pub mod fault;
 pub mod pipeline;
 pub mod request;
+pub mod shards;
 pub mod stages;
 pub mod stats;
 pub mod timings;
@@ -52,6 +53,7 @@ pub mod verify_each;
 pub use epre_passes::{Budget, BudgetExceeded, BudgetKind};
 pub use fault::{FaultKind, PassFault};
 pub use request::RequestBudget;
+pub use shards::WorkShards;
 pub use pipeline::{run_pass_budgeted, run_pass_cached, run_pass_checked, OptLevel, Optimizer};
 pub use stages::{run_staged, try_run_staged, Stage, StagedOutput};
 pub use stats::{measure, measure_module, Measurement};

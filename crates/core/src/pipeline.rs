@@ -1,7 +1,6 @@
 //! The optimization pipelines of the paper's experimental study (§4.1).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use epre_analysis::AnalysisCache;
@@ -182,7 +181,11 @@ impl Optimizer {
     ///
     /// Functions are independent compilation units in this pipeline, so
     /// they are distributed over a [`std::thread::scope`] worker pool (no
-    /// external dependencies). The output is **deterministic**: functions
+    /// external dependencies) via work-stealing shards
+    /// ([`crate::shards::WorkShards`]): each worker owns a contiguous
+    /// chunk of the module and steals from the back of a sibling's shard
+    /// when its own runs dry, so one heavyweight function cannot strand
+    /// the rest of a chunk behind it. The output is **deterministic**: functions
     /// are reassembled in module order, and the reported fault is the one
     /// belonging to the earliest function in that order — byte-identical
     /// to the serial result regardless of scheduling. `jobs <= 1` takes
@@ -198,25 +201,24 @@ impl Optimizer {
         if jobs <= 1 || n <= 1 {
             return self.try_optimize(module);
         }
-        let next = AtomicUsize::new(0);
+        let shards = crate::shards::WorkShards::new(n, jobs.min(n));
         let slots: Vec<Mutex<Option<Result<Function, PassFault>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
-            for _ in 0..jobs.min(n) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+            for w in 0..jobs.min(n) {
+                let (shards, slots) = (&shards, &slots);
+                s.spawn(move || {
+                    while let Some(i) = shards.pop(w) {
+                        let src = &module.functions[i];
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let mut f = src.clone();
+                            self.try_optimize_function(&mut f).map(|()| f)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(PassFault::panic("pipeline", &src.name, panic_payload(payload)))
+                        });
+                        *slots[i].lock().expect("result slot poisoned") = Some(outcome);
                     }
-                    let src = &module.functions[i];
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        let mut f = src.clone();
-                        self.try_optimize_function(&mut f).map(|()| f)
-                    }))
-                    .unwrap_or_else(|payload| {
-                        Err(PassFault::panic("pipeline", &src.name, panic_payload(payload)))
-                    });
-                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
                 });
             }
         });

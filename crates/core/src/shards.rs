@@ -1,0 +1,148 @@
+//! Work-stealing index distribution for the parallel module drivers.
+//!
+//! The first parallel drivers handed out function indices through a single
+//! `AtomicUsize::fetch_add` — fair, but every worker contends on one cache
+//! line, and a worker that draws a string of heavyweight functions cannot
+//! shed them. [`WorkShards`] replaces that with per-worker deques seeded
+//! with **contiguous chunks** of the index space: each worker drains its
+//! own shard from the front (preserving module order locally, which keeps
+//! the per-function clone/optimize loop cache-friendly) and, when empty,
+//! steals from the **back** of a sibling's shard — so thieves take the
+//! work farthest from where the owner is currently operating.
+//!
+//! Determinism of the drivers is unaffected: results land in per-function
+//! slots and are reassembled in module order, so the stealing schedule can
+//! never leak into the output. Every index in `0..items` is produced
+//! exactly once across all workers.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A sharded work list of indices `0..items` for `workers` cooperating
+/// threads.
+///
+/// ```
+/// use epre::WorkShards;
+///
+/// let shards = WorkShards::new(5, 2);
+/// let mut seen: Vec<usize> = std::iter::from_fn(|| shards.pop(0)).collect();
+/// seen.sort_unstable();
+/// assert_eq!(seen, vec![0, 1, 2, 3, 4]); // owner drains its shard, then steals
+/// ```
+#[derive(Debug)]
+pub struct WorkShards {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl WorkShards {
+    /// Split `0..items` into `workers` contiguous shards (the first
+    /// `items % workers` shards get one extra index).
+    pub fn new(items: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let base = items / workers;
+        let extra = items % workers;
+        let mut queues = Vec::with_capacity(workers);
+        let mut next = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            queues.push(Mutex::new((next..next + len).collect()));
+            next += len;
+        }
+        debug_assert_eq!(next, items);
+        WorkShards { queues }
+    }
+
+    /// Number of shards (== workers at construction).
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Take the next index for `worker`: front of its own shard, else the
+    /// back of the first non-empty sibling (scanning from `worker + 1`,
+    /// wrapping). `None` means all shards are drained and the worker can
+    /// exit.
+    pub fn pop(&self, worker: usize) -> Option<usize> {
+        let w = worker % self.queues.len();
+        if let Some(i) = self.queues[w].lock().expect("shard poisoned").pop_front() {
+            return Some(i);
+        }
+        for off in 1..self.queues.len() {
+            let victim = (w + off) % self.queues.len();
+            if let Some(i) = self.queues[victim].lock().expect("shard poisoned").pop_back() {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_index_exactly_once_single_worker() {
+        let shards = WorkShards::new(7, 3);
+        let mut seen = Vec::new();
+        while let Some(i) = shards.pop(0) {
+            seen.push(i);
+        }
+        let set: HashSet<usize> = seen.iter().copied().collect();
+        assert_eq!(seen.len(), 7);
+        assert_eq!(set.len(), 7);
+        assert!(set.contains(&0) && set.contains(&6));
+    }
+
+    #[test]
+    fn owner_takes_front_thief_takes_back() {
+        let shards = WorkShards::new(8, 2); // shards: [0..4), [4..8)
+        assert_eq!(shards.pop(0), Some(0)); // owner front
+        assert_eq!(shards.pop(1), Some(4)); // owner front
+        // Drain worker 0's shard, then it must steal from the BACK of 1's.
+        assert_eq!(shards.pop(0), Some(1));
+        assert_eq!(shards.pop(0), Some(2));
+        assert_eq!(shards.pop(0), Some(3));
+        assert_eq!(shards.pop(0), Some(7)); // stolen
+        assert_eq!(shards.pop(1), Some(5)); // owner unaffected at the front
+    }
+
+    #[test]
+    fn more_workers_than_items_and_empty() {
+        let shards = WorkShards::new(2, 8);
+        let mut seen: Vec<usize> = std::iter::from_fn(|| shards.pop(5)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1]);
+        assert_eq!(shards.pop(0), None);
+        let empty = WorkShards::new(0, 4);
+        assert_eq!(empty.pop(0), None);
+        // workers = 0 clamps to 1.
+        let one = WorkShards::new(3, 0);
+        assert_eq!(one.workers(), 1);
+        assert_eq!(one.pop(0), Some(0));
+    }
+
+    #[test]
+    fn concurrent_drain_produces_each_index_once() {
+        let shards = WorkShards::new(1000, 4);
+        let collected: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let shards = &shards;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(i) = shards.pop(w) {
+                            mine.push(i);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let all: Vec<usize> = collected.into_iter().flatten().collect();
+        let set: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(all.len(), 1000);
+        assert_eq!(set.len(), 1000);
+    }
+}

@@ -38,6 +38,9 @@ pub struct PassTiming {
     pub invocations: usize,
     /// In how many of those invocations the pass reported a change.
     pub changed: usize,
+    /// Fixed-point rounds the pass self-reported across all invocations
+    /// (0 for passes that do not report a `rounds` counter).
+    pub rounds: u64,
 }
 
 /// The timing report for one full pipeline run over a module.
@@ -78,11 +81,12 @@ impl ModuleTimings {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"pass\":\"{}\",\"ms\":{:.3},\"invocations\":{},\"changed\":{}}}",
+                "{{\"pass\":\"{}\",\"ms\":{:.3},\"invocations\":{},\"changed\":{},\"rounds\":{}}}",
                 p.pass,
                 ms(p.duration),
                 p.invocations,
-                p.changed
+                p.changed,
+                p.rounds
             ));
         }
         s.push_str("]}");
@@ -102,14 +106,18 @@ impl fmt::Display for ModuleTimings {
             self.cache.misses
         )?;
         for p in &self.passes {
-            writeln!(
+            write!(
                 f,
-                "  {:<24} {:>9.3} ms  ({} run(s), {} changed)",
+                "  {:<24} {:>9.3} ms  ({} run(s), {} changed",
                 p.pass,
                 ms(p.duration),
                 p.invocations,
                 p.changed
             )?;
+            if p.rounds > 0 {
+                write!(f, ", {} round(s)", p.rounds)?;
+            }
+            writeln!(f, ")")?;
         }
         Ok(())
     }
@@ -133,6 +141,7 @@ impl Optimizer {
                 duration: Duration::ZERO,
                 invocations: 0,
                 changed: 0,
+                rounds: 0,
             })
             .collect();
         let mut cache_totals = CacheStats::default();
@@ -151,6 +160,11 @@ impl Optimizer {
                     timing.duration += Duration::from_nanos(e.wall_ns);
                     timing.invocations += 1;
                     timing.changed += usize::from(e.field_bool("changed").unwrap_or(false));
+                    if let Some(counters) = e.field_map("counters") {
+                        if let Some((_, r)) = counters.iter().find(|(k, _)| k == "rounds") {
+                            timing.rounds += *r;
+                        }
+                    }
                 }
                 "cache" => {
                     cache_totals.merge(CacheStats {
@@ -160,6 +174,19 @@ impl Optimizer {
                 }
                 _ => {}
             }
+        }
+        // Micro-assertion on the profile itself: every coalesce invocation
+        // performs at least one interference scan (the batch proving the
+        // fixed point counts), and the pass must report those rounds —
+        // a coalesce row with fewer rounds than invocations means the
+        // counter wiring regressed.
+        if let Some(c) = timings.iter().find(|t| t.pass == "coalesce") {
+            assert!(
+                c.rounds >= c.invocations as u64,
+                "coalesce must report round counts in --timings: {} round(s) over {} invocation(s)",
+                c.rounds,
+                c.invocations
+            );
         }
         Ok((
             out,
@@ -214,6 +241,12 @@ mod tests {
         assert!(report.passes.iter().all(|p| p.invocations == 1));
         assert!(report.total >= report.passes.iter().map(|p| p.duration).sum());
         assert!(report.cache.hits + report.cache.misses > 0, "cache was consulted");
+        // The round-reporting micro-assertion's positive side: coalesce
+        // reported at least one round per invocation.
+        let coalesce = report.passes.iter().find(|p| p.pass == "coalesce").unwrap();
+        assert!(coalesce.rounds >= coalesce.invocations as u64, "{coalesce:?}");
+        let rendered = format!("{report}");
+        assert!(rendered.contains("round(s)"), "{rendered}");
     }
 
     #[test]

@@ -25,7 +25,6 @@
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -189,26 +188,25 @@ impl Optimizer {
             }
             return Ok((out, Trace::from_lanes(lanes)));
         }
-        let next = AtomicUsize::new(0);
+        let shards = crate::shards::WorkShards::new(n, jobs.min(n));
         type Slot = Mutex<Option<Result<(Function, FunctionTrace), PassFault>>>;
         let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
-            for _ in 0..jobs.min(n) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+            for w in 0..jobs.min(n) {
+                let (shards, slots) = (&shards, &slots);
+                s.spawn(move || {
+                    while let Some(i) = shards.pop(w) {
+                        let src = &module.functions[i];
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let mut f = src.clone();
+                            optimize_function_traced(self, &mut f, i as u32, false)
+                                .map(|trace| (f, trace))
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(PassFault::panic("pipeline", &src.name, panic_payload(payload)))
+                        });
+                        *slots[i].lock().expect("result slot poisoned") = Some(outcome);
                     }
-                    let src = &module.functions[i];
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        let mut f = src.clone();
-                        optimize_function_traced(self, &mut f, i as u32, false)
-                            .map(|trace| (f, trace))
-                    }))
-                    .unwrap_or_else(|payload| {
-                        Err(PassFault::panic("pipeline", &src.name, panic_payload(payload)))
-                    });
-                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
                 });
             }
         });

@@ -261,8 +261,9 @@ pub fn run_module_governed(
     breaker_threshold: usize,
     jobs: usize,
 ) -> Result<(Module, SandboxReport), PassFault> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
+
+    use epre::WorkShards;
 
     let n = module.functions.len();
     let mut breaker = CircuitBreaker::new(breaker_threshold);
@@ -278,18 +279,15 @@ pub fn run_module_governed(
         return Ok((out, report));
     }
 
-    let next = AtomicUsize::new(0);
+    let shards = WorkShards::new(n, jobs.min(n));
     type Slot = Mutex<Option<Result<(Function, SandboxReport), PassFault>>>;
     let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
-        for _ in 0..jobs.min(n) {
-            s.spawn(|| {
+        for w in 0..jobs.min(n) {
+            let (shards, slots) = (&shards, &slots);
+            s.spawn(move || {
                 let passes = passes_for();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
+                while let Some(i) = shards.pop(w) {
                     let mut f = module.functions[i].clone();
                     let outcome =
                         run_passes_governed(&mut f, &passes, policy, opts, budget, None)

@@ -10,7 +10,7 @@
 //! Calls and stores always survive; so do instructions feeding terminators
 //! transitively.
 
-use epre_analysis::{AnalysisCache, Liveness};
+use epre_analysis::AnalysisCache;
 use epre_ir::Function;
 
 use crate::budget::{Budget, BudgetExceeded};
@@ -35,9 +35,11 @@ pub fn run(f: &mut Function) -> bool {
 /// [`run`] against a caller-owned [`AnalysisCache`] (the pipeline's, when
 /// driven through `Pass::run_cached`). DCE deletes instructions but never
 /// blocks or edges: a cached CFG is reused across every liveness round of
-/// the fixed point — and survives the pass for its successors. The cache
-/// is left consistent: each deleting round invalidates the expression
-/// universe only.
+/// the fixed point — and survives the pass for its successors. Liveness
+/// itself is served through the cache too: each deleting round invalidates
+/// it (plus the expression universe), and the final quiescing round leaves
+/// a valid entry behind for the next liveness consumer (coalescing, which
+/// runs immediately after DCE at every level).
 pub fn run_with_cache(f: &mut Function, cache: &mut AnalysisCache) -> bool {
     match run_budgeted(f, cache, &Budget::UNLIMITED) {
         Ok(any) => any,
@@ -91,7 +93,7 @@ pub fn run_budgeted_stats(
     let mut stats = DceStats::default();
     loop {
         meter.tick(f)?;
-        let live = Liveness::new(f, cache.cfg(f));
+        let live = cache.liveness(f);
         let mut changed = false;
         for (bid, block) in f.blocks.iter_mut().enumerate() {
             // Walk backwards maintaining the live set.
@@ -128,6 +130,7 @@ pub fn run_budgeted_stats(
         }
         stats.rounds += 1;
         cache.invalidate_universe();
+        cache.invalidate_liveness();
     }
     Ok(stats)
 }

@@ -255,6 +255,7 @@ pub mod passes {
                     cache.invalidate_cfg();
                 }
                 cache.invalidate_universe();
+                cache.invalidate_liveness();
             }
             outcome.changed()
         }
@@ -275,6 +276,7 @@ pub mod passes {
                     cache.invalidate_cfg();
                 }
                 cache.invalidate_universe();
+                cache.invalidate_liveness();
             }
             if let Some(meter) = meter {
                 meter.finish(f)?;
@@ -287,8 +289,9 @@ pub mod passes {
     /// Dead code elimination. Deletes instructions only — never blocks
     /// or edges — so the control-flow family survives. `run_cached` hands
     /// the pipeline's cache straight to the pass: a CFG computed by an
-    /// earlier pass feeds every liveness round, and DCE's own invalidation
-    /// (universe only, per deleting round) keeps it consistent.
+    /// earlier pass feeds every liveness round, DCE's own invalidation
+    /// (universe + liveness, per deleting round) keeps it consistent, and
+    /// the quiescing round's liveness survives for coalescing next door.
     #[derive(Debug, Clone, Copy, Default)]
     pub struct Dce;
 

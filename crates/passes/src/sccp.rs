@@ -388,8 +388,10 @@ fn prune_phi_args_of_removed_edges(f: &mut Function, cache: &mut AnalysisCache) 
         f.blocks[bi].insts.sort_by_key(|i| !matches!(i, Inst::Phi { .. }));
     }
     // Instructions changed (φ→copy rewrites) but block structure did not:
-    // the cached CFG stays valid for any later user of this cache.
+    // the cached CFG stays valid for any later user of this cache. The
+    // universe and liveness do not survive instruction edits.
     cache.invalidate_universe();
+    cache.invalidate_liveness();
 }
 
 #[cfg(test)]

@@ -23,6 +23,15 @@ cargo clippy --workspace $CARGO_FLAGS -- -D warnings
 echo "==> bench smoke"
 CARGO_FLAGS="$CARGO_FLAGS" scripts/bench_smoke.sh
 
+echo "==> BENCH_OPT schema check (cpus, coalesce_share, monotonic runs)"
+# Every appended run must record the host's cpu count (so parallel
+# speedups are interpretable) and the coalesce share of pass time (so the
+# hot-spot trajectory is visible per PR); the bench itself asserts the
+# appended run keeps the monotonic `run` history, and `epre report` below
+# refuses to read the file otherwise — a second, independent enforcement.
+grep -q '"cpus":' BENCH_OPT.json || { echo "BENCH_OPT.json missing cpus field" >&2; exit 1; }
+grep -q '"coalesce_share":' BENCH_OPT.json || { echo "BENCH_OPT.json missing coalesce_share field" >&2; exit 1; }
+
 echo "==> report smoke (epre report --quick)"
 tmpdir="$(mktemp -d)"
 serve_pid=""
