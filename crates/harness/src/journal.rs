@@ -29,10 +29,17 @@
 //! fn <name>
 //! in <16-hex input fingerprint>
 //! out <16-hex output fingerprint>
+//! at <decimal recency epoch>        (optional; absent means epoch 0)
 //! body <byte length>
 //! <exactly that many bytes of printed ILOC>
 //! end
 //! ```
+//!
+//! The `at` line is the serve-layer cache's LRU clock: each record carries
+//! the logical epoch of its last touch so recency survives a restart. The
+//! optimizer journal never writes it (its records are epoch 0, and a zero
+//! epoch is serialized as *no line at all*), which keeps the optimizer's
+//! journal bytes identical to the pre-epoch format.
 
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -70,6 +77,10 @@ pub struct JournalEntry {
     /// [`fingerprint64`] of the function's printed *input* text. A resume
     /// reuses the record only when the current input still matches.
     pub input_fp: u64,
+    /// Logical recency epoch of the record's last touch (the serve cache's
+    /// LRU clock). Zero for records written without an `at` line — every
+    /// optimizer-journal record, and every pre-epoch cache file.
+    pub epoch: u64,
     /// The post-pipeline function, serialized as printed ILOC.
     pub body: String,
 }
@@ -151,20 +162,28 @@ pub fn load_journal(path: &Path, expected_header: &str) -> io::Result<JournalLoa
         if pos >= text.len() {
             break; // clean end-of-journal
         }
-        let parsed = (|| -> Option<(String, u64, u64, String)> {
+        let parsed = (|| -> Option<(String, u64, u64, u64, String)> {
             let name = take_line(&text, &mut pos)?.strip_prefix("fn ")?.to_string();
             let input_fp =
                 u64::from_str_radix(take_line(&text, &mut pos)?.strip_prefix("in ")?, 16).ok()?;
             let output_fp =
                 u64::from_str_radix(take_line(&text, &mut pos)?.strip_prefix("out ")?, 16).ok()?;
-            let len: usize =
-                take_line(&text, &mut pos)?.strip_prefix("body ")?.parse().ok()?;
+            // The recency line is optional: records written before epochs
+            // existed (and all optimizer-journal records) jump straight
+            // from `out` to `body`.
+            let mut epoch = 0u64;
+            let mut line = take_line(&text, &mut pos)?;
+            if let Some(at) = line.strip_prefix("at ") {
+                epoch = at.parse().ok()?;
+                line = take_line(&text, &mut pos)?;
+            }
+            let len: usize = line.strip_prefix("body ")?.parse().ok()?;
             let body = text.get(pos..pos + len)?.to_string();
             pos += len;
             if take_line(&text, &mut pos)? != "end" {
                 return None;
             }
-            Some((name, input_fp, output_fp, body))
+            Some((name, input_fp, output_fp, epoch, body))
         })();
         match parsed {
             None => {
@@ -173,12 +192,14 @@ pub fn load_journal(path: &Path, expected_header: &str) -> io::Result<JournalLoa
                 state.torn_tail = true;
                 break;
             }
-            Some((function, input_fp, output_fp, body)) => {
+            Some((function, input_fp, output_fp, epoch, body)) => {
                 if fingerprint64(&body) != output_fp {
                     state.corrupt_dropped += 1;
                     continue;
                 }
-                state.entries.insert(function.clone(), JournalEntry { function, input_fp, body });
+                state
+                    .entries
+                    .insert(function.clone(), JournalEntry { function, input_fp, epoch, body });
             }
         }
     }
@@ -193,7 +214,47 @@ pub fn load_journal(path: &Path, expected_header: &str) -> io::Result<JournalLoa
 /// tears at most the final record.
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: Mutex<File>,
+    inner: Mutex<WriterInner>,
+}
+
+#[derive(Debug)]
+struct WriterInner {
+    file: File,
+    bytes: u64,
+}
+
+/// Exact on-disk byte length of the record [`JournalWriter::record_at`]
+/// would write for these arguments — the serve cache's byte-accurate
+/// accounting unit (live bytes = header + Σ `record_len`, which is exactly
+/// the file size a compaction will produce).
+pub fn record_len(function: &str, epoch: u64, body: &str) -> u64 {
+    let fixed = 4 + function.len()          // "fn <name>\n"
+        + 20                                // "in <16 hex>\n"
+        + 21                                // "out <16 hex>\n"
+        + 6 + decimal_digits(body.len() as u64) // "body <len>\n"
+        + body.len()
+        + 4; // "end\n"
+    let at = if epoch > 0 { 4 + decimal_digits(epoch) } else { 0 }; // "at <epoch>\n"
+    (fixed + at) as u64
+}
+
+fn decimal_digits(mut n: u64) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// The sibling path a crash-safe rewrite stages its replacement file at
+/// before the atomic rename. Exposed so readers that inherit a crash can
+/// clean the stale sibling up (the rename never happened, so the original
+/// file at `path` is still the valid one).
+pub fn rewrite_staging_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+    name.push_str(".compact");
+    path.with_file_name(name)
 }
 
 impl JournalWriter {
@@ -206,25 +267,39 @@ impl JournalWriter {
         file.write_all(header.as_bytes())?;
         file.write_all(b"\n")?;
         file.flush()?;
-        Ok(JournalWriter { file: Mutex::new(file) })
+        Ok(JournalWriter { inner: Mutex::new(WriterInner { file, bytes: header.len() as u64 + 1 }) })
     }
 
     /// Rewrite `path` from scratch with `header` and the given complete
-    /// records — the resume path's way of discarding a torn tail while
-    /// keeping every good record. Returns the writer positioned for
-    /// appending fresh records.
+    /// records, **crash-atomically**: the replacement is written to a
+    /// staging sibling ([`rewrite_staging_path`]), fsynced, and renamed
+    /// over `path` in one step. A kill at any instant leaves either the
+    /// old file or the complete new file at `path` — never a torn hybrid.
+    /// This is both the resume path's way of discarding a torn tail and
+    /// the serve cache's online compaction. Returns the writer positioned
+    /// for appending fresh records (its handle survives the rename: it
+    /// points at the inode now living at `path`).
     ///
     /// # Errors
-    /// File creation or any write.
+    /// File creation, any write, the fsync, or the rename.
     pub fn rewrite(
         path: &Path,
         header: &str,
         entries: &BTreeMap<String, JournalEntry>,
     ) -> io::Result<JournalWriter> {
-        let w = JournalWriter::create(path, header)?;
+        let staging = rewrite_staging_path(path);
+        let w = JournalWriter::create(&staging, header)?;
         for e in entries.values() {
-            w.record(&e.function, e.input_fp, &e.body)?;
+            w.record_at(&e.function, e.input_fp, e.epoch, &e.body)?;
         }
+        {
+            let inner = w.inner.lock().expect("journal file poisoned");
+            // The rename below makes the new content *the* journal; fsync
+            // first so the kill window between rename and writeback cannot
+            // publish a name pointing at unwritten data.
+            inner.file.sync_all()?;
+        }
+        std::fs::rename(&staging, path)?;
         Ok(w)
     }
 
@@ -236,18 +311,56 @@ impl JournalWriter {
     /// # Errors
     /// The write or flush.
     pub fn record(&self, function: &str, input_fp: u64, body: &str) -> io::Result<()> {
+        self.record_at(function, input_fp, 0, body)
+    }
+
+    /// [`JournalWriter::record`] with an explicit recency epoch. Epoch 0
+    /// writes no `at` line at all, keeping pre-epoch journal bytes
+    /// unchanged; the loader reads the absence back as epoch 0.
+    ///
+    /// # Errors
+    /// The write or flush.
+    pub fn record_at(
+        &self,
+        function: &str,
+        input_fp: u64,
+        epoch: u64,
+        body: &str,
+    ) -> io::Result<()> {
         let mut rec = String::with_capacity(body.len() + 96);
         rec.push_str("fn ");
         rec.push_str(function);
         rec.push('\n');
         rec.push_str(&format!("in {input_fp:016x}\n"));
         rec.push_str(&format!("out {:016x}\n", fingerprint64(body)));
+        if epoch > 0 {
+            rec.push_str(&format!("at {epoch}\n"));
+        }
         rec.push_str(&format!("body {}\n", body.len()));
         rec.push_str(body);
         rec.push_str("end\n");
-        let mut file = self.file.lock().expect("journal file poisoned");
-        file.write_all(rec.as_bytes())?;
-        file.flush()
+        let mut inner = self.inner.lock().expect("journal file poisoned");
+        inner.file.write_all(rec.as_bytes())?;
+        inner.file.flush()?;
+        inner.bytes += rec.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes written through this writer since creation, header included —
+    /// the journal file's size as long as nothing else touches the path.
+    /// The serve cache's compaction trigger reads this instead of
+    /// stat()ing the file on every insert.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.lock().expect("journal file poisoned").bytes
+    }
+
+    /// Fsync the journal file itself (used by graceful drain to upgrade
+    /// the final state from kill-durable to power-durable before exit).
+    ///
+    /// # Errors
+    /// The fsync.
+    pub fn sync(&self) -> io::Result<()> {
+        self.inner.lock().expect("journal file poisoned").file.sync_all()
     }
 }
 
@@ -373,6 +486,88 @@ mod tests {
         assert!(!st.torn_tail, "an empty journal has no torn tail");
         assert_eq!(st.corrupt_dropped, 0);
         assert!(st.entries.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn epoch_roundtrips_and_zero_epoch_writes_no_at_line() {
+        let path = tmp("epoch");
+        let w = JournalWriter::create(&path, &header()).unwrap();
+        w.record_at("hot", 1, 42, "hot body\n").unwrap();
+        w.record_at("cold", 2, 0, "cold body\n").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\nat 42\n"), "nonzero epoch must serialize");
+        assert_eq!(
+            text.matches("\nat ").count(),
+            1,
+            "epoch 0 must write no at line (pre-epoch byte compatibility)"
+        );
+        let JournalLoad::Resumed(st) = load_journal(&path, &header()).unwrap() else {
+            panic!("expected resume");
+        };
+        assert_eq!(st.entries["hot"].epoch, 42);
+        assert_eq!(st.entries["cold"].epoch, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_len_matches_bytes_actually_written() {
+        let path = tmp("record-len");
+        let w = JournalWriter::create(&path, &header()).unwrap();
+        let before = w.bytes_written();
+        assert_eq!(before, header().len() as u64 + 1);
+        w.record_at("f", 7, 0, "x\n").unwrap();
+        w.record_at("long-name", 8, 123_456, "a longer body here\n").unwrap();
+        let expected =
+            before + record_len("f", 0, "x\n") + record_len("long-name", 123_456, "a longer body here\n");
+        assert_eq!(w.bytes_written(), expected);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crash_before_rename_leaves_old_journal_valid() {
+        // The compaction crash window: the staging sibling exists (complete
+        // or torn — a kill can land anywhere in its write) but the rename
+        // never happened. The file at `path` must still load as the valid
+        // journal, staging sibling ignored.
+        let path = tmp("crash-window");
+        let w = JournalWriter::create(&path, &header()).unwrap();
+        w.record("survivor", 1, "old content\n").unwrap();
+        let staging = rewrite_staging_path(&path);
+        std::fs::write(&staging, b"EPRE-JOURNAL v1 torn garbage with no newline").unwrap();
+        let JournalLoad::Resumed(st) = load_journal(&path, &header()).unwrap() else {
+            panic!("expected resume");
+        };
+        assert_eq!(st.entries.len(), 1);
+        assert!(st.entries.contains_key("survivor"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&staging).ok();
+    }
+
+    #[test]
+    fn rewrite_replaces_the_file_atomically_and_keeps_appending() {
+        let path = tmp("atomic-rewrite");
+        let w = JournalWriter::create(&path, &header()).unwrap();
+        w.record_at("keep", 1, 5, "kept body\n").unwrap();
+        w.record_at("drop", 2, 1, "dropped body\n").unwrap();
+        let JournalLoad::Resumed(mut st) = load_journal(&path, &header()).unwrap() else {
+            panic!("expected resume");
+        };
+        st.entries.remove("drop");
+        let w = JournalWriter::rewrite(&path, &header(), &st.entries).unwrap();
+        // The staging sibling must be gone (renamed over the original).
+        assert!(!rewrite_staging_path(&path).exists(), "staging file must be renamed away");
+        // The returned writer appends to the *new* file through the rename.
+        w.record_at("fresh", 3, 9, "fresh body\n").unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), w.bytes_written());
+        let JournalLoad::Resumed(st2) = load_journal(&path, &header()).unwrap() else {
+            panic!("expected resume");
+        };
+        assert_eq!(st2.entries.len(), 2);
+        assert_eq!(st2.entries["keep"].epoch, 5);
+        assert_eq!(st2.entries["fresh"].epoch, 9);
+        assert!(!st2.entries.contains_key("drop"));
         std::fs::remove_file(&path).ok();
     }
 

@@ -71,8 +71,8 @@ pub use fuzz::{run_campaign, CampaignConfig, CampaignReport, Containment, ALL_LE
 pub use harden::{HardenedOutput, Harness, JournalError, JournaledOutcome};
 pub use inject::{mutate_module, Mutation, MutationKind, PassFaultModel};
 pub use journal::{
-    header_line, load_journal, JournalEntry, JournalLoad, JournalWriter, ResumeState,
-    JOURNAL_MAGIC,
+    header_line, load_journal, record_len, rewrite_staging_path, JournalEntry, JournalLoad,
+    JournalWriter, ResumeState, JOURNAL_MAGIC,
 };
 pub use oracle::{
     classify, compare_modules, compare_modules_detailed, Agreement, Divergence, Observed,

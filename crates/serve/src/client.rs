@@ -13,6 +13,14 @@
 //! 16-hex fingerprint of everything that affects the answer. A retry
 //! therefore names the same work, the server's result cache recognizes
 //! it, and the answer comes back byte-identical — at cache speed.
+//!
+//! [`Session`] is the keep-alive counterpart: one connection carries
+//! many submissions, and when the server ends the session with a typed
+//! `goaway` (idle timeout, per-session request cap, draining) the
+//! session reconnects transparently and resends — without a backoff
+//! sleep, because session rotation is housekeeping, not failure. The
+//! same idempotency keys make the resend safe: at worst the server
+//! answers from its cache.
 
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
@@ -185,6 +193,11 @@ fn split_terminal(frames: Vec<Response>) -> Result<(DoneFrame, Vec<FunctionFrame
                     RefusalOrRetry::Refuse(code, message)
                 })
             }
+            Response::Goaway { reason } => {
+                // The server ended the session instead of answering
+                // (draining, most likely). Reconnecting is the cure.
+                return Err(RefusalOrRetry::Retry(format!("server ended the session: {reason}")))
+            }
             other => {
                 return Err(RefusalOrRetry::Retry(format!(
                     "unexpected frame in an optimize conversation: {other:?}"
@@ -202,6 +215,7 @@ fn split_terminal(frames: Vec<Response>) -> Result<(DoneFrame, Vec<FunctionFrame
 fn try_once(cfg: &ClientConfig, req: &Request) -> Result<Vec<Response>, String> {
     let stream =
         TcpStream::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+    let _ = stream.set_nodelay(true); // small flushed frames; avoid Nagle stalls
     stream.set_read_timeout(Some(cfg.read_timeout)).map_err(|e| format!("timeout: {e}"))?;
     let write_half = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
     let mut writer = BufWriter::new(write_half);
@@ -225,6 +239,163 @@ fn try_once(cfg: &ClientConfig, req: &Request) -> Result<Vec<Response>, String> 
             }
             Err(FrameError::Io(e)) => return Err(format!("read: {e}")),
             Err(FrameError::Malformed(m)) => return Err(format!("malformed response: {m}")),
+        }
+    }
+}
+
+/// A keep-alive client session: one connection answers many
+/// submissions. When the server ends the session with a `goaway`, the
+/// stream tears, or the connection drops, the session reconnects and
+/// resends transparently (idempotency keys make the resend safe). Not
+/// `Sync` — one session per thread, which is how load generators and
+/// build drivers naturally hold them.
+pub struct Session {
+    cfg: ClientConfig,
+    conn: Option<SessionConn>,
+    rng: SplitMix64,
+    connected_once: bool,
+    reconnects: u64,
+}
+
+struct SessionConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Why one session round-trip failed (internal).
+struct SessionFailure {
+    why: String,
+    /// True when the server ended the session with a typed `goaway` —
+    /// an orderly rotation, retried immediately without backoff.
+    goaway: bool,
+}
+
+impl SessionFailure {
+    fn transient(why: String) -> SessionFailure {
+        SessionFailure { why, goaway: false }
+    }
+}
+
+impl Session {
+    /// A lazy session: the first [`Session::submit`] connects.
+    pub fn new(cfg: ClientConfig) -> Session {
+        let rng = SplitMix64::new(cfg.seed);
+        Session { cfg, conn: None, rng, connected_once: false, reconnects: 0 }
+    }
+
+    /// Connections made beyond the first — each one is a transparent
+    /// recovery from a `goaway`, a torn stream, or a dropped peer.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Submit one optimize request over the session, reconnecting and
+    /// retrying transient failures. Semantics match [`submit`]: only
+    /// deterministic refusals surface as [`ClientError::Refused`].
+    pub fn submit(&mut self, req: &OptimizeRequest) -> Result<SubmitOutcome, ClientError> {
+        let mut req = req.clone();
+        if req.idempotency.is_empty() {
+            req.idempotency = req.idempotency_key();
+        }
+        let request = Request::Optimize(req);
+        let attempts = self.cfg.attempts.max(1);
+        let mut last = String::from("no attempts were made");
+        let mut backoff_next = false;
+        for attempt in 0..attempts {
+            if attempt > 0 && backoff_next {
+                std::thread::sleep(backoff_delay(self.cfg.base_backoff, attempt - 1, &mut self.rng));
+            }
+            backoff_next = true;
+            match self.roundtrip(&request) {
+                Ok(frames) => match split_terminal(frames) {
+                    Ok((done, functions)) => {
+                        return Ok(SubmitOutcome { done, functions, attempts: attempt + 1 })
+                    }
+                    Err(RefusalOrRetry::Refuse(code, message)) => {
+                        return Err(ClientError::Refused { code, message })
+                    }
+                    Err(RefusalOrRetry::Retry(why)) => {
+                        // A shed (overloaded) answer closes the server
+                        // side; start the next attempt on a fresh
+                        // connection either way.
+                        self.conn = None;
+                        last = why;
+                    }
+                },
+                Err(fail) => {
+                    self.conn = None;
+                    backoff_next = !fail.goaway;
+                    last = fail.why;
+                }
+            }
+        }
+        Err(ClientError::Exhausted { attempts, last })
+    }
+
+    /// Send one request on the (re)established connection and read
+    /// frames up to the terminal one. A `goaway` anywhere — including a
+    /// stale one buffered from the previous exchange — fails the
+    /// round-trip with `goaway: true` so the caller rotates without
+    /// backoff.
+    fn roundtrip(&mut self, req: &Request) -> Result<Vec<Response>, SessionFailure> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.cfg.addr)
+                .map_err(|e| SessionFailure::transient(format!("connect {}: {e}", self.cfg.addr)))?;
+            let _ = stream.set_nodelay(true); // small flushed frames; avoid Nagle stalls
+            stream
+                .set_read_timeout(Some(self.cfg.read_timeout))
+                .map_err(|e| SessionFailure::transient(format!("timeout: {e}")))?;
+            let write_half = stream
+                .try_clone()
+                .map_err(|e| SessionFailure::transient(format!("clone: {e}")))?;
+            if self.connected_once {
+                self.reconnects += 1;
+            }
+            self.connected_once = true;
+            self.conn = Some(SessionConn {
+                reader: BufReader::new(stream),
+                writer: BufWriter::new(write_half),
+            });
+        }
+        let conn = self.conn.as_mut().expect("connection just established");
+        write_frame(&mut conn.writer, &req.encode())
+            .map_err(|e| SessionFailure::transient(format!("send: {e}")))?;
+        let mut frames = Vec::new();
+        loop {
+            match read_frame(&mut conn.reader) {
+                Ok(Some(payload)) => {
+                    let resp = Response::decode(&payload).map_err(|e| {
+                        SessionFailure::transient(format!("undecodable response frame: {e}"))
+                    })?;
+                    if let Response::Goaway { reason } = &resp {
+                        return Err(SessionFailure {
+                            why: format!("server ended the session: {reason}"),
+                            goaway: true,
+                        });
+                    }
+                    let terminal = resp.is_terminal();
+                    frames.push(resp);
+                    if terminal {
+                        return Ok(frames);
+                    }
+                }
+                Ok(None) => {
+                    return Err(SessionFailure::transient(
+                        "server closed the session before a terminal frame".into(),
+                    ))
+                }
+                Err(FrameError::Torn) => {
+                    return Err(SessionFailure::transient(
+                        "response stream torn mid-frame (server died?)".into(),
+                    ))
+                }
+                Err(FrameError::Io(e)) => {
+                    return Err(SessionFailure::transient(format!("read: {e}")))
+                }
+                Err(FrameError::Malformed(m)) => {
+                    return Err(SessionFailure::transient(format!("malformed response: {m}")))
+                }
+            }
         }
     }
 }
@@ -255,13 +426,19 @@ mod tests {
         }
     }
 
-    fn spawn_server() -> (ClientConfig, std::thread::JoinHandle<std::io::Result<()>>) {
-        let core = Arc::new(ServerCore::new(ServeConfig::default(), ResultCache::in_memory()));
+    fn spawn_server_with(
+        config: ServeConfig,
+    ) -> (ClientConfig, std::thread::JoinHandle<std::io::Result<()>>) {
+        let core = Arc::new(ServerCore::new(config, ResultCache::in_memory()));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let handle = std::thread::spawn(move || serve_tcp(core, listener));
         let cfg = ClientConfig { addr: addr.to_string(), ..Default::default() };
         (cfg, handle)
+    }
+
+    fn spawn_server() -> (ClientConfig, std::thread::JoinHandle<std::io::Result<()>>) {
+        spawn_server_with(ServeConfig::default())
     }
 
     #[test]
@@ -311,6 +488,59 @@ mod tests {
             Err(ClientError::Refused { code: ErrorCode::Parse, .. }) => {}
             other => panic!("expected a parse refusal, got {other:?}"),
         }
+        shutdown(&cfg).unwrap();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn session_reuses_one_connection_across_submits() {
+        let (cfg, server) = spawn_server();
+        let mut session = Session::new(cfg.clone());
+        let first = session.submit(&optimize_request()).unwrap();
+        assert_eq!(first.done.status, "clean");
+        for _ in 0..3 {
+            let again = session.submit(&optimize_request()).unwrap();
+            assert_eq!(again.done.module_text, first.done.module_text);
+            assert_eq!(again.done.reused, 1, "warm hits ride the same session");
+        }
+        assert_eq!(session.reconnects(), 0, "four submits, one connection");
+        drop(session);
+        shutdown(&cfg).unwrap();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn session_rotates_transparently_on_goaway_max_requests() {
+        let config = ServeConfig { max_session_requests: 2, ..Default::default() };
+        let (cfg, server) = spawn_server_with(config);
+        let mut session = Session::new(cfg.clone());
+        for _ in 0..5 {
+            let out = session.submit(&optimize_request()).unwrap();
+            assert_eq!(out.done.status, "clean");
+        }
+        assert!(
+            session.reconnects() >= 1,
+            "a 2-request session cap forces rotation across 5 submits"
+        );
+        drop(session);
+        shutdown(&cfg).unwrap();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn session_reconnects_after_idle_timeout() {
+        let config =
+            ServeConfig { idle_timeout: Duration::from_millis(100), ..Default::default() };
+        let (cfg, server) = spawn_server_with(config);
+        let mut session = Session::new(cfg.clone());
+        session.submit(&optimize_request()).unwrap();
+        // Let the server time the session out and close it.
+        std::thread::sleep(Duration::from_millis(400));
+        let out = session.submit(&optimize_request()).unwrap();
+        assert_eq!(out.done.status, "clean");
+        assert_eq!(out.done.reused, 1, "the reconnect resend hits the cache");
+        assert_eq!(session.reconnects(), 1);
+        drop(session);
         shutdown(&cfg).unwrap();
         server.join().unwrap().unwrap();
     }

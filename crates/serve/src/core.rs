@@ -30,6 +30,7 @@
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use epre::{Budget, OptLevel, Optimizer, RequestBudget};
 use epre_harness::{
@@ -41,7 +42,10 @@ use epre_lint::LintOptions;
 use epre_telemetry::{Event, Trace};
 
 use crate::cache::ResultCache;
-use crate::events::{recover_event, request_event, shed_event, RequestAccounting};
+use crate::events::{
+    drain_event, goaway_event, recover_event, request_event, shed_event, DrainAccounting,
+    RequestAccounting,
+};
 use crate::protocol::{DoneFrame, ErrorCode, FunctionFrame, OptimizeRequest, Request, Response};
 
 /// Serve-side configuration (per-request knobs arrive with the request).
@@ -50,7 +54,11 @@ pub struct ServeConfig {
     /// Admission queue depth; connection attempts beyond it are shed
     /// with a typed `overloaded` response.
     pub queue_capacity: usize,
-    /// Worker threads draining the queue.
+    /// Worker threads draining the queue. A keep-alive session pins its
+    /// worker until it ends, so size this above the expected number of
+    /// concurrent long-lived clients or new connections will queue
+    /// behind them (the `max_session_requests` churn bound guarantees
+    /// they eventually drain regardless).
     pub workers: usize,
     /// Parallel jobs inside one request's governed driver.
     pub request_jobs: usize,
@@ -67,6 +75,16 @@ pub struct ServeConfig {
     /// Chaos injection: splice this adversarial pass model into every
     /// pipeline (chaos-testing only).
     pub chaos: Option<PassFaultModel>,
+    /// Keep-alive: how long a session may sit idle between frames before
+    /// the server ends it with `goaway idle-timeout`.
+    pub idle_timeout: Duration,
+    /// Keep-alive: requests one session may serve before the server ends
+    /// it with `goaway max-requests` — a churn bound so long-lived
+    /// clients periodically rebalance across workers.
+    pub max_session_requests: usize,
+    /// Graceful drain: how long [`crate::server::serve_tcp`] waits for
+    /// in-flight work after shutdown before abandoning stragglers.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +98,9 @@ impl Default for ServeConfig {
             oracle: OracleConfig::default(),
             caps: Budget::governed(),
             chaos: None,
+            idle_timeout: Duration::from_secs(10),
+            max_session_requests: 256,
+            drain_deadline: Duration::from_secs(30),
         }
     }
 }
@@ -98,6 +119,34 @@ pub struct ServerStats {
     rejected_protocol: AtomicU64,
     functions_reused: AtomicU64,
     functions_fresh: AtomicU64,
+    sessions: AtomicU64,
+    conn_empty: AtomicU64,
+    goaway_idle: AtomicU64,
+    goaway_max_requests: AtomicU64,
+    goaway_draining: AtomicU64,
+    drain_abandoned: AtomicU64,
+}
+
+/// Why the server ends a keep-alive session with a `goaway` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoawayReason {
+    /// No frame arrived within the session idle timeout.
+    IdleTimeout,
+    /// The session served its per-connection request cap.
+    MaxRequests,
+    /// The server is draining toward shutdown.
+    Draining,
+}
+
+impl GoawayReason {
+    /// Wire label, carried in the `goaway` frame's `reason` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            GoawayReason::IdleTimeout => "idle-timeout",
+            GoawayReason::MaxRequests => "max-requests",
+            GoawayReason::Draining => "draining",
+        }
+    }
 }
 
 /// The engine: cache + quarantine + counters + telemetry, no transport.
@@ -144,11 +193,70 @@ impl ServerCore {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Flip the shutdown flag from outside a request — the SIGTERM
+    /// path's entry into the same graceful drain a `shutdown` request
+    /// takes. Idempotent.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
     /// Record an admission-queue overflow (the acceptor sheds the
     /// connection with a typed `overloaded` response).
     pub fn note_overload_shed(&self) {
         self.stats.shed_overload.fetch_add(1, Ordering::Relaxed);
         self.log_events(vec![shed_event(ErrorCode::Overloaded.label(), "")]);
+    }
+
+    /// Record one keep-alive session beginning (a connection that sent
+    /// at least one frame).
+    pub fn note_session(&self) {
+        self.stats.sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection that closed before sending any frame — a port
+    /// scan, a health check, a peer that thought better of it. Counted,
+    /// never interpreted: control traffic (the shutdown poke) is a real
+    /// `ping` frame, so an empty connection can only ever be noise.
+    pub fn note_empty_conn(&self) {
+        self.stats.conn_empty.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a session ended by `goaway`.
+    pub fn note_goaway(&self, reason: GoawayReason) {
+        let counter = match reason {
+            GoawayReason::IdleTimeout => &self.stats.goaway_idle,
+            GoawayReason::MaxRequests => &self.stats.goaway_max_requests,
+            GoawayReason::Draining => &self.stats.goaway_draining,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.log_events(vec![goaway_event(reason.label())]);
+    }
+
+    /// Record in-flight sessions abandoned at the drain deadline.
+    pub fn note_drain_abandoned(&self, n: u64) {
+        self.stats.drain_abandoned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Graceful drain's final act: compact and fsync the cache, then log
+    /// one `drain` event with the session ledger. Called by the
+    /// transports after admitted work is done (or abandoned at the
+    /// deadline) — never on the hard-kill path, whose whole point is
+    /// that recovery needs no goodbye.
+    ///
+    /// # Errors
+    /// The cache flush (compaction staging write, rename, or fsync).
+    pub fn drain_flush(&self) -> io::Result<()> {
+        let flush = self.cache.flush();
+        let s = &self.stats;
+        self.log_events(vec![drain_event(&DrainAccounting {
+            abandoned: s.drain_abandoned.load(Ordering::Relaxed),
+            sessions: s.sessions.load(Ordering::Relaxed),
+            cache_entries: self.cache.len() as u64,
+            cache_file_bytes: self.cache.file_bytes(),
+            cache_evictions: self.cache.evictions(),
+            cache_compactions: self.cache.compactions(),
+        })]);
+        flush
     }
 
     /// Record a request refused before reaching `handle` (unreadable or
@@ -181,6 +289,19 @@ impl ServerCore {
             ("cache_recovered_torn".into(), u64::from(rec.resumed_torn)),
             ("cache_corrupt_dropped".into(), rec.corrupt_dropped as u64),
             ("quarantined_clients".into(), self.quarantine.open_clients().len() as u64),
+            // Cache health (the operator's view of bounded growth) and
+            // the keep-alive session ledger — appended after the original
+            // counters so existing consumers keep their line numbers.
+            ("cache_file_bytes".into(), self.cache.file_bytes()),
+            ("cache_live_bytes".into(), self.cache.live_bytes()),
+            ("cache_evictions".into(), self.cache.evictions()),
+            ("cache_compactions".into(), self.cache.compactions()),
+            ("sessions".into(), load(&s.sessions)),
+            ("conn_empty".into(), load(&s.conn_empty)),
+            ("goaway_idle".into(), load(&s.goaway_idle)),
+            ("goaway_max_requests".into(), load(&s.goaway_max_requests)),
+            ("goaway_draining".into(), load(&s.goaway_draining)),
+            ("drain_abandoned".into(), load(&s.drain_abandoned)),
         ]
     }
 

@@ -63,6 +63,39 @@ pub fn recover_event(rec: &CacheRecovery) -> Event {
         .with("discarded_incompatible", Value::Bool(rec.discarded_incompatible))
 }
 
+/// A keep-alive session ended by the server as a `goaway` event.
+pub fn goaway_event(reason: &str) -> Event {
+    Event::instant("goaway", "", "serve").with("reason", Value::Str(reason.to_string()))
+}
+
+/// The final ledger of a graceful drain, rendered into one `drain` event.
+#[derive(Debug, Clone, Default)]
+pub struct DrainAccounting {
+    /// In-flight sessions abandoned at the drain deadline.
+    pub abandoned: u64,
+    /// Keep-alive sessions served over the process lifetime.
+    pub sessions: u64,
+    /// Cache entries resident at drain.
+    pub cache_entries: u64,
+    /// Cache journal file size at drain.
+    pub cache_file_bytes: u64,
+    /// Entries evicted under the byte cap over the process lifetime.
+    pub cache_evictions: u64,
+    /// Online + drain compactions over the process lifetime.
+    pub cache_compactions: u64,
+}
+
+/// Graceful drain completing as a `drain` event.
+pub fn drain_event(acc: &DrainAccounting) -> Event {
+    Event::instant("drain", "", "serve")
+        .with("abandoned", Value::U64(acc.abandoned))
+        .with("sessions", Value::U64(acc.sessions))
+        .with("cache_entries", Value::U64(acc.cache_entries))
+        .with("cache_file_bytes", Value::U64(acc.cache_file_bytes))
+        .with("cache_evictions", Value::U64(acc.cache_evictions))
+        .with("cache_compactions", Value::U64(acc.cache_compactions))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,17 +113,31 @@ mod tests {
             ..Default::default()
         };
         let rec = CacheRecovery { recovered: 5, resumed_torn: true, ..Default::default() };
+        let drain = DrainAccounting {
+            abandoned: 1,
+            sessions: 9,
+            cache_entries: 4,
+            cache_file_bytes: 2048,
+            cache_evictions: 7,
+            cache_compactions: 2,
+        };
         let trace = Trace::from_events(vec![
             recover_event(&rec),
             request_event(&acc),
             shed_event("overloaded", "ci"),
+            goaway_event("idle-timeout"),
+            drain_event(&drain),
         ]);
         let jsonl = trace.to_jsonl();
-        assert_eq!(jsonl.lines().count(), 3);
+        assert_eq!(jsonl.lines().count(), 5);
         assert!(jsonl.contains(r#""kind":"recover""#));
         assert!(jsonl.contains(r#""kind":"request""#));
         assert!(jsonl.contains(r#""kind":"shed""#));
         assert!(jsonl.contains(r#""code":"overloaded""#));
+        assert!(jsonl.contains(r#""kind":"goaway""#));
+        assert!(jsonl.contains(r#""reason":"idle-timeout""#));
+        assert!(jsonl.contains(r#""kind":"drain""#));
+        assert!(jsonl.contains(r#""cache_compactions":2"#));
         let e = request_event(&acc);
         assert_eq!(e.field_str("status"), Some("clean"));
         assert_eq!(e.field_u64("cache_hits"), Some(2));

@@ -18,11 +18,17 @@
 //!   parse → deadline admission → cache partition → governed pipeline →
 //!   whole-module differential oracle → write-ahead insert → frames,
 //! * [`server`] — TCP accept loop with a bounded admission queue
-//!   (overflow is shed with a typed `overloaded` frame) and a
+//!   (overflow is shed with a typed `overloaded` frame), keep-alive
+//!   sessions ended by typed `goaway` frames (idle timeout, request
+//!   cap, draining), a graceful drain with a deadline, and a
 //!   stdio-JSONL mode,
-//! * [`client`] — a retrying client with jittered exponential backoff
-//!   and content-derived idempotency keys,
-//! * [`events`] — the daemon's accounting as standard telemetry events.
+//! * [`client`] — a retrying client with jittered exponential backoff,
+//!   content-derived idempotency keys, and a keep-alive [`Session`]
+//!   that reconnects transparently,
+//! * [`events`] — the daemon's accounting as standard telemetry events,
+//! * [`loadgen`] — a mixed-workload load generator (cold, warm, poison,
+//!   oversized, keep-alive) that checks every answer against ground
+//!   truth and reports per-class latency percentiles.
 //!
 //! The soundness invariant is inherited, not re-proven: every freshly
 //! optimized function passes through [`Harness::finish_with_oracle`]
@@ -75,13 +81,20 @@ pub mod client;
 pub mod core;
 pub mod events;
 pub mod json;
+pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheRecovery, ResultCache, CACHE_HEADER};
-pub use client::{ping, shutdown, stats, submit, ClientConfig, ClientError, SubmitOutcome};
-pub use core::{level_from_label, policy_from_label, ServeConfig, ServerCore};
-pub use events::{recover_event, request_event, shed_event, RequestAccounting};
+pub use client::{
+    ping, shutdown, stats, submit, ClientConfig, ClientError, Session, SubmitOutcome,
+};
+pub use core::{level_from_label, policy_from_label, GoawayReason, ServeConfig, ServerCore};
+pub use events::{
+    drain_event, goaway_event, recover_event, request_event, shed_event, DrainAccounting,
+    RequestAccounting,
+};
+pub use loadgen::{run_loadgen, ClassStats, LoadgenConfig, LoadgenReport};
 pub use protocol::{
     read_frame, write_frame, DoneFrame, ErrorCode, FrameError, FunctionFrame, OptimizeRequest,
     Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION,

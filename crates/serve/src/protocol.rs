@@ -19,12 +19,23 @@
 //!
 //! # Conversation shape
 //!
-//! One request per connection. The client sends a single request frame;
-//! the server answers with zero or more `function` progress frames
-//! followed by exactly one terminal frame (`done`, `error`, `stats`, or
-//! `ack`), then closes. Clients must tolerate the connection dying at
-//! any frame boundary or mid-frame — that is what a SIGKILLed server
-//! looks like from outside.
+//! Connections are **keep-alive**: a client may stream many request
+//! frames over one connection. Each request is answered with zero or
+//! more `function` progress frames followed by exactly one
+//! request-terminal frame (`done`, `error`, `stats`, or `ack`), after
+//! which the next request may be sent. The server ends the session with
+//! a `goaway` frame — sent instead of reading another request — when
+//! the connection idles past its timeout, reaches its per-session
+//! request cap, or the server is draining; after `goaway` the server
+//! closes, and the client reconnects for further work. One-shot clients
+//! that close after their terminal frame are simply a one-request
+//! session. Clients must tolerate the connection dying at any frame
+//! boundary or mid-frame — that is what a SIGKILLed server looks like
+//! from outside.
+//!
+//! Poison isolation: a frame that is not a frame (garbage prefix, torn
+//! payload, non-JSON) ends *that session only* with a `protocol` error
+//! frame where possible; other sessions and the server are unaffected.
 
 use std::io::{self, BufRead, Write};
 
@@ -345,10 +356,21 @@ pub enum Response {
         /// What is acknowledged (`"pong"` or `"shutdown"`).
         what: String,
     },
+    /// Session-terminal frame: the server is ending this keep-alive
+    /// session (not answering a particular request) and will close the
+    /// connection. The client should reconnect for further work — the
+    /// session ending is never a verdict on any request.
+    Goaway {
+        /// Why the session ended: `"idle-timeout"`, `"max-requests"`,
+        /// or `"draining"`.
+        reason: String,
+    },
 }
 
 impl Response {
-    /// Is this a terminal frame (the last one on the connection)?
+    /// Is this a request-terminal frame (the last one for the request in
+    /// flight)? `goaway` is also *session*-terminal: no more frames
+    /// follow on the connection at all.
     pub fn is_terminal(&self) -> bool {
         !matches!(self, Response::Function(_))
     }
@@ -398,6 +420,11 @@ impl Response {
                 obj(vec![("kind", Json::Str("ack".into())), ("what", Json::Str(what.clone()))])
                     .encode()
             }
+            Response::Goaway { reason } => obj(vec![
+                ("kind", Json::Str("goaway".into())),
+                ("reason", Json::Str(reason.clone())),
+            ])
+            .encode(),
         }
     }
 
@@ -457,6 +484,7 @@ impl Response {
                 Ok(Response::Stats(counters))
             }
             "ack" => Ok(Response::Ack { what: str_field("what")? }),
+            "goaway" => Ok(Response::Goaway { reason: str_field("reason")? }),
             other => Err(format!("unknown response kind {other:?}")),
         }
     }
@@ -571,10 +599,21 @@ mod tests {
             Response::Error { code: ErrorCode::Overloaded, message: "queue full".into() },
             Response::Stats(vec![("requests".into(), 7), ("cache_hits".into(), 3)]),
             Response::Ack { what: "pong".into() },
+            Response::Goaway { reason: "idle-timeout".into() },
         ];
         for resp in resps {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn goaway_is_terminal_and_typed() {
+        let g = Response::Goaway { reason: "max-requests".into() };
+        assert!(g.is_terminal());
+        let payload = g.encode();
+        assert!(payload.contains(r#""kind":"goaway""#));
+        assert!(payload.contains(r#""reason":"max-requests""#));
+        assert!(Response::decode(r#"{"kind":"goaway"}"#).is_err(), "reason is mandatory");
     }
 
     #[test]

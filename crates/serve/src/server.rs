@@ -7,42 +7,73 @@
 //! connections into a bounded [`sync_channel`]. When the queue is full,
 //! the connection is shed immediately with a typed `overloaded` frame
 //! and closed: the client sees a fast, explicit refusal, never a hang.
-//! Worker threads drain the queue, applying a per-connection read
-//! timeout so a stalled or malicious peer cannot pin a worker.
+//! Worker threads drain the queue, applying a per-session read timeout
+//! so a stalled or malicious peer cannot pin a worker.
 //!
-//! # Shutdown
+//! # Keep-alive sessions
 //!
-//! A `shutdown` request flips the core's flag; the worker that served
-//! it pokes the acceptor awake with a loopback connection. The acceptor
-//! stops accepting, the queue drains, the workers join, and
-//! [`serve_tcp`] returns — every admitted request is answered.
+//! One admitted connection is one **session**: the worker answers
+//! request frames in a loop until the peer closes, the session idles
+//! past [`crate::ServeConfig::idle_timeout`], it reaches
+//! [`crate::ServeConfig::max_session_requests`], or the server starts
+//! draining — the last three end with a typed `goaway` frame so the
+//! client reconnects instead of guessing. Poison is isolated per
+//! session: frame-level garbage (torn or malformed bytes) draws a typed
+//! `protocol` error and closes *that* connection only, because a broken
+//! frame boundary leaves nothing to resynchronize on; a well-framed but
+//! undecodable request draws the same typed error and the session
+//! continues — framing is intact, so the next frame is trustworthy.
+//!
+//! # Shutdown and drain
+//!
+//! A `shutdown` request (or [`crate::ServerCore::request_shutdown`],
+//! the SIGTERM path) flips the core's flag; the worker that served it
+//! pokes the acceptor awake with an explicit loopback `ping` frame —
+//! a real control frame, so a port scan or health probe that connects
+//! and says nothing can never be mistaken for control traffic (empty
+//! connections are merely counted). The acceptor stops accepting and
+//! [`serve_tcp`] drains: admitted sessions get
+//! [`crate::ServeConfig::drain_deadline`] to finish (each sees `goaway
+//! draining` at its next frame boundary); stragglers past the deadline
+//! are abandoned and counted. Either way the cache is compacted and
+//! fsynced before [`serve_tcp`] returns — the graceful exit leaves a
+//! minimal, durable journal, while kill -9 semantics are unchanged.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::core::ServerCore;
+use crate::core::{GoawayReason, ServerCore};
 use crate::protocol::{read_frame, write_frame, ErrorCode, FrameError, Request, Response};
 
-/// Per-connection read timeout: a peer that sends a length prefix and
-/// then stalls loses its worker after this long, not forever.
+/// Default per-session idle timeout (see
+/// [`crate::ServeConfig::idle_timeout`] for the configurable knob).
 pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Serve on an already-bound listener until a `shutdown` request
-/// arrives. Blocks the calling thread; returns after the queue drains.
+/// arrives. Blocks the calling thread; returns after the graceful
+/// drain: admitted sessions get the configured drain deadline to
+/// finish, the cache is compacted and fsynced, and only then does this
+/// return — every admitted request is answered unless the deadline
+/// abandons it.
 pub fn serve_tcp(core: Arc<ServerCore>, listener: TcpListener) -> io::Result<()> {
     let local = listener.local_addr()?;
     let (tx, rx) = sync_channel::<TcpStream>(core.config.queue_capacity.max(1));
     let rx = Arc::new(Mutex::new(rx));
-    let workers: Vec<_> = (0..core.config.workers.max(1))
-        .map(|_| {
-            let core = Arc::clone(&core);
-            let rx = Arc::clone(&rx);
-            std::thread::spawn(move || worker_loop(&core, &rx, local))
-        })
-        .collect();
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let n_workers = core.config.workers.max(1);
+    for _ in 0..n_workers {
+        let core = Arc::clone(&core);
+        let rx = Arc::clone(&rx);
+        let done_tx = done_tx.clone();
+        std::thread::spawn(move || {
+            worker_loop(&core, &rx, local);
+            let _ = done_tx.send(());
+        });
+    }
+    drop(done_tx);
 
     for stream in listener.incoming() {
         let stream = match stream {
@@ -64,15 +95,29 @@ pub fn serve_tcp(core: Arc<ServerCore>, listener: TcpListener) -> io::Result<()>
         }
     }
     drop(tx); // workers drain the queue, then see the hangup
-    for w in workers {
-        let _ = w.join();
+
+    // Drain under the deadline: workers signal completion through the
+    // done channel; whoever is still mid-session when it expires is
+    // abandoned (their threads die with the process) and counted.
+    let deadline = Instant::now() + core.config.drain_deadline;
+    let mut finished = 0usize;
+    while finished < n_workers {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match done_rx.recv_timeout(remaining) {
+            Ok(()) => finished += 1,
+            Err(RecvTimeoutError::Timeout) => {
+                core.note_drain_abandoned((n_workers - finished) as u64);
+                break;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
     }
-    Ok(())
+    core.drain_flush()
 }
 
 fn worker_loop(core: &ServerCore, rx: &Mutex<Receiver<TcpStream>>, local: std::net::SocketAddr) {
     loop {
-        // Hold the lock only for the dequeue, not the request.
+        // Hold the lock only for the dequeue, not the session.
         let conn = match rx.lock() {
             Ok(rx) => rx.recv(),
             Err(_) => return,
@@ -89,11 +134,27 @@ fn worker_loop(core: &ServerCore, rx: &Mutex<Receiver<TcpStream>>, local: std::n
                     // then keep draining — every admitted connection is
                     // still answered. (After the acceptor exits, the
                     // poke just fails to connect, which is fine.)
-                    let _ = TcpStream::connect(local);
+                    poke_acceptor(local);
                 }
             }
             Err(_) => return, // acceptor hung up and the queue is dry
         }
+    }
+}
+
+/// Wake the acceptor with an explicit control frame: a loopback
+/// connection carrying one `ping`. The frame is what makes it control
+/// traffic — a connection that says nothing (port scan, health probe)
+/// is counted as empty and otherwise ignored, so the two can never be
+/// confused.
+fn poke_acceptor(local: std::net::SocketAddr) {
+    if let Ok(stream) = TcpStream::connect(local) {
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let mut w = BufWriter::new(stream);
+        let _ = write_frame(&mut w, &Request::Ping.encode());
+        // Dropping the stream closes it; if the acceptor already exited,
+        // nobody reads the ping — equally fine, the connect itself woke
+        // the accept loop.
     }
 }
 
@@ -109,40 +170,109 @@ fn shed_overloaded(stream: TcpStream, _core: &ServerCore) {
     let _ = write_frame(&mut w, &resp.encode());
 }
 
-/// One conversation: read a single request frame, answer it, close.
+/// Send the session-terminal `goaway` frame and account for it. The
+/// write is best-effort: the peer may already be gone, which changes
+/// nothing about the session ending.
+fn end_session(core: &ServerCore, writer: &mut dyn Write, reason: GoawayReason) {
+    core.note_goaway(reason);
+    let resp = Response::Goaway { reason: reason.label().into() };
+    let _ = write_frame(writer, &resp.encode());
+}
+
+/// One keep-alive session: answer request frames until the peer closes,
+/// the idle timeout fires, the per-session request cap is reached, or
+/// the server is draining.
 fn handle_conn(core: &ServerCore, stream: TcpStream) -> io::Result<()> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    // A keep-alive session is a request/response conversation of small
+    // frames, each flushed explicitly — exactly the write pattern
+    // Nagle's algorithm penalizes with delayed-ACK stalls (~40ms per
+    // answer). Disable it; framing already batches what should batch.
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(core.config.idle_timeout))?;
     let write_half = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(write_half);
-    let payload = match read_frame(&mut reader) {
-        Ok(Some(p)) => p,
-        // Clean EOF before any frame: the shutdown poke, a port scan, a
-        // health check. Nothing to answer.
-        Ok(None) => return Ok(()),
-        Err(FrameError::Io(e)) => return Err(e),
-        Err(e @ (FrameError::Torn | FrameError::Malformed(_))) => {
-            core.note_protocol_reject();
-            let resp =
-                Response::Error { code: ErrorCode::Protocol, message: format!("{e}") };
-            return write_frame(&mut writer, &resp.encode());
+    let mut served = 0usize;
+    loop {
+        if core.shutdown_requested() {
+            end_session(core, &mut writer, GoawayReason::Draining);
+            return Ok(());
         }
-    };
-    let req = match Request::decode(&payload) {
-        Ok(r) => r,
-        Err(message) => {
-            core.note_protocol_reject();
-            let resp = Response::Error { code: ErrorCode::Protocol, message };
-            return write_frame(&mut writer, &resp.encode());
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                // Clean EOF between frames: the peer is done with the
+                // session. Before any frame at all, it was never a
+                // session — a port scan or health probe, counted so the
+                // operator can see the noise.
+                if served == 0 {
+                    core.note_empty_conn();
+                }
+                return Ok(());
+            }
+            Err(FrameError::Io(e))
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                // The session idled out. `goaway` tells the peer to
+                // reconnect rather than wonder; a one-shot client that
+                // already left never sees it.
+                end_session(core, &mut writer, GoawayReason::IdleTimeout);
+                return Ok(());
+            }
+            Err(FrameError::Io(e)) => return Err(e),
+            Err(e @ (FrameError::Torn | FrameError::Malformed(_))) => {
+                // Frame-level poison: the byte stream is out of sync, so
+                // this session is unrecoverable — but only this session.
+                core.note_protocol_reject();
+                let resp =
+                    Response::Error { code: ErrorCode::Protocol, message: format!("{e}") };
+                return write_frame(&mut writer, &resp.encode());
+            }
+        };
+        if served == 0 {
+            core.note_session();
         }
-    };
-    core.handle(&req, &mut |resp| write_frame(&mut writer, &resp.encode()))
+        match Request::decode(&payload) {
+            Ok(req) => {
+                core.handle(&req, &mut |resp| write_frame(&mut writer, &resp.encode()))?;
+                served += 1;
+                if matches!(req, Request::Shutdown) {
+                    // The ack was the session's last frame; the drain
+                    // goaway would race the close, so just end it.
+                    return Ok(());
+                }
+                if served >= core.config.max_session_requests.max(1) {
+                    end_session(core, &mut writer, GoawayReason::MaxRequests);
+                    return Ok(());
+                }
+            }
+            Err(message) => {
+                // Well-framed garbage: the framing survived, so the
+                // session does too — answer typed and keep reading.
+                core.note_protocol_reject();
+                let resp = Response::Error { code: ErrorCode::Protocol, message };
+                write_frame(&mut writer, &resp.encode())?;
+                served += 1;
+            }
+        }
+    }
 }
 
 /// Serve request frames from `stdin`, answering on `stdout`, until EOF
-/// or a `shutdown` request. Serial by construction — the pipe is the
-/// admission queue.
+/// or a `shutdown` request, then flush the cache (the stdio transport's
+/// graceful drain — there is nothing to abandon, the pipe is serial).
+/// Serial by construction — the pipe is the admission queue.
 pub fn serve_stdio(
+    core: &ServerCore,
+    input: &mut dyn Read,
+    output: &mut dyn Write,
+) -> io::Result<()> {
+    let result = serve_stdio_inner(core, input, output);
+    let flush = core.drain_flush();
+    result.and(flush)
+}
+
+fn serve_stdio_inner(
     core: &ServerCore,
     input: &mut dyn Read,
     output: &mut dyn Write,
@@ -195,7 +325,7 @@ mod tests {
         format!("{}", compile(SRC, NamingMode::Disciplined).unwrap())
     }
 
-    fn optimize_payload() -> String {
+    fn optimize_request() -> Request {
         Request::Optimize(OptimizeRequest {
             client: "t".into(),
             level: "partial".into(),
@@ -204,14 +334,37 @@ mod tests {
             idempotency: String::new(),
             module_text: module_text(),
         })
-        .encode()
+    }
+
+    /// Read response frames until (and including) the request-terminal
+    /// frame — the keep-alive way to consume one answer.
+    fn read_answer(r: &mut impl std::io::BufRead) -> Vec<Response> {
+        let mut frames = Vec::new();
+        while let Some(p) = read_frame(r).unwrap() {
+            let resp = Response::decode(&p).unwrap();
+            let terminal = resp.is_terminal();
+            frames.push(resp);
+            if terminal {
+                break;
+            }
+        }
+        frames
+    }
+
+    fn stats_counter(frames: &[Response], name: &str) -> u64 {
+        match frames.last() {
+            Some(Response::Stats(counters)) => {
+                counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap()
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
     }
 
     #[test]
     fn stdio_mode_answers_a_full_conversation() {
         let core = ServerCore::new(ServeConfig::default(), ResultCache::in_memory());
         let mut input = Vec::new();
-        write_frame(&mut input, &optimize_payload()).unwrap();
+        write_frame(&mut input, &optimize_request().encode()).unwrap();
         write_frame(&mut input, &Request::Stats.encode()).unwrap();
         write_frame(&mut input, &Request::Shutdown.encode()).unwrap();
         let mut output = Vec::new();
@@ -225,6 +378,7 @@ mod tests {
                 Response::Error { .. } => "error",
                 Response::Stats(_) => "stats",
                 Response::Ack { .. } => "ack",
+                Response::Goaway { .. } => "goaway",
             });
         }
         assert_eq!(kinds, ["function", "done", "stats", "ack"]);
@@ -257,21 +411,10 @@ mod tests {
             let mut w = BufWriter::new(stream.try_clone().unwrap());
             write_frame(&mut w, &req.encode()).unwrap();
             let mut r = BufReader::new(stream);
-            let mut frames = Vec::new();
-            while let Some(p) = read_frame(&mut r).unwrap() {
-                frames.push(Response::decode(&p).unwrap());
-            }
-            frames
+            read_answer(&mut r)
         };
 
-        let frames = ask(&Request::Optimize(OptimizeRequest {
-            client: "tcp".into(),
-            level: "distribution".into(),
-            policy: "best-effort".into(),
-            deadline_ms: Some(30_000),
-            idempotency: String::new(),
-            module_text: module_text(),
-        }));
+        let frames = ask(&optimize_request());
         assert!(matches!(frames.last(), Some(Response::Done(d)) if d.status == "clean"));
 
         let frames = ask(&Request::Ping);
@@ -280,5 +423,216 @@ mod tests {
         let frames = ask(&Request::Shutdown);
         assert_eq!(frames, vec![Response::Ack { what: "shutdown".into() }]);
         server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn keepalive_session_serves_many_requests_then_goaway_max_requests() {
+        let config = ServeConfig { max_session_requests: 3, ..Default::default() };
+        let core = Arc::new(ServerCore::new(config, ResultCache::in_memory()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || serve_tcp(core, listener))
+        };
+
+        // One connection, three requests: two pings and an optimize, then
+        // the server ends the session with goaway max-requests.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        let mut r = BufReader::new(stream);
+        write_frame(&mut w, &Request::Ping.encode()).unwrap();
+        assert_eq!(read_answer(&mut r), vec![Response::Ack { what: "pong".into() }]);
+        write_frame(&mut w, &optimize_request().encode()).unwrap();
+        assert!(matches!(read_answer(&mut r).last(), Some(Response::Done(_))));
+        write_frame(&mut w, &Request::Ping.encode()).unwrap();
+        assert_eq!(read_answer(&mut r), vec![Response::Ack { what: "pong".into() }]);
+        // Third request hit the cap: the next frame is the goaway.
+        let frames = read_answer(&mut r);
+        assert_eq!(frames, vec![Response::Goaway { reason: "max-requests".into() }]);
+        // And the server closed the session after it.
+        assert!(read_frame(&mut r).unwrap().is_none());
+
+        // The daemon itself is still serving.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w2 = BufWriter::new(stream.try_clone().unwrap());
+        write_frame(&mut w2, &Request::Stats.encode()).unwrap();
+        let mut r2 = BufReader::new(stream);
+        let frames = read_answer(&mut r2);
+        assert_eq!(stats_counter(&frames, "goaway_max_requests"), 1);
+        assert_eq!(stats_counter(&frames, "sessions"), 2);
+        write_frame(&mut w2, &Request::Shutdown.encode()).unwrap();
+        assert!(matches!(read_answer(&mut r2).last(), Some(Response::Ack { .. })));
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn idle_session_gets_goaway_idle_timeout() {
+        let config =
+            ServeConfig { idle_timeout: Duration::from_millis(150), ..Default::default() };
+        let core = Arc::new(ServerCore::new(config, ResultCache::in_memory()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || serve_tcp(core, listener))
+        };
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        let mut r = BufReader::new(stream);
+        write_frame(&mut w, &Request::Ping.encode()).unwrap();
+        assert_eq!(read_answer(&mut r), vec![Response::Ack { what: "pong".into() }]);
+        // Send nothing: the server must end the session, typed.
+        let frames = read_answer(&mut r);
+        assert_eq!(frames, vec![Response::Goaway { reason: "idle-timeout".into() }]);
+        assert!(read_frame(&mut r).unwrap().is_none(), "server closed after goaway");
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w2 = BufWriter::new(stream.try_clone().unwrap());
+        write_frame(&mut w2, &Request::Shutdown.encode()).unwrap();
+        let mut r2 = BufReader::new(stream);
+        assert!(matches!(read_answer(&mut r2).last(), Some(Response::Ack { .. })));
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn garbage_frame_poisons_only_its_own_session() {
+        let core = Arc::new(ServerCore::new(ServeConfig::default(), ResultCache::in_memory()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || serve_tcp(core, listener))
+        };
+
+        // Session A: a good request, then frame-level garbage mid-session.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        let mut r = BufReader::new(stream);
+        write_frame(&mut w, &Request::Ping.encode()).unwrap();
+        assert_eq!(read_answer(&mut r), vec![Response::Ack { what: "pong".into() }]);
+        w.write_all(b"%%%this is not a frame%%%\n").unwrap();
+        w.flush().unwrap();
+        let frames = read_answer(&mut r);
+        assert!(
+            matches!(frames.last(), Some(Response::Error { code: ErrorCode::Protocol, .. })),
+            "poison draws a typed error, {frames:?}"
+        );
+        assert!(read_frame(&mut r).unwrap().is_none(), "the poisoned session is closed");
+
+        // Session B (concurrent server state): entirely unaffected.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w2 = BufWriter::new(stream.try_clone().unwrap());
+        let mut r2 = BufReader::new(stream);
+        write_frame(&mut w2, &optimize_request().encode()).unwrap();
+        assert!(matches!(read_answer(&mut r2).last(), Some(Response::Done(d)) if d.status == "clean"));
+        write_frame(&mut w2, &Request::Shutdown.encode()).unwrap();
+        assert!(matches!(read_answer(&mut r2).last(), Some(Response::Ack { .. })));
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn undecodable_but_well_framed_request_keeps_the_session() {
+        let core = Arc::new(ServerCore::new(ServeConfig::default(), ResultCache::in_memory()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || serve_tcp(core, listener))
+        };
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        let mut r = BufReader::new(stream);
+        // A perfectly framed payload the decoder rejects.
+        write_frame(&mut w, r#"{"v":1,"kind":"destroy"}"#).unwrap();
+        let frames = read_answer(&mut r);
+        assert!(matches!(frames.last(), Some(Response::Error { code: ErrorCode::Protocol, .. })));
+        // Framing is intact, so the session still answers.
+        write_frame(&mut w, &Request::Ping.encode()).unwrap();
+        assert_eq!(read_answer(&mut r), vec![Response::Ack { what: "pong".into() }]);
+        write_frame(&mut w, &Request::Shutdown.encode()).unwrap();
+        assert!(matches!(read_answer(&mut r).last(), Some(Response::Ack { .. })));
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn port_scans_are_counted_never_mistaken_for_control_traffic() {
+        let core = Arc::new(ServerCore::new(ServeConfig::default(), ResultCache::in_memory()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || serve_tcp(core, listener))
+        };
+
+        // Three "port scans": connect, say nothing, leave.
+        for _ in 0..3 {
+            drop(TcpStream::connect(addr).unwrap());
+        }
+        // The daemon must still be serving (an implicit-shutdown bug
+        // would have begun draining here), and must have counted them.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        let mut r = BufReader::new(stream);
+        write_frame(&mut w, &Request::Stats.encode()).unwrap();
+        let frames = read_answer(&mut r);
+        assert_eq!(stats_counter(&frames, "conn_empty"), 3);
+        assert_eq!(stats_counter(&frames, "goaway_draining"), 0, "no drain began");
+        write_frame(&mut w, &Request::Shutdown.encode()).unwrap();
+        assert!(matches!(read_answer(&mut r).last(), Some(Response::Ack { .. })));
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn drain_deadline_abandons_a_stuck_session_and_returns() {
+        // One worker, pinned by a session that never sends its next
+        // frame. The drain deadline must bound serve_tcp's return.
+        let config = ServeConfig {
+            workers: 1,
+            idle_timeout: Duration::from_secs(5),
+            drain_deadline: Duration::from_millis(200),
+            ..Default::default()
+        };
+        let core = Arc::new(ServerCore::new(config, ResultCache::in_memory()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || serve_tcp(core, listener))
+        };
+
+        // Pin the only worker: send one ping, then hold the session open.
+        let pinned = TcpStream::connect(addr).unwrap();
+        let mut pw = BufWriter::new(pinned.try_clone().unwrap());
+        let mut pr = BufReader::new(pinned.try_clone().unwrap());
+        write_frame(&mut pw, &Request::Ping.encode()).unwrap();
+        assert_eq!(read_answer(&mut pr), vec![Response::Ack { what: "pong".into() }]);
+        // Let the worker re-enter its blocking read; if shutdown lands
+        // before it does, the loop-top check would end the session with
+        // a draining goaway instead of pinning it.
+        std::thread::sleep(Duration::from_millis(300));
+
+        // Request shutdown from outside and poke the acceptor — the
+        // SIGTERM path. The pinned worker is blocked reading, so only
+        // the drain deadline can end the wait.
+        core.request_shutdown();
+        poke_acceptor(addr);
+        let t0 = Instant::now();
+        server.join().unwrap().unwrap();
+        let waited = t0.elapsed();
+        assert!(
+            waited < Duration::from_secs(4),
+            "drain returned via deadline, not the 5s idle timeout ({waited:?})"
+        );
+        let abandoned = core
+            .stats_snapshot()
+            .into_iter()
+            .find(|(k, _)| k == "drain_abandoned")
+            .map(|(_, v)| v)
+            .unwrap();
+        assert_eq!(abandoned, 1, "the pinned session was abandoned and counted");
+        drop(pinned);
     }
 }

@@ -36,6 +36,10 @@ pub enum Value {
 /// |               | client quarantine) — typed, never a hang           |
 /// | `recover`     | serve cache recovery after a crash: entries kept,  |
 /// |               | torn tail discarded, corrupt records dropped       |
+/// | `goaway`      | the server ended a keep-alive session (idle        |
+/// |               | timeout, max-requests cap, or draining)            |
+/// | `drain`       | graceful drain completed: abandoned sessions and   |
+/// |               | the final cache health ledger                      |
 ///
 /// [`AnalysisCache`]: https://docs.rs/epre-analysis
 #[derive(Debug, Clone, PartialEq)]

@@ -125,4 +125,34 @@ grep -q '^{"bench":"serve","runs":\[' BENCH_SERVE.json || {
     exit 1
 }
 
+echo "==> loadgen smoke (sustained mixed load, zero wrong answers)"
+# ~10s of cold/warm/poison/oversized traffic against a self-served
+# daemon with a tight cache cap. The binary itself exits nonzero on any
+# wrong answer, hang, or cap breach; the greps then pin the recorded
+# schema: a loadgen run with per-class percentiles must have landed in
+# BENCH_SERVE.json.
+target/release/epre loadgen --clients 4 --duration-ms 8000 \
+    --cache-max-bytes 65536 --seed 2026 > "$tmpdir/loadgen.txt"
+grep -q '"loadgen":true' BENCH_SERVE.json || {
+    echo "BENCH_SERVE.json missing the loadgen run" >&2
+    exit 1
+}
+grep -q '"p50_ms":' BENCH_SERVE.json && grep -q '"p95_ms":' BENCH_SERVE.json \
+    && grep -q '"p99_ms":' BENCH_SERVE.json || {
+    echo "BENCH_SERVE.json loadgen run missing per-class percentiles" >&2
+    exit 1
+}
+
+echo "==> report refuses a non-monotonic BENCH_SERVE.json"
+# A corrupted run history must be an error, not a silently absorbed
+# trend: `epre report` in a directory whose BENCH_SERVE.json runs go
+# backwards has to exit nonzero before measuring anything.
+mkdir -p "$tmpdir/refuse"
+printf '{"bench":"serve","runs":[{"run":1},{"run":0}]}\n' > "$tmpdir/refuse/BENCH_SERVE.json"
+if (cd "$tmpdir/refuse" && "$OLDPWD/target/release/epre" report --quick \
+        --out t.json > /dev/null 2>&1); then
+    echo "report accepted a non-monotonic BENCH_SERVE.json" >&2
+    exit 1
+fi
+
 echo "==> ci: all green"

@@ -15,14 +15,18 @@
 //!                                                 seeded fault-injection campaign
 //! epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch)
 //!             [--level L] [--fuel N]              ddmin-shrink a failing module
-//! epre serve [--port N | --stdio] [--cache PATH] [--queue N] [--workers N] [--jobs N]
-//!            [--breaker N] [--client-threshold N] [--fuel N]
+//! epre serve [--port N | --stdio] [--cache PATH] [--cache-max-bytes N] [--queue N]
+//!            [--workers N] [--jobs N] [--breaker N] [--client-threshold N] [--fuel N]
+//!            [--idle-timeout-ms N] [--max-session-requests N] [--drain-deadline-ms N]
 //!            [--chaos-inject nonterminating|quadratic-growth] [--telemetry PATH]
 //!                                                 run the optimization daemon
 //! epre submit <file.iloc|-> [--addr HOST:PORT] [--level L] [--policy P] [--deadline-ms N]
 //!             [--retries N] [--seed N] [--client ID]
 //! epre submit (--stats | --ping | --shutdown) [--addr HOST:PORT]
 //!                                                 talk to a running daemon
+//! epre loadgen [--addr HOST:PORT] [--clients N] [--duration-ms N] [--seed N]
+//!              [--mix COLD:WARM:POISON:OVERSIZED] [--warm-pool N] [--cache-max-bytes N]
+//!              [--out PATH] [--no-record]         mixed-workload load generator
 //! ```
 //!
 //! `lint` exits 0 when no error-severity diagnostics were found, 1 when
@@ -52,8 +56,26 @@
 //! degraded one (faults were contained; the module on stdout is still
 //! safe), 1 when the server refused or every retry failed, 2 on usage
 //! errors. `report` refuses (exit 1) to run when an existing
-//! `BENCH_OPT.json` carries a non-monotonic `runs[]` history — the
-//! signature of hand-editing or concurrent-writer corruption.
+//! `BENCH_OPT.json` or `BENCH_SERVE.json` carries a non-monotonic
+//! `runs[]` history — the signature of hand-editing or
+//! concurrent-writer corruption.
+//!
+//! The daemon serves keep-alive sessions: one connection carries many
+//! requests, ended by a typed `goaway` frame on idle timeout
+//! (`--idle-timeout-ms`), per-session request cap
+//! (`--max-session-requests`), or drain. `--cache-max-bytes` bounds the
+//! result-cache journal: least-recently-used entries are evicted and
+//! the journal is compacted online (crash-atomically — a `kill -9` at
+//! any instant leaves the old or the new journal, never a torn one).
+//! SIGTERM (or a `shutdown` request) drains gracefully: accepting
+//! stops, admitted sessions get `--drain-deadline-ms` to finish, the
+//! cache is compacted and fsynced, and the daemon exits 0. `loadgen`
+//! drives a daemon (a self-hosted ephemeral one by default, or
+//! `--addr`) with N concurrent retrying clients for a fixed duration,
+//! mixing cold/warm/poison/oversized traffic, checks every answer
+//! against ground truth, appends per-class p50/p95/p99 latency and
+//! throughput to `BENCH_SERVE.json` (unless `--no-record`), and exits 1
+//! on any wrong answer or hang.
 //!
 //! `opt --trace PATH` additionally exports the run's telemetry trace —
 //! pass spans with per-pass counters and provenance deltas on the plain
@@ -81,9 +103,9 @@ use epre_harness::{
 use epre_ir::parse_module;
 use epre_lint::{lint_module, LintOptions, Rule};
 use epre_serve::{
-    ping as serve_ping, serve_stdio, serve_tcp, shutdown as serve_shutdown,
-    stats as serve_stats, submit as serve_submit, ClientConfig, OptimizeRequest, ResultCache,
-    ServeConfig, ServerCore,
+    ping as serve_ping, run_loadgen, serve_stdio, serve_tcp, shutdown as serve_shutdown,
+    stats as serve_stats, submit as serve_submit, write_frame, ClientConfig, LoadgenConfig,
+    OptimizeRequest, Request, ResultCache, ServeConfig, ServerCore,
 };
 use epre_telemetry::{ledgers_from_trace, Trace};
 
@@ -95,9 +117,10 @@ const USAGE: &str = "usage:\n  \
     epre explain <file.iloc|-> <function> [--level L]\n  \
     epre fuzz <file.iloc|-> [--seed N] [--iters N] [--fuel N] [--level L]\n  \
     epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch) [--level L] [--fuel N]\n  \
-    epre serve [--port N | --stdio] [--cache PATH] [--queue N] [--workers N] [--jobs N] [--breaker N] [--client-threshold N] [--fuel N] [--chaos-inject nonterminating|quadratic-growth] [--telemetry PATH]\n  \
+    epre serve [--port N | --stdio] [--cache PATH] [--cache-max-bytes N] [--queue N] [--workers N] [--jobs N] [--breaker N] [--client-threshold N] [--fuel N] [--idle-timeout-ms N] [--max-session-requests N] [--drain-deadline-ms N] [--chaos-inject nonterminating|quadratic-growth] [--telemetry PATH]\n  \
     epre submit <file.iloc|-> [--addr HOST:PORT] [--level L] [--policy best-effort|retry-then-skip] [--deadline-ms N] [--retries N] [--seed N] [--client ID]\n  \
-    epre submit (--stats | --ping | --shutdown) [--addr HOST:PORT]";
+    epre submit (--stats | --ping | --shutdown) [--addr HOST:PORT]\n  \
+    epre loadgen [--addr HOST:PORT] [--clients N] [--duration-ms N] [--seed N] [--mix COLD:WARM:POISON:OVERSIZED] [--warm-pool N] [--cache-max-bytes N] [--out PATH] [--no-record]";
 
 /// Render `trace` in the chosen export format and write it to `path`.
 fn write_trace(path: &str, trace: &Trace, format: &str) -> Result<(), String> {
@@ -604,13 +627,15 @@ fn cmd_report(args: &[String]) -> ExitCode {
     }
     // A corrupted bench history invalidates any trend the report would
     // sit next to: refuse before doing the expensive measurement.
-    if let Ok(history) = std::fs::read_to_string("BENCH_OPT.json") {
-        if !epre_bench::runs_monotonic(&history) {
-            eprintln!(
-                "error: BENCH_OPT.json run history is not monotonic (hand-edited or \
-                 corrupted?); move the file aside and re-run the benches"
-            );
-            return ExitCode::from(1);
+    for bench_file in ["BENCH_OPT.json", "BENCH_SERVE.json"] {
+        if let Ok(history) = std::fs::read_to_string(bench_file) {
+            if !epre_bench::runs_monotonic(&history) {
+                eprintln!(
+                    "error: {bench_file} run history is not monotonic (hand-edited or \
+                     corrupted?); move the file aside and re-run the benches"
+                );
+                return ExitCode::from(1);
+            }
         }
     }
     let table = collect_table1(quick);
@@ -694,10 +719,36 @@ fn cmd_explain(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Set when the process receives SIGTERM; polled by the drain watcher
+/// thread `cmd_serve` spawns. A store is all the handler does — every
+/// other step of the drain happens on a normal thread.
+static SIGTERM_SEEN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    SIGTERM_SEEN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    // The workspace is libc-free, so registration goes through the raw
+    // C `signal` symbol. SIGTERM is 15 on every POSIX platform this
+    // builds on, and a store-only handler is async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(15, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut port: u16 = 9944;
     let mut stdio = false;
     let mut cache_path: Option<String> = None;
+    let mut cache_max_bytes: Option<u64> = None;
     let mut telemetry_path: Option<String> = None;
     let mut config = ServeConfig::default();
     let mut it = args.iter();
@@ -770,6 +821,34 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Ok(n) => config.oracle.fuel = n,
                 Err(code) => return code,
             },
+            "--cache-max-bytes" => match parse_u64("--cache-max-bytes", it.next()) {
+                Ok(n) if n >= 1 => cache_max_bytes = Some(n),
+                Ok(_) => {
+                    eprintln!("--cache-max-bytes needs a positive byte count");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--idle-timeout-ms" => match parse_u64("--idle-timeout-ms", it.next()) {
+                Ok(n) if n >= 1 => config.idle_timeout = Duration::from_millis(n),
+                Ok(_) => {
+                    eprintln!("--idle-timeout-ms needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--max-session-requests" => match parse_u64("--max-session-requests", it.next()) {
+                Ok(n) if n >= 1 => config.max_session_requests = n as usize,
+                Ok(_) => {
+                    eprintln!("--max-session-requests needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--drain-deadline-ms" => match parse_u64("--drain-deadline-ms", it.next()) {
+                Ok(n) => config.drain_deadline = Duration::from_millis(n),
+                Err(code) => return code,
+            },
             "--chaos-inject" => {
                 let model = it.next().and_then(|s| match s.as_str() {
                     "nonterminating" => Some(PassFaultModel::NonTerminating),
@@ -789,14 +868,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
     }
     let cache = match &cache_path {
-        Some(p) => match ResultCache::open(Path::new(p)) {
+        Some(p) => match ResultCache::open_capped(Path::new(p), cache_max_bytes) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("error: opening cache `{p}`: {e}");
                 return ExitCode::from(2);
             }
         },
-        None => ResultCache::in_memory(),
+        None => ResultCache::in_memory_capped(cache_max_bytes),
     };
     let rec = cache.recovery();
     if rec.recovered > 0 || rec.resumed_torn || rec.corrupt_dropped > 0 {
@@ -842,19 +921,42 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match listener.local_addr() {
+    let local_addr = match listener.local_addr() {
         Ok(addr) => {
             // Scrapable by wrappers (`--port 0` picks an ephemeral port).
             println!("listening on {addr}");
             use std::io::Write as _;
             let _ = std::io::stdout().flush();
+            addr
         }
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
+    };
+    // SIGTERM takes the same graceful drain a `shutdown` request does:
+    // a watcher thread polls the handler's flag, flips the core's
+    // shutdown state, and pokes the acceptor awake with a control ping.
+    // Exit 0 after the drain is the contract init systems rely on;
+    // SIGKILL still tests the crash-recovery path instead.
+    let core = std::sync::Arc::new(core);
+    install_sigterm_handler();
+    {
+        let core = std::sync::Arc::clone(&core);
+        std::thread::spawn(move || loop {
+            if SIGTERM_SEEN.load(std::sync::atomic::Ordering::SeqCst) {
+                eprintln!("sigterm: draining");
+                core.request_shutdown();
+                if let Ok(stream) = std::net::TcpStream::connect(local_addr) {
+                    let mut w = std::io::BufWriter::new(stream);
+                    let _ = write_frame(&mut w, &Request::Ping.encode());
+                }
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
     }
-    match serve_tcp(std::sync::Arc::new(core), listener) {
+    match serve_tcp(core, listener) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -1009,6 +1111,215 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_loadgen(args: &[String]) -> ExitCode {
+    let mut cfg = LoadgenConfig::default();
+    let mut addr: Option<String> = None;
+    let mut cache_max_bytes: u64 = 256 * 1024;
+    let mut out_path = String::from("BENCH_SERVE.json");
+    let mut record = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                let Some(s) = it.next() else {
+                    eprintln!("--addr needs HOST:PORT");
+                    return ExitCode::from(2);
+                };
+                addr = Some(s.clone());
+            }
+            "--clients" => match parse_u64("--clients", it.next()) {
+                Ok(n) if n >= 1 => cfg.clients = n as usize,
+                Ok(_) => {
+                    eprintln!("--clients needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--duration-ms" => match parse_u64("--duration-ms", it.next()) {
+                Ok(n) if n >= 1 => cfg.duration = Duration::from_millis(n),
+                Ok(_) => {
+                    eprintln!("--duration-ms needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--seed" => match parse_u64("--seed", it.next()) {
+                Ok(n) => cfg.seed = n,
+                Err(code) => return code,
+            },
+            "--warm-pool" => match parse_u64("--warm-pool", it.next()) {
+                Ok(n) if n >= 1 => cfg.warm_pool = n as usize,
+                Ok(_) => {
+                    eprintln!("--warm-pool needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--cache-max-bytes" => match parse_u64("--cache-max-bytes", it.next()) {
+                Ok(n) if n >= 1 => cache_max_bytes = n,
+                Ok(_) => {
+                    eprintln!("--cache-max-bytes needs a positive byte count");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--mix" => {
+                let parts: Option<Vec<u32>> = it
+                    .next()
+                    .map(|s| s.split(':').map(|p| p.parse::<u32>().ok()).collect())
+                    .unwrap_or(None);
+                match parts.as_deref() {
+                    Some([c, w, p, o]) if c + w + p + o > 0 => {
+                        cfg.mix_cold = *c;
+                        cfg.mix_warm = *w;
+                        cfg.mix_poison = *p;
+                        cfg.mix_oversized = *o;
+                    }
+                    _ => {
+                        eprintln!(
+                            "--mix needs COLD:WARM:POISON:OVERSIZED weights, at least one nonzero"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--out" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::from(2);
+                };
+                out_path = p.clone();
+            }
+            "--no-record" => record = false,
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Self-serve unless a daemon was named: an in-process server on an
+    // ephemeral port over a byte-capped temp-file cache, so one command
+    // exercises eviction, online compaction, and keep-alive rotation
+    // under load — and can assert the cap held afterward.
+    let (report, capped_file_bytes) = if let Some(a) = addr {
+        cfg.addr = a;
+        match run_loadgen(&cfg) {
+            Ok(r) => (r, None),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        let tmp = std::env::temp_dir().join(format!("epre-loadgen-{}.cache", std::process::id()));
+        let _ = std::fs::remove_file(&tmp);
+        let cache = match ResultCache::open_capped(&tmp, Some(cache_max_bytes)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: opening temp cache `{}`: {e}", tmp.display());
+                return ExitCode::from(2);
+            }
+        };
+        let config = ServeConfig {
+            // Keep-alive clients pin workers; leave headroom for the
+            // raw poison/oversized connections.
+            workers: cfg.clients + 2,
+            max_session_requests: 64, // exercise goaway rotation
+            ..Default::default()
+        };
+        let core = std::sync::Arc::new(ServerCore::new(config, cache));
+        let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: binding an ephemeral port: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let local = listener.local_addr().expect("bound listener has an address");
+        let server = {
+            let core = std::sync::Arc::clone(&core);
+            std::thread::spawn(move || serve_tcp(core, listener))
+        };
+        cfg.addr = local.to_string();
+        eprintln!("loadgen: self-serving on {local} (cache cap {cache_max_bytes} bytes)");
+        let result = run_loadgen(&cfg);
+        let ccfg = ClientConfig { addr: cfg.addr.clone(), ..Default::default() };
+        let file_bytes = serve_stats(&ccfg).ok().and_then(|counters| {
+            counters.into_iter().find(|(k, _)| k == "cache_file_bytes").map(|(_, v)| v)
+        });
+        if let Err(e) = serve_shutdown(&ccfg) {
+            eprintln!("error: shutting the self-served daemon down: {e}");
+            return ExitCode::from(1);
+        }
+        match server.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                eprintln!("error: self-served daemon: {e}");
+                return ExitCode::from(1);
+            }
+            Err(_) => {
+                eprintln!("error: self-served daemon panicked");
+                return ExitCode::from(1);
+            }
+        }
+        let _ = std::fs::remove_file(&tmp);
+        let _ = std::fs::remove_file(epre_harness::rewrite_staging_path(&tmp));
+        match result {
+            Ok(r) => (r, Some((file_bytes, cache_max_bytes))),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    };
+
+    print!("{}", report.render_text());
+    let mut failed = false;
+    if let Some((file_bytes, cap)) = capped_file_bytes {
+        match file_bytes {
+            Some(bytes) if bytes <= cap => {
+                println!("cache cap held: {bytes} <= {cap} bytes");
+            }
+            Some(bytes) => {
+                eprintln!("error: cache journal grew past its cap: {bytes} > {cap} bytes");
+                failed = true;
+            }
+            None => {
+                eprintln!("error: could not read cache_file_bytes from the daemon's stats");
+                failed = true;
+            }
+        }
+    }
+    if record {
+        let existing = std::fs::read_to_string(&out_path).ok();
+        let json = epre_bench::merge_named_runs("serve", existing.as_deref(), &report.json_entry());
+        match std::fs::write(&out_path, &json) {
+            Ok(()) => println!(
+                "wrote {out_path} ({} run(s) on record)",
+                epre_bench::next_run_number(&json)
+            ),
+            Err(e) => {
+                eprintln!("error: writing `{out_path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if report.wrongs() > 0 || report.hangs() > 0 {
+        eprintln!(
+            "error: {} wrong answer(s), {} hang(s) — the daemon failed under load",
+            report.wrongs(),
+            report.hangs()
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -1021,6 +1332,7 @@ fn main() -> ExitCode {
         Some("reduce") => cmd_reduce(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)

@@ -17,7 +17,8 @@ use epre_frontend::{compile, NamingMode};
 use epre_harness::{compare_modules, FaultPolicy, Harness, OracleConfig};
 use epre_ir::parse_module;
 use epre_serve::{
-    submit, ClientConfig, ClientError, OptimizeRequest, Response,
+    run_loadgen, submit, ClientConfig, ClientError, LoadgenConfig, OptimizeRequest, Response,
+    Session,
 };
 use epre::OptLevel;
 
@@ -256,6 +257,307 @@ fn full_suite_campaign_survives_kill_and_injection() {
     let divergences = compare_modules(&fused, &served, &OracleConfig::default());
     assert!(divergences.is_empty(), "wrong answer at suite scale: {divergences:?}");
     daemon.shutdown();
+}
+
+/// A unique straight-line module with a lexical redundancy; id varies
+/// both the function name and a constant, so every id is a distinct
+/// cache entry. Mirrors the loadgen generator without depending on it.
+fn gen_text(id: u64) -> String {
+    format!(
+        "module data 0\n\
+         function chaos{id}(r0:i) -> i\n\
+         block b0:\n\
+         \x20 r1 <- loadi {}:i\n\
+         \x20 r2 <- add.i r0, r1\n\
+         \x20 r3 <- add.i r0, r1\n\
+         \x20 r4 <- mul.i r2, r3\n\
+         \x20 ret r4\n\
+         end\n",
+        id % 9973 + 1
+    )
+}
+
+/// Keep-alive poison isolation against the real binary: a session that
+/// turns to garbage after a good frame is refused typed and closed,
+/// while a concurrent well-behaved session keeps its connection and
+/// keeps getting answers.
+#[test]
+fn garbage_mid_keepalive_session_poisons_only_that_connection() {
+    use std::io::Write;
+
+    use epre_serve::{write_frame, Request};
+
+    let daemon = Daemon::spawn(&["--workers", "4"]);
+    let text = module_text();
+
+    // A long-lived well-behaved session, opened first so it is pinned
+    // to a worker for the whole test.
+    let mut good = Session::new(daemon.client());
+    let first = good.submit(&request(&text)).expect("good session submit");
+    assert_eq!(first.done.status, "clean");
+
+    // A second keep-alive connection: one good frame, then garbage.
+    let stream = std::net::TcpStream::connect(&daemon.addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = std::io::BufWriter::new(stream.try_clone().unwrap());
+    let mut reader = std::io::BufReader::new(stream);
+    write_frame(&mut writer, &Request::Ping.encode()).expect("write ping");
+    let frame = epre_serve::read_frame(&mut reader).unwrap().expect("pong frame");
+    assert!(matches!(Response::decode(&frame), Ok(Response::Ack { ref what }) if what == "pong"));
+    writer.write_all(b"%%%% definitely not a frame\n").unwrap();
+    writer.flush().unwrap();
+    let frame = epre_serve::read_frame(&mut reader)
+        .expect("typed refusal, not a dropped connection")
+        .expect("a frame, not silence");
+    match Response::decode(&frame) {
+        Ok(Response::Error { code, .. }) => assert_eq!(code.label(), "protocol"),
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+    // Framing on this connection is unrecoverable, so the daemon must
+    // close it rather than guess at a resync point.
+    assert!(
+        epre_serve::read_frame(&mut reader).unwrap().is_none(),
+        "poisoned session must be closed"
+    );
+
+    // The well-behaved session is untouched: same connection, warm
+    // answer.
+    let again = good.submit(&request(&text)).expect("good session survives the poison");
+    assert_eq!(again.done.status, "clean");
+    assert_eq!((again.done.reused, again.done.fresh), (2, 0));
+    assert_eq!(good.reconnects(), 0, "the good session never lost its connection");
+
+    drop(good); // free the pinned worker so drain is immediate
+    daemon.shutdown();
+}
+
+/// The idle reaper against the real binary: a session left idle past
+/// `--idle-timeout-ms` is told `goaway idle-timeout`, and the next
+/// submit on that session transparently re-dials — no surfaced error,
+/// and the answer still comes from the cache.
+#[test]
+fn idle_timeout_goaway_reconnects_transparently() {
+    let cache = tmp("idle.cache");
+    let _ = std::fs::remove_file(&cache);
+    let daemon = Daemon::spawn(&[
+        "--cache",
+        cache.to_str().unwrap(),
+        "--idle-timeout-ms",
+        "150",
+        "--workers",
+        "4",
+    ]);
+    let text = module_text();
+
+    let mut session = Session::new(daemon.client());
+    let cold = session.submit(&request(&text)).expect("cold submit");
+    assert_eq!(cold.done.status, "clean");
+    assert_eq!(session.reconnects(), 0);
+
+    // Outlive the idle timeout; the daemon hangs up with a goaway.
+    std::thread::sleep(Duration::from_millis(600));
+
+    let warm = session.submit(&request(&text)).expect("submit after idle goaway");
+    assert_eq!(warm.done.status, "clean");
+    assert_eq!((warm.done.reused, warm.done.fresh), (2, 0), "answer replays from cache");
+    assert_eq!(warm.done.module_text, cold.done.module_text);
+    assert!(session.reconnects() >= 1, "the idle goaway must have forced a re-dial");
+
+    drop(session);
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&cache);
+}
+
+/// The compaction crash window, staged deterministically: a half-written
+/// staging sibling next to an intact journal (exactly what SIGKILL
+/// between the staging write and the rename leaves behind) must be
+/// ignored and removed on restart, with every old entry recovered.
+#[test]
+fn stale_compaction_staging_is_ignored_and_removed_on_restart() {
+    let cache = tmp("staging.cache");
+    let staging = epre_harness::rewrite_staging_path(&cache);
+    let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_file(&staging);
+    let text = module_text();
+
+    let daemon = Daemon::spawn(&["--cache", cache.to_str().unwrap()]);
+    let cold = submit(&daemon.client(), &request(&text)).expect("cold submit");
+    daemon.shutdown();
+
+    std::fs::write(&staging, b"EPRE-SERVE-CACHE v1\nhalf a reco").unwrap();
+
+    let daemon = Daemon::spawn(&["--cache", cache.to_str().unwrap()]);
+    assert!(!staging.exists(), "restart must clear the stale staging sibling");
+    let warm = submit(&daemon.client(), &request(&text)).expect("submit over crash wreckage");
+    assert_eq!((warm.done.reused, warm.done.fresh), (2, 0), "old journal fully recovered");
+    assert_eq!(warm.done.module_text, cold.done.module_text);
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&cache);
+}
+
+/// SIGKILL while a tiny `--cache-max-bytes` cap is forcing frequent
+/// online compactions: whatever instant the kill lands at — mid-append,
+/// mid-staging-write, mid-rename — the journal on disk must load on
+/// restart and every answer served afterwards must be byte-identical to
+/// the in-process optimizer.
+#[test]
+fn sigkill_under_constant_compaction_always_leaves_a_loadable_journal() {
+    let cache = tmp("killcompact.cache");
+    let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_file(epre_harness::rewrite_staging_path(&cache));
+
+    // Ground truth for one probe module, computed once.
+    let probe = gen_text(7);
+    let probe_module = parse_module(&probe).unwrap();
+    let expected = Harness::new(OptLevel::Distribution, FaultPolicy::BestEffort)
+        .optimize(&probe_module)
+        .unwrap();
+    let probe_expected = format!("{}", expected.module);
+
+    for round in 0u64..5 {
+        let mut daemon = Daemon::spawn(&[
+            "--cache",
+            cache.to_str().unwrap(),
+            "--cache-max-bytes",
+            "4096",
+            "--workers",
+            "4",
+        ]);
+        let addr = daemon.addr.clone();
+
+        // Hammer unique modules through one keep-alive session so the
+        // cap forces eviction + compaction continuously; stop on the
+        // first error (the kill below severs the connection).
+        let hammer = std::thread::spawn(move || {
+            let mut session = Session::new(ClientConfig {
+                addr,
+                attempts: 2,
+                base_backoff: Duration::from_millis(5),
+                read_timeout: Duration::from_secs(5),
+                ..Default::default()
+            });
+            let mut served = 0u64;
+            for i in 0..10_000u64 {
+                match session.submit(&request(&gen_text(round * 10_000 + i))) {
+                    Ok(out) => {
+                        assert_eq!(out.done.status, "clean", "round {round} op {i}");
+                        served += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            served
+        });
+
+        // Let compactions get going, then kill at a different phase
+        // offset each round.
+        std::thread::sleep(Duration::from_millis(60 + 37 * round));
+        daemon.kill9();
+        let served = hammer.join().expect("hammer thread");
+        assert!(served > 0, "round {round}: the daemon served nothing before the kill");
+    }
+
+    // Final restart over five generations of kill wreckage: the journal
+    // must load and answers must still be exactly right.
+    let daemon = Daemon::spawn(&[
+        "--cache",
+        cache.to_str().unwrap(),
+        "--cache-max-bytes",
+        "4096",
+    ]);
+    let out = submit(&daemon.client(), &request(&probe)).expect("post-campaign submit");
+    assert_eq!(out.done.status, "clean");
+    assert_eq!(out.done.module_text, probe_expected, "wrong answer after kill campaign");
+    let stats = epre_serve::stats(&daemon.client()).expect("stats");
+    let file_bytes =
+        stats.iter().find(|(k, _)| k == "cache_file_bytes").map(|(_, v)| *v).unwrap();
+    assert!(file_bytes <= 4096, "cache file {file_bytes} exceeds the 4096-byte cap");
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_file(epre_harness::rewrite_staging_path(&cache));
+}
+
+/// SIGTERM is a graceful drain, not a crash: the daemon stops
+/// accepting, flushes its cache, and exits 0 — and a restart replays
+/// every entry that was admitted before the signal.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_flushes_the_cache_and_exits_zero() {
+    let cache = tmp("sigterm.cache");
+    let _ = std::fs::remove_file(&cache);
+    let text = module_text();
+
+    let mut daemon = Daemon::spawn(&["--cache", cache.to_str().unwrap()]);
+    let out = submit(&daemon.client(), &request(&text)).expect("submit before SIGTERM");
+    assert_eq!(out.done.status, "clean");
+
+    let delivered = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(delivered.success(), "kill -TERM must be deliverable");
+
+    // Bounded wait for the drain; a hang here is itself a failure.
+    let mut waited = Duration::ZERO;
+    let status = loop {
+        if let Some(st) = daemon.child.try_wait().expect("try_wait") {
+            break st;
+        }
+        assert!(waited < Duration::from_secs(10), "daemon did not drain within 10s of SIGTERM");
+        std::thread::sleep(Duration::from_millis(50));
+        waited += Duration::from_millis(50);
+    };
+    assert!(status.success(), "SIGTERM must drain to exit 0, got {status:?}");
+
+    // The drain flushed the journal: a restart replays both entries.
+    let daemon = Daemon::spawn(&["--cache", cache.to_str().unwrap()]);
+    let warm = submit(&daemon.client(), &request(&text)).expect("post-drain submit");
+    assert_eq!((warm.done.reused, warm.done.fresh), (2, 0), "drain must have flushed the cache");
+    assert_eq!(warm.done.module_text, out.done.module_text);
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&cache);
+}
+
+/// The loadgen's hostile mix (poison + oversized heavy) against the
+/// real binary with a tight cache cap: zero wrong answers, zero hangs,
+/// the daemon still serving afterwards, and the cache file still under
+/// its cap.
+#[test]
+fn hostile_load_mix_leaves_the_daemon_serving_and_the_cache_capped() {
+    let cache = tmp("loadmix.cache");
+    let _ = std::fs::remove_file(&cache);
+    let cap: u64 = 16 * 1024;
+    let daemon = Daemon::spawn(&[
+        "--cache",
+        cache.to_str().unwrap(),
+        "--cache-max-bytes",
+        "16384",
+        "--workers",
+        "8",
+        "--max-session-requests",
+        "32",
+    ]);
+
+    let report = run_loadgen(&LoadgenConfig {
+        addr: daemon.addr.clone(),
+        clients: 3,
+        duration: Duration::from_millis(1500),
+        mix_poison: 2,
+        mix_oversized: 2,
+        ..Default::default()
+    })
+    .expect("loadgen run");
+    assert!(report.total_ops() > 0, "the mix must actually generate load");
+    assert_eq!(report.wrongs(), 0, "zero wrong answers under the hostile mix");
+    assert_eq!(report.hangs(), 0, "zero hangs under the hostile mix");
+
+    let stats = epre_serve::stats(&daemon.client()).expect("stats after load");
+    let file_bytes =
+        stats.iter().find(|(k, _)| k == "cache_file_bytes").map(|(_, v)| *v).unwrap();
+    assert!(file_bytes <= cap, "cache file {file_bytes} exceeded cap {cap}");
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_file(epre_harness::rewrite_staging_path(&cache));
 }
 
 /// Garbage on the wire gets a typed protocol refusal, and the daemon
