@@ -81,6 +81,7 @@ fn main() {
         policy: "best-effort".into(),
         deadline_ms: None,
         idempotency: String::new(),
+        request: String::new(),
         module_text: format!("{module}"),
     };
     println!(

@@ -107,11 +107,16 @@ pub struct SubmitOutcome {
 }
 
 /// Submit one optimize request, retrying transient failures with
-/// jittered exponential backoff.
+/// jittered exponential backoff. An empty request id is filled the same
+/// way as the idempotency key — content-derived, so a retry carries the
+/// same trace id and the whole conversation is correlatable end to end.
 pub fn submit(cfg: &ClientConfig, req: &OptimizeRequest) -> Result<SubmitOutcome, ClientError> {
     let mut req = req.clone();
     if req.idempotency.is_empty() {
         req.idempotency = req.idempotency_key();
+    }
+    if req.request.is_empty() {
+        req.request = req.request_id();
     }
     let mut rng = SplitMix64::new(cfg.seed);
     let mut last = String::from("no attempts were made");
@@ -143,6 +148,17 @@ pub fn stats(cfg: &ClientConfig) -> Result<Vec<(String, u64)>, String> {
     match frames.into_iter().next() {
         Some(Response::Stats(counters)) => Ok(counters),
         other => Err(format!("expected a stats frame, got {other:?}")),
+    }
+}
+
+/// Scrape the server's live metrics. `format` is `"text"` (Prometheus
+/// exposition) or `"json"`; like [`stats`], no retries — a metrics
+/// scrape that fails IS the signal.
+pub fn metrics(cfg: &ClientConfig, format: &str) -> Result<String, String> {
+    let frames = try_once(cfg, &Request::Metrics { format: format.to_string() })?;
+    match frames.into_iter().next() {
+        Some(Response::Metrics { body }) => Ok(body),
+        other => Err(format!("expected a metrics frame, got {other:?}")),
     }
 }
 
@@ -186,7 +202,7 @@ fn split_terminal(frames: Vec<Response>) -> Result<(DoneFrame, Vec<FunctionFrame
         match frame {
             Response::Function(f) => functions.push(f),
             Response::Done(done) => return Ok((done, functions)),
-            Response::Error { code, message } => {
+            Response::Error { code, message, .. } => {
                 return Err(if code.retryable() {
                     RefusalOrRetry::Retry(format!("server shed the request: {message}"))
                 } else {
@@ -296,6 +312,9 @@ impl Session {
         let mut req = req.clone();
         if req.idempotency.is_empty() {
             req.idempotency = req.idempotency_key();
+        }
+        if req.request.is_empty() {
+            req.request = req.request_id();
         }
         let request = Request::Optimize(req);
         let attempts = self.cfg.attempts.max(1);
@@ -422,6 +441,7 @@ mod tests {
             policy: "best-effort".into(),
             deadline_ms: None,
             idempotency: String::new(),
+            request: String::new(),
             module_text: format!("{}", compile(SRC, NamingMode::Disciplined).unwrap()),
         }
     }

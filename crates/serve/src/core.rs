@@ -30,7 +30,7 @@
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use epre::{Budget, OptLevel, Optimizer, RequestBudget};
 use epre_harness::{
@@ -39,14 +39,16 @@ use epre_harness::{
 };
 use epre_ir::{parse_function, parse_module, Function};
 use epre_lint::LintOptions;
-use epre_telemetry::{Event, Trace};
+use epre_telemetry::{Event, FunctionTrace, Trace, Tracer, Value};
 
 use crate::cache::ResultCache;
 use crate::events::{
     drain_event, goaway_event, recover_event, request_event, shed_event, DrainAccounting,
     RequestAccounting,
 };
+use crate::metrics::ServeMetrics;
 use crate::protocol::{DoneFrame, ErrorCode, FunctionFrame, OptimizeRequest, Request, Response};
+use crate::recorder::{FlightRecorder, RequestSummary};
 
 /// Serve-side configuration (per-request knobs arrive with the request).
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +87,13 @@ pub struct ServeConfig {
     /// Graceful drain: how long [`crate::server::serve_tcp`] waits for
     /// in-flight work after shutdown before abandoning stragglers.
     pub drain_deadline: Duration,
+    /// Slow-request threshold, microseconds: any request at or over it
+    /// writes its flight-recorder summary (full span breakdown) to the
+    /// slow log *before* its terminal frame. `None` disables the log.
+    pub slow_us: Option<u64>,
+    /// Flight-recorder ring size (recent request summaries + daemon
+    /// events kept in memory for SIGQUIT / crash dumps).
+    pub recorder_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +110,8 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(10),
             max_session_requests: 256,
             drain_deadline: Duration::from_secs(30),
+            slow_us: None,
+            recorder_capacity: 256,
         }
     }
 }
@@ -149,7 +160,8 @@ impl GoawayReason {
     }
 }
 
-/// The engine: cache + quarantine + counters + telemetry, no transport.
+/// The engine: cache + quarantine + counters + telemetry + live
+/// metrics + flight recorder, no transport.
 pub struct ServerCore {
     /// The serving configuration.
     pub config: ServeConfig,
@@ -157,6 +169,9 @@ pub struct ServerCore {
     quarantine: ServeQuarantine,
     stats: ServerStats,
     telemetry: Option<Mutex<Box<dyn Write + Send>>>,
+    metrics: ServeMetrics,
+    recorder: FlightRecorder,
+    slow_log: Option<Mutex<Box<dyn Write + Send>>>,
     shutdown: AtomicBool,
 }
 
@@ -167,10 +182,13 @@ impl ServerCore {
     pub fn new(config: ServeConfig, cache: ResultCache) -> ServerCore {
         ServerCore {
             quarantine: ServeQuarantine::new(config.client_threshold),
+            metrics: ServeMetrics::new(config.workers),
+            recorder: FlightRecorder::new(config.recorder_capacity),
             config,
             cache,
             stats: ServerStats::default(),
             telemetry: None,
+            slow_log: None,
             shutdown: AtomicBool::new(false),
         }
     }
@@ -183,9 +201,59 @@ impl ServerCore {
         self.log_events(vec![recover_event(&rec)]);
     }
 
+    /// Attach the slow-request log (JSON Lines, one summary per slow
+    /// request). Without a sink, slow requests go to stderr.
+    pub fn attach_slow_log(&mut self, sink: Box<dyn Write + Send>) {
+        self.slow_log = Some(Mutex::new(sink));
+    }
+
     /// The result cache (counters are read by `stats`).
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The live-metrics handles (transports update the gauges).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The flight recorder (the CLI dumps it on SIGQUIT and at drain).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Render the live metrics plus every `stats` counter, as Prometheus
+    /// text exposition (the default) or the JSON mirror when `format` is
+    /// `"json"`. The stats counters are *mirrored in at render time*
+    /// from the same atomics `submit --stats` reads — the two views
+    /// reconcile by construction, not by double bookkeeping. Stats names
+    /// gain the `epre_` prefix; point-in-time values (cache occupancy,
+    /// open quarantines) render as gauges, monotonic ones as `_total`
+    /// counters.
+    pub fn render_metrics(&self, format: &str) -> String {
+        let mut snap = self.metrics.snapshot();
+        for (name, value) in self.stats_snapshot() {
+            match name.as_str() {
+                "cache_entries" | "cache_file_bytes" | "cache_live_bytes"
+                | "quarantined_clients" => snap.push_gauge(
+                    &format!("epre_{name}"),
+                    None,
+                    "point-in-time server state, mirrored from the stats snapshot",
+                    value,
+                ),
+                _ => snap.push_counter(
+                    &format!("epre_{name}_total"),
+                    None,
+                    "monotonic server counter, mirrored from the stats snapshot",
+                    value,
+                ),
+            }
+        }
+        if format == "json" {
+            snap.to_json()
+        } else {
+            snap.to_text()
+        }
     }
 
     /// Has a `shutdown` request been accepted?
@@ -204,6 +272,7 @@ impl ServerCore {
     /// connection with a typed `overloaded` response).
     pub fn note_overload_shed(&self) {
         self.stats.shed_overload.fetch_add(1, Ordering::Relaxed);
+        self.recorder.note("shed", "admission queue full");
         self.log_events(vec![shed_event(ErrorCode::Overloaded.label(), "")]);
     }
 
@@ -229,6 +298,7 @@ impl ServerCore {
             GoawayReason::Draining => &self.stats.goaway_draining,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        self.recorder.note("goaway", reason.label());
         self.log_events(vec![goaway_event(reason.label())]);
     }
 
@@ -247,6 +317,7 @@ impl ServerCore {
     /// The cache flush (compaction staging write, rename, or fsync).
     pub fn drain_flush(&self) -> io::Result<()> {
         let flush = self.cache.flush();
+        self.recorder.note("drain", "cache flushed; daemon exiting");
         let s = &self.stats;
         self.log_events(vec![drain_event(&DrainAccounting {
             abandoned: s.drain_abandoned.load(Ordering::Relaxed),
@@ -321,8 +392,63 @@ impl ServerCore {
                 emit(Response::Ack { what: "shutdown".into() })
             }
             Request::Stats => emit(Response::Stats(self.stats_snapshot())),
+            Request::Metrics { format } => {
+                emit(Response::Metrics { body: self.render_metrics(format) })
+            }
             Request::Optimize(r) => self.handle_optimize(r, emit),
         }
+    }
+
+    /// Retire a finished (or refused) request: count it against the
+    /// slow-request threshold, write the slow log *before* the caller
+    /// emits the terminal frame (so any answer a client holds is already
+    /// on disk), and move the summary from in-flight into the ring.
+    fn finish_request(&self, token: u64, summary: RequestSummary) {
+        if self.config.slow_us.is_some_and(|t| summary.duration_us >= t) {
+            self.metrics.slow_requests.inc();
+            let line = summary.slow_line();
+            if let Some(sink) = &self.slow_log {
+                let mut w = sink.lock().expect("slow log poisoned");
+                let _ = w.write_all(line.as_bytes());
+                let _ = w.write_all(b"\n");
+                let _ = w.flush();
+            } else {
+                eprintln!("epre serve: slow request: {line}");
+            }
+        }
+        self.recorder.end(token, summary);
+    }
+
+    /// Refuse a request with a typed error before (or instead of) the
+    /// pipeline: one latency observation under `class`, one recorder
+    /// entry with the error code as status, one terminal `error` frame
+    /// echoing the request id.
+    #[allow(clippy::too_many_arguments)]
+    fn refuse(
+        &self,
+        rid: &str,
+        client: &str,
+        class: &'static str,
+        code: ErrorCode,
+        message: String,
+        token: u64,
+        started: Instant,
+        emit: &mut dyn FnMut(Response) -> io::Result<()>,
+    ) -> io::Result<()> {
+        let duration_us = started.elapsed().as_micros() as u64;
+        self.metrics.observe_latency(class, duration_us);
+        self.finish_request(token, RequestSummary {
+            request: rid.to_string(),
+            client: client.to_string(),
+            class: class.to_string(),
+            status: code.label().to_string(),
+            reused: 0,
+            fresh: 0,
+            faults: 0,
+            duration_us,
+            spans: Vec::new(),
+        });
+        emit(Response::Error { code, message, request: rid.to_string() })
     }
 
     fn handle_optimize(
@@ -331,34 +457,53 @@ impl ServerCore {
         emit: &mut dyn FnMut(Response) -> io::Result<()>,
     ) -> io::Result<()> {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        // The end-to-end trace id: client-minted when present, derived
+        // from the same content the idempotency key covers otherwise —
+        // either way it is echoed in every frame of the answer.
+        let rid = if r.request.is_empty() { r.request_id() } else { r.request.clone() };
+        let started = Instant::now();
+        let token = self.recorder.begin(&rid, &r.client);
+        self.metrics.in_flight.inc();
+        let result = self.optimize_admitted(r, &rid, token, started, emit);
+        self.metrics.in_flight.dec();
+        result
+    }
 
+    fn optimize_admitted(
+        &self,
+        r: &OptimizeRequest,
+        rid: &str,
+        token: u64,
+        started: Instant,
+        emit: &mut dyn FnMut(Response) -> io::Result<()>,
+    ) -> io::Result<()> {
         // Gate 1: a quarantined client is refused before any work.
         if self.quarantine.is_open(&r.client) {
             self.stats.shed_quarantined.fetch_add(1, Ordering::Relaxed);
             self.log_events(vec![shed_event(ErrorCode::Quarantined.label(), &r.client)]);
-            return emit(Response::Error {
-                code: ErrorCode::Quarantined,
-                message: format!(
-                    "client {:?} is quarantined ({} distinct fault evidence pairs)",
-                    r.client,
-                    self.quarantine.evidence_of(&r.client)
-                ),
-            });
+            let message = format!(
+                "client {:?} is quarantined ({} distinct fault evidence pairs)",
+                r.client,
+                self.quarantine.evidence_of(&r.client)
+            );
+            return self
+                .refuse(rid, &r.client, "shed", ErrorCode::Quarantined, message, token, started, emit);
         }
 
         // Gate 2: the request must name a servable configuration.
         let Some(level) = level_from_label(&r.level) else {
             self.stats.rejected_protocol.fetch_add(1, Ordering::Relaxed);
-            return emit(Response::Error {
-                code: ErrorCode::Protocol,
-                message: format!("unknown optimization level {:?}", r.level),
-            });
+            let message = format!("unknown optimization level {:?}", r.level);
+            return self
+                .refuse(rid, &r.client, "poison", ErrorCode::Protocol, message, token, started, emit);
         };
         let policy = match policy_from_label(&r.policy) {
             Ok(p) => p,
             Err(message) => {
                 self.stats.rejected_protocol.fetch_add(1, Ordering::Relaxed);
-                return emit(Response::Error { code: ErrorCode::Protocol, message });
+                return self.refuse(
+                    rid, &r.client, "poison", ErrorCode::Protocol, message, token, started, emit,
+                );
             }
         };
 
@@ -368,10 +513,10 @@ impl ServerCore {
             Err(e) => {
                 self.stats.rejected_parse.fetch_add(1, Ordering::Relaxed);
                 self.log_events(vec![shed_event(ErrorCode::Parse.label(), &r.client)]);
-                return emit(Response::Error {
-                    code: ErrorCode::Parse,
-                    message: format!("module does not parse: {e}"),
-                });
+                let message = format!("module does not parse: {e}");
+                return self.refuse(
+                    rid, &r.client, "poison", ErrorCode::Parse, message, token, started, emit,
+                );
             }
         };
 
@@ -380,6 +525,7 @@ impl ServerCore {
         // governs it.
         let rb = RequestBudget::admit(self.config.caps, r.deadline_ms);
         let config_line = header_line(level.label(), policy.label(), &rb.keyed_budget());
+        let t_admit = Instant::now();
 
         // Per-function cache partition: a hit must re-parse to a
         // function of the same name, or it degrades to a miss.
@@ -398,6 +544,7 @@ impl ServerCore {
             }
         }
         let reused = n - miss_idx.len();
+        let t_probe = Instant::now();
 
         // Run the governed pipeline over the misses only.
         let mut report = SandboxReport::default();
@@ -405,21 +552,22 @@ impl ServerCore {
             let Some(live) = rb.live_budget() else {
                 self.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
                 self.log_events(vec![shed_event(ErrorCode::Deadline.label(), &r.client)]);
-                return emit(Response::Error {
-                    code: ErrorCode::Deadline,
-                    message: "request deadline expired before optimization started".into(),
-                });
+                let message = "request deadline expired before optimization started".to_string();
+                return self.refuse(
+                    rid, &r.client, "shed", ErrorCode::Deadline, message, token, started, emit,
+                );
             };
             let mut sub = module.clone();
             sub.functions = miss_idx.iter().map(|&i| module.functions[i].clone()).collect();
             let chaos = self.config.chaos;
+            let metrics = &self.metrics;
             let passes_for = move || {
                 let mut passes = Vec::new();
                 if let Some(model) = chaos {
                     passes.push(model.build());
                 }
                 passes.extend(Optimizer::new(level).passes());
-                passes
+                metrics.instrument(passes)
             };
             let governed = run_module_governed(
                 &sub,
@@ -442,13 +590,15 @@ impl ServerCore {
                 // not as a panic.
                 Err(fault) => {
                     self.stats.rejected_protocol.fetch_add(1, Ordering::Relaxed);
-                    return emit(Response::Error {
-                        code: ErrorCode::Protocol,
-                        message: format!("pipeline fault escaped containment: {fault}"),
-                    });
+                    let message = format!("pipeline fault escaped containment: {fault}");
+                    return self.refuse(
+                        rid, &r.client, "poison", ErrorCode::Protocol, message, token, started,
+                        emit,
+                    );
                 }
             }
         }
+        let t_run = Instant::now();
 
         // Assemble in module order. Any request that optimized at least
         // one function runs the differential oracle over the WHOLE
@@ -483,6 +633,7 @@ impl ServerCore {
             };
             harness.finish_with_oracle(&module, candidate, report)
         };
+        let t_oracle = Instant::now();
         let rolled_back: Vec<String> =
             out.rolled_back_functions().into_iter().map(str::to_string).collect();
 
@@ -530,6 +681,7 @@ impl ServerCore {
                 cached: !miss_set.contains(&i),
                 faults: out.faults.iter().filter(|ft| ft.function == f.name).count() as u64,
                 rolled_back: rolled_back.iter().any(|rb| rb == &f.name),
+                request: rid.to_string(),
             }))?;
         }
         let status = if out.is_clean() { "clean" } else { "degraded" };
@@ -538,6 +690,7 @@ impl ServerCore {
         let done = DoneFrame {
             status: status.into(),
             idempotency,
+            request: rid.to_string(),
             module_text: format!("{}", out.module),
             reused: reused as u64,
             fresh: miss_idx.len() as u64,
@@ -554,7 +707,53 @@ impl ServerCore {
         }
         self.stats.functions_reused.fetch_add(reused as u64, Ordering::Relaxed);
         self.stats.functions_fresh.fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
-        self.log_events(vec![request_event(&RequestAccounting {
+
+        // Request class + latency: a fully-replayed answer is warm,
+        // anything that ran the pipeline is cold.
+        let class = if miss_idx.is_empty() { "warm" } else { "cold" };
+        let t_done = Instant::now();
+        let seg = |a: Instant, b: Instant| b.saturating_duration_since(a);
+        let segments = [
+            ("admission", started, t_admit, 1u64),
+            ("cache-probe", t_admit, t_probe, n as u64),
+            ("governed-run", t_probe, t_run, miss_idx.len() as u64),
+            ("oracle", t_run, t_oracle, u64::from(!miss_idx.is_empty())),
+            ("respond", t_oracle, t_done, 1),
+        ];
+
+        // The per-request trace lane: virtual durations are derived from
+        // the request's shape (so traced runs are byte-identical at any
+        // --request-jobs), wall clocks ride along for the recorder and
+        // are never exported.
+        let mut lane = FunctionTrace::new(rid, 0);
+        for (pass, a, b, dur) in segments {
+            let fields = match pass {
+                "admission" => vec![
+                    ("client".to_string(), Value::Str(r.client.clone())),
+                    ("level".to_string(), Value::Str(level.label().to_string())),
+                    ("policy".to_string(), Value::Str(policy.label().to_string())),
+                ],
+                "cache-probe" => vec![
+                    ("hits".to_string(), Value::U64(reused as u64)),
+                    ("misses".to_string(), Value::U64(miss_idx.len() as u64)),
+                ],
+                "governed-run" => vec![
+                    ("faults".to_string(), Value::U64(out.faults.len() as u64)),
+                    ("retries".to_string(), Value::U64(out.retries as u64)),
+                    ("skipped".to_string(), Value::U64(out.skipped as u64)),
+                ],
+                "oracle" => vec![
+                    ("ran".to_string(), Value::Bool(!miss_idx.is_empty())),
+                    ("inconclusive".to_string(), Value::U64(out.inconclusive as u64)),
+                    ("rollbacks".to_string(), Value::U64(rolled_back.len() as u64)),
+                ],
+                _ => vec![("status".to_string(), Value::Str(status.to_string()))],
+            };
+            lane.span(pass, dur, seg(a, b).as_nanos() as u64, fields);
+        }
+        let mut events = lane.events().to_vec();
+        events.push(request_event(&RequestAccounting {
+            request: rid.to_string(),
             client: r.client.clone(),
             status: status.into(),
             reused: reused as u64,
@@ -563,7 +762,27 @@ impl ServerCore {
             rollbacks: rolled_back.len() as u64,
             cache_hits: reused as u64,
             cache_misses: miss_idx.len() as u64,
-        })]);
+        }));
+        self.log_events(events);
+
+        let duration_us = started.elapsed().as_micros() as u64;
+        self.metrics.observe_latency(class, duration_us);
+        // Recorder + slow log settle BEFORE the terminal frame goes out:
+        // an answer the client holds is always already accounted for.
+        self.finish_request(token, RequestSummary {
+            request: rid.to_string(),
+            client: r.client.clone(),
+            class: class.to_string(),
+            status: status.to_string(),
+            reused: reused as u64,
+            fresh: miss_idx.len() as u64,
+            faults: out.faults.len() as u64,
+            duration_us,
+            spans: segments
+                .iter()
+                .map(|(pass, a, b, _)| (pass.to_string(), seg(*a, *b).as_micros() as u64))
+                .collect(),
+        });
 
         emit(Response::Done(done))
     }
@@ -605,6 +824,7 @@ pub fn policy_from_label(label: &str) -> Result<FaultPolicy, String> {
 mod tests {
     use super::*;
     use epre_frontend::{compile, NamingMode};
+    use std::sync::Arc;
 
     const SRC: &str = "function tri(n)\n\
                        integer n, i, s\n\
@@ -631,6 +851,7 @@ mod tests {
             policy: "best-effort".into(),
             deadline_ms: None,
             idempotency: String::new(),
+            request: String::new(),
             module_text: text.to_string(),
         }
     }
@@ -775,6 +996,121 @@ mod tests {
         let clean_core_req = optimize_request(&text);
         let frames = drive(&core, &Request::Optimize(clean_core_req));
         assert!(matches!(frames.last(), Some(Response::Done(_))));
+    }
+
+    #[test]
+    fn request_id_is_echoed_in_every_frame_and_derived_when_absent() {
+        let text = module_text();
+        let core = ServerCore::new(ServeConfig::default(), ResultCache::in_memory());
+        let req = optimize_request(&text);
+        let expected = req.request_id();
+        let frames = drive(&core, &Request::Optimize(req.clone()));
+        for f in &frames {
+            match f {
+                Response::Function(f) => assert_eq!(f.request, expected),
+                Response::Done(d) => assert_eq!(d.request, expected),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        // A client-minted id wins over derivation, including on errors.
+        let mut minted = optimize_request("not iloc");
+        minted.request = "feedc0defeedc0de".into();
+        let frames = drive(&core, &Request::Optimize(minted));
+        match frames.last() {
+            Some(Response::Error { code: ErrorCode::Parse, request, .. }) => {
+                assert_eq!(request, "feedc0defeedc0de");
+            }
+            other => panic!("expected a parse refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_render_reconciles_with_stats_by_construction() {
+        let text = module_text();
+        let core = ServerCore::new(ServeConfig::default(), ResultCache::in_memory());
+        drive(&core, &Request::Optimize(optimize_request(&text)));
+        drive(&core, &Request::Optimize(optimize_request(&text)));
+        drive(&core, &Request::Optimize(optimize_request("not iloc")));
+
+        let frames = drive(&core, &Request::Metrics { format: "text".into() });
+        let body = match frames.last() {
+            Some(Response::Metrics { body }) => body.clone(),
+            other => panic!("expected metrics, got {other:?}"),
+        };
+        // Every stats counter appears, mirrored, with the same value.
+        for (name, value) in core.stats_snapshot() {
+            let mirrored = match name.as_str() {
+                "cache_entries" | "cache_file_bytes" | "cache_live_bytes"
+                | "quarantined_clients" => format!("epre_{name} {value}"),
+                _ => format!("epre_{name}_total {value}"),
+            };
+            assert!(body.contains(&mirrored), "missing {mirrored:?} in:\n{body}");
+        }
+        // Live series: one cold + one warm + one poison observation, and
+        // the governed pipeline charged per-pass time.
+        assert!(body.contains("epre_request_latency_us_count{class=\"cold\"} 1"), "{body}");
+        assert!(body.contains("epre_request_latency_us_count{class=\"warm\"} 1"), "{body}");
+        assert!(body.contains("epre_request_latency_us_count{class=\"poison\"} 1"), "{body}");
+        assert!(body.contains("epre_pass_runs_total{pass=\"pre\"}"), "{body}");
+
+        // The JSON render agrees and is integer-only.
+        let frames = drive(&core, &Request::Metrics { format: "json".into() });
+        match frames.last() {
+            Some(Response::Metrics { body }) => {
+                assert!(body.starts_with("{\"metrics\":["), "{body}");
+                assert!(body.contains("\"epre_requests_total\""), "{body}");
+                assert!(!body.contains('.'), "integer-only JSON render:\n{body}");
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flight_recorder_accounts_for_served_and_refused_requests() {
+        let text = module_text();
+        let core = ServerCore::new(ServeConfig::default(), ResultCache::in_memory());
+        drive(&core, &Request::Optimize(optimize_request(&text)));
+        drive(&core, &Request::Optimize(optimize_request("not iloc")));
+        let dump = core.recorder().dump();
+        assert!(dump.starts_with("{\"flight_recorder\":true,"), "{dump}");
+        assert!(dump.contains("\"class\":\"cold\",\"status\":\"clean\""), "{dump}");
+        assert!(dump.contains("\"class\":\"poison\",\"status\":\"parse\""), "{dump}");
+        assert!(dump.contains("\"spans\":{\"admission\":"), "served spans recorded:\n{dump}");
+        assert!(!dump.contains("\"in_flight\":true"), "nothing is in flight now:\n{dump}");
+    }
+
+    #[test]
+    fn slow_log_writes_full_span_breakdown_before_the_answer() {
+        let text = module_text();
+        let config = ServeConfig { slow_us: Some(0), ..Default::default() };
+        let mut core = ServerCore::new(config, ResultCache::in_memory());
+        let sink: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        core.attach_slow_log(Box::new(SharedSink(Arc::clone(&sink))));
+        drive(&core, &Request::Optimize(optimize_request(&text)));
+        let logged = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        assert!(logged.starts_with("{\"slow\":true,"), "{logged}");
+        for span in ["admission", "cache-probe", "governed-run", "oracle", "respond"] {
+            assert!(logged.contains(&format!("\"{span}\":")), "missing {span}: {logged}");
+        }
+        let frames = drive(&core, &Request::Metrics { format: "text".into() });
+        match frames.last() {
+            Some(Response::Metrics { body }) => {
+                assert!(body.contains("epre_slow_requests_total 1"), "{body}");
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+    }
+
+    struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
     }
 
     #[test]

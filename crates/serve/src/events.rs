@@ -14,6 +14,8 @@ use crate::cache::CacheRecovery;
 /// Per-request accounting rendered into one `request` event.
 #[derive(Debug, Clone, Default)]
 pub struct RequestAccounting {
+    /// The end-to-end trace id echoed in the response frames.
+    pub request: String,
     /// The client that sent the request.
     pub client: String,
     /// `"clean"` or `"degraded"`.
@@ -35,6 +37,7 @@ pub struct RequestAccounting {
 /// One completed request as a `request` event.
 pub fn request_event(acc: &RequestAccounting) -> Event {
     Event::instant("request", "", "serve")
+        .with("request", Value::Str(acc.request.clone()))
         .with("client", Value::Str(acc.client.clone()))
         .with("status", Value::Str(acc.status.clone()))
         .with("reused", Value::U64(acc.reused))
@@ -104,6 +107,7 @@ mod tests {
     #[test]
     fn serve_events_render_through_the_standard_sinks() {
         let acc = RequestAccounting {
+            request: "00c0ffee00c0ffee".into(),
             client: "ci".into(),
             status: "clean".into(),
             reused: 2,
@@ -140,6 +144,7 @@ mod tests {
         assert!(jsonl.contains(r#""cache_compactions":2"#));
         let e = request_event(&acc);
         assert_eq!(e.field_str("status"), Some("clean"));
+        assert_eq!(e.field_str("request"), Some("00c0ffee00c0ffee"));
         assert_eq!(e.field_u64("cache_hits"), Some(2));
     }
 }

@@ -26,6 +26,14 @@
 //!   content-derived idempotency keys, and a keep-alive [`Session`]
 //!   that reconnects transparently,
 //! * [`events`] — the daemon's accounting as standard telemetry events,
+//! * [`metrics`] — the live-metrics wiring: per-class request latency
+//!   histograms, queue/worker gauges, per-pass cumulative pipeline time
+//!   via a transparent timing decorator, all rendered through
+//!   [`epre_telemetry::MetricsRegistry`] as Prometheus text or JSON,
+//! * [`recorder`] — the always-on flight recorder: a bounded ring of
+//!   recent request summaries and daemon events dumped as JSONL on
+//!   SIGQUIT, at drain, and (per request) past the `--slow-ms`
+//!   threshold,
 //! * [`loadgen`] — a mixed-workload load generator (cold, warm, poison,
 //!   oversized, keep-alive) that checks every answer against ground
 //!   truth and reports per-class latency percentiles.
@@ -61,6 +69,7 @@
 //!         policy: "best-effort".into(),
 //!         deadline_ms: Some(30_000),
 //!         idempotency: String::new(),
+//!         request: String::new(),
 //!         module_text: format!("{module}"),
 //!     },
 //! )
@@ -82,7 +91,9 @@ pub mod core;
 pub mod events;
 pub mod json;
 pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
+pub mod recorder;
 pub mod server;
 
 pub use cache::{CacheRecovery, ResultCache, CACHE_HEADER};
@@ -95,8 +106,10 @@ pub use events::{
     RequestAccounting,
 };
 pub use loadgen::{run_loadgen, ClassStats, LoadgenConfig, LoadgenReport};
+pub use metrics::{ServeMetrics, REQUEST_CLASSES};
 pub use protocol::{
     read_frame, write_frame, DoneFrame, ErrorCode, FrameError, FunctionFrame, OptimizeRequest,
     Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
-pub use server::{serve_stdio, serve_tcp, READ_TIMEOUT};
+pub use recorder::{FlightRecorder, RequestSummary};
+pub use server::{serve_metrics_http, serve_stdio, serve_tcp, READ_TIMEOUT};

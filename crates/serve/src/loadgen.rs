@@ -62,6 +62,9 @@ pub struct LoadgenConfig {
     pub warm_pool: usize,
     /// An operation slower than this counts as a hang.
     pub hang_threshold: Duration,
+    /// Scrape the daemon's live metrics at the end of the run and embed
+    /// a reconciliation summary (`epre loadgen --metrics-snapshot`).
+    pub metrics_snapshot: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -77,6 +80,7 @@ impl Default for LoadgenConfig {
             mix_oversized: 1,
             warm_pool: 4,
             hang_threshold: Duration::from_secs(10),
+            metrics_snapshot: false,
         }
     }
 }
@@ -128,6 +132,10 @@ pub struct LoadgenReport {
     /// Keep-alive session reconnects across all clients (goaway
     /// rotations and dropped peers, recovered transparently).
     pub reconnects: u64,
+    /// The daemon's own view of the run, scraped from its live metrics
+    /// at the end (`--metrics-snapshot`): a pre-rendered JSON object
+    /// fragment, or `None` when no snapshot was taken.
+    pub server: Option<String>,
 }
 
 impl LoadgenReport {
@@ -195,6 +203,11 @@ impl LoadgenReport {
             ));
         }
         s.push_str("}}");
+        if let Some(server) = &self.server {
+            // Splice the daemon's own view in before the closing brace.
+            s.pop();
+            s.push_str(&format!(",\"server\":{server}}}"));
+        }
         s
     }
 
@@ -221,8 +234,72 @@ impl LoadgenReport {
                 c.percentile_us(99.0) as f64 / 1e3,
             ));
         }
+        if let Some(server) = &self.server {
+            out.push_str(&format!("  server metrics snapshot: {server}\n"));
+        }
         out
     }
+}
+
+/// Distill the daemon's JSON metrics render into the loadgen record: the
+/// request/saturation totals plus, per latency class, the histogram's
+/// count, cumulative sum, and nearest-rank p99 upper bound (from
+/// [`epre_telemetry::quantile_le`] over the fixed bucket ladder).
+/// Returns a rendered JSON object fragment — integer-only, like the
+/// exposition it is derived from.
+fn distill_metrics(body: &str) -> Result<String, String> {
+    let parsed = crate::json::parse(body).map_err(|e| format!("metrics json: {e}"))?;
+    let metrics = parsed
+        .get("metrics")
+        .and_then(crate::json::Json::as_arr)
+        .ok_or("metrics json: missing 'metrics' array")?;
+    let counter = |name: &str| -> u64 {
+        metrics
+            .iter()
+            .find(|m| m.get("name").and_then(crate::json::Json::as_str) == Some(name))
+            .and_then(|m| m.get("value"))
+            .and_then(crate::json::Json::as_u64)
+            .unwrap_or(0)
+    };
+    let mut out = format!(
+        "{{\"requests\":{},\"completed\":{},\"workers_saturated\":{},\"slow_requests\":{},\
+         \"classes\":{{",
+        counter("epre_requests_total"),
+        counter("epre_completed_total"),
+        counter("epre_workers_saturated_total"),
+        counter("epre_slow_requests_total"),
+    );
+    let mut first = true;
+    for m in metrics {
+        if m.get("name").and_then(crate::json::Json::as_str) != Some("epre_request_latency_us") {
+            continue;
+        }
+        let Some(label) = m.get("label").and_then(crate::json::Json::as_str) else { continue };
+        let Some(class) = label.strip_prefix("class=") else { continue };
+        let counts: Vec<u64> = m
+            .get("counts")
+            .and_then(crate::json::Json::as_arr)
+            .map(|a| a.iter().filter_map(crate::json::Json::as_u64).collect())
+            .unwrap_or_default();
+        let bounds: Vec<u64> = m
+            .get("bounds")
+            .and_then(crate::json::Json::as_arr)
+            .map(|a| a.iter().filter_map(crate::json::Json::as_u64).collect())
+            .unwrap_or_default();
+        let count = m.get("count").and_then(crate::json::Json::as_u64).unwrap_or(0);
+        let sum = m.get("sum").and_then(crate::json::Json::as_u64).unwrap_or(0);
+        let p99 = epre_telemetry::quantile_le(&bounds, &counts, 99, 100);
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\"{class}\":{{\"count\":{count},\"sum_us\":{sum},\"p99_us_le\":{}}}",
+            p99.map_or_else(|| "null".to_string(), |v| v.to_string()),
+        ));
+    }
+    out.push_str("}}");
+    Ok(out)
 }
 
 /// A tiny module with a lexically redundant pair (so PRE has real work)
@@ -262,6 +339,7 @@ fn optimize_request(module_text: String, client: String) -> OptimizeRequest {
         policy: "best-effort".into(),
         deadline_ms: None,
         idempotency: String::new(),
+        request: String::new(),
         module_text,
     }
 }
@@ -448,7 +526,25 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     for (_, c) in &mut classes {
         c.latencies_us.sort_unstable();
     }
-    Ok(LoadgenReport { clients: cfg.clients, duration_ms, classes, reconnects })
+
+    // The daemon's own view, scraped after the load stops. A failed
+    // scrape fails the run: the operator asked for reconciliation, and
+    // silence is not a reconciliation.
+    let server = if cfg.metrics_snapshot {
+        let body = crate::client::metrics(
+            &ClientConfig {
+                addr: cfg.addr.clone(),
+                read_timeout: cfg.hang_threshold,
+                ..Default::default()
+            },
+            "json",
+        )
+        .map_err(|e| format!("metrics snapshot: {e}"))?;
+        Some(distill_metrics(&body)?)
+    } else {
+        None
+    };
+    Ok(LoadgenReport { clients: cfg.clients, duration_ms, classes, reconnects, server })
 }
 
 #[cfg(test)]
@@ -494,6 +590,7 @@ mod tests {
                 ("warm".into(), ClassStats::default()),
             ],
             reconnects: 1,
+            server: None,
         };
         assert_eq!(report.total_ops(), 3);
         assert_eq!(report.rps(), 3.0);
@@ -505,6 +602,46 @@ mod tests {
         let text = report.render_text();
         assert!(text.contains("cold"), "{text}");
         assert!(text.contains("p99ms"), "{text}");
+    }
+
+    #[test]
+    fn metrics_distillation_reads_the_json_render() {
+        // A minimal daemon render: one counter and one class histogram
+        // over the real bucket ladder.
+        let bounds: Vec<String> =
+            epre_telemetry::LATENCY_BUCKETS_US.iter().map(|b| b.to_string()).collect();
+        let mut counts = vec![0u64; bounds.len() + 1];
+        counts[4] = 9; // nine observations in the 5th bucket
+        counts[10] = 1; // one straggler higher up
+        let body = format!(
+            "{{\"metrics\":[\
+             {{\"name\":\"epre_requests_total\",\"type\":\"counter\",\"value\":10}},\
+             {{\"name\":\"epre_request_latency_us\",\"type\":\"histogram\",\
+              \"label\":\"class=cold\",\"bounds\":[{}],\"counts\":[{}],\
+              \"sum\":1234,\"count\":10}}]}}",
+            bounds.join(","),
+            counts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(","),
+        );
+        let fragment = distill_metrics(&body).unwrap();
+        assert!(fragment.starts_with("{\"requests\":10,"), "{fragment}");
+        let p99 = epre_telemetry::LATENCY_BUCKETS_US[10];
+        assert!(
+            fragment.contains(&format!(
+                "\"cold\":{{\"count\":10,\"sum_us\":1234,\"p99_us_le\":{p99}}}"
+            )),
+            "{fragment}"
+        );
+        // And the fragment rides into the run entry.
+        let report = LoadgenReport {
+            clients: 1,
+            duration_ms: 10,
+            classes: vec![("cold".into(), ClassStats::default())],
+            reconnects: 0,
+            server: Some(fragment),
+        };
+        let json = report.json_entry();
+        assert!(json.contains(",\"server\":{\"requests\":10,"), "{json}");
+        assert!(json.ends_with("}}"), "{json}");
     }
 
     #[test]
@@ -531,6 +668,7 @@ mod tests {
             clients: 2,
             duration: Duration::from_millis(700),
             warm_pool: 2,
+            metrics_snapshot: true,
             ..Default::default()
         };
         let report = run_loadgen(&cfg).unwrap();
@@ -538,6 +676,9 @@ mod tests {
         assert_eq!(report.wrongs(), 0, "zero wrong answers\n{}", report.render_text());
         assert_eq!(report.hangs(), 0, "zero hangs\n{}", report.render_text());
         assert_eq!(report.failures(), 0, "no transient failures expected in-process");
+        let server = report.server.as_deref().expect("--metrics-snapshot scraped the daemon");
+        assert!(server.starts_with("{\"requests\":"), "{server}");
+        assert!(server.contains("\"cold\":{\"count\":"), "{server}");
         // The daemon survived the poison/oversized mix and still serves.
         let cfg = ClientConfig { addr, ..Default::default() };
         crate::client::ping(&cfg).unwrap();

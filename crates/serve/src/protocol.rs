@@ -141,6 +141,14 @@ pub struct OptimizeRequest {
     /// ([`OptimizeRequest::idempotency_key`]); the server echoes it in
     /// the `done` frame so retries can be correlated.
     pub idempotency: String,
+    /// End-to-end trace id. Clients mint it from content + identity
+    /// ([`OptimizeRequest::request_id`]); the server echoes it in every
+    /// frame of the response stream and keys its per-request spans and
+    /// flight-recorder summaries by it, so a client-side latency sample
+    /// correlates with the server-side account of the same request.
+    /// Empty is legal (old clients); the server then mints the same
+    /// derived id itself.
+    pub request: String,
     /// The ILOC module text to optimize.
     pub module_text: String,
 }
@@ -160,6 +168,17 @@ impl OptimizeRequest {
         );
         format!("{:016x}", epre_harness::fingerprint64(&blob))
     }
+
+    /// The content-derived request id: the idempotency fingerprint
+    /// salted with the client identity, so two clients submitting the
+    /// same module trace as distinct requests while retries of one
+    /// request share an id. Derived identically on both ends — a client
+    /// that sent an empty `request` field still gets the id it *would*
+    /// have minted echoed back.
+    pub fn request_id(&self) -> String {
+        let blob = format!("request client={} key={}", self.client, self.idempotency_key());
+        format!("{:016x}", epre_harness::fingerprint64(&blob))
+    }
 }
 
 /// A parsed request frame.
@@ -169,6 +188,13 @@ pub enum Request {
     Optimize(OptimizeRequest),
     /// Report server counters.
     Stats,
+    /// Report the live metrics registry in the given format (`"text"`
+    /// for Prometheus-style exposition, `"json"` for the integer-only
+    /// JSON render).
+    Metrics {
+        /// Requested render: `"text"` or `"json"`.
+        format: String,
+    },
     /// Liveness probe.
     Ping,
     /// Ask the server to stop accepting and drain.
@@ -191,9 +217,18 @@ impl Request {
                     fields.push(("deadline_ms", Json::U64(d)));
                 }
                 fields.push(("idempotency", Json::Str(r.idempotency.clone())));
+                if !r.request.is_empty() {
+                    fields.push(("request", Json::Str(r.request.clone())));
+                }
                 fields.push(("module", Json::Str(r.module_text.clone())));
                 obj(fields).encode()
             }
+            Request::Metrics { format } => obj(vec![
+                ("v", Json::U64(PROTOCOL_VERSION)),
+                ("kind", Json::Str("metrics".into())),
+                ("format", Json::Str(format.clone())),
+            ])
+            .encode(),
             Request::Stats => simple_kind("stats"),
             Request::Ping => simple_kind("ping"),
             Request::Shutdown => simple_kind("shutdown"),
@@ -213,6 +248,17 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
+            "metrics" => {
+                // `format` is optional: a bare metrics request means text.
+                let format = match v.get("format") {
+                    None | Some(Json::Null) => "text".to_string(),
+                    Some(f) => f
+                        .as_str()
+                        .map(str::to_string)
+                        .ok_or("field 'format' must be a string")?,
+                };
+                Ok(Request::Metrics { format })
+            }
             "optimize" => {
                 let str_field = |name: &str| -> Result<String, String> {
                     v.get(name)
@@ -226,12 +272,23 @@ impl Request {
                         Some(d.as_u64().ok_or("field 'deadline_ms' must be an integer")?)
                     }
                 };
+                // `request` is optional for wire compatibility: frames
+                // from pre-tracing clients decode with an empty id and
+                // the server derives the canonical one itself.
+                let request = match v.get("request") {
+                    None | Some(Json::Null) => String::new(),
+                    Some(r) => r
+                        .as_str()
+                        .map(str::to_string)
+                        .ok_or("field 'request' must be a string")?,
+                };
                 Ok(Request::Optimize(OptimizeRequest {
                     client: str_field("client")?,
                     level: str_field("level")?,
                     policy: str_field("policy")?,
                     deadline_ms,
                     idempotency: str_field("idempotency")?,
+                    request,
                     module_text: str_field("module")?,
                 }))
             }
@@ -299,6 +356,8 @@ impl ErrorCode {
 pub struct FunctionFrame {
     /// Function name.
     pub name: String,
+    /// Echo of the request's trace id (empty from pre-tracing servers).
+    pub request: String,
     /// Body replayed from the result cache (no pipeline ran).
     pub cached: bool,
     /// Contained pass faults attributed to this function.
@@ -315,6 +374,8 @@ pub struct DoneFrame {
     pub status: String,
     /// Echo of the request's idempotency key.
     pub idempotency: String,
+    /// Echo of the request's trace id (empty from pre-tracing servers).
+    pub request: String,
     /// The optimized module text.
     pub module_text: String,
     /// Functions replayed from the result cache.
@@ -347,6 +408,15 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Echo of the refused request's trace id, when one was parsed
+        /// before refusal (empty for frame-level protocol errors).
+        request: String,
+    },
+    /// Terminal metrics frame (answer to `metrics`): the rendered
+    /// registry in the requested format.
+    Metrics {
+        /// The render — Prometheus-style text or integer-only JSON.
+        body: String,
     },
     /// Terminal counters frame (answer to `stats`): name/value pairs in
     /// server-chosen stable order.
@@ -381,6 +451,7 @@ impl Response {
             Response::Function(f) => obj(vec![
                 ("kind", Json::Str("function".into())),
                 ("name", Json::Str(f.name.clone())),
+                ("request", Json::Str(f.request.clone())),
                 ("cached", Json::Bool(f.cached)),
                 ("faults", Json::U64(f.faults)),
                 ("rolled_back", Json::Bool(f.rolled_back)),
@@ -390,6 +461,7 @@ impl Response {
                 ("kind", Json::Str("done".into())),
                 ("status", Json::Str(d.status.clone())),
                 ("idempotency", Json::Str(d.idempotency.clone())),
+                ("request", Json::Str(d.request.clone())),
                 ("reused", Json::U64(d.reused)),
                 ("fresh", Json::U64(d.fresh)),
                 ("faults", Json::U64(d.faults)),
@@ -400,10 +472,16 @@ impl Response {
                 ("module", Json::Str(d.module_text.clone())),
             ])
             .encode(),
-            Response::Error { code, message } => obj(vec![
+            Response::Error { code, message, request } => obj(vec![
                 ("kind", Json::Str("error".into())),
                 ("code", Json::Str(code.label().into())),
                 ("message", Json::Str(message.clone())),
+                ("request", Json::Str(request.clone())),
+            ])
+            .encode(),
+            Response::Metrics { body } => obj(vec![
+                ("kind", Json::Str("metrics".into())),
+                ("body", Json::Str(body.clone())),
             ])
             .encode(),
             Response::Stats(counters) => obj(vec![
@@ -444,9 +522,15 @@ impl Response {
         let bool_field = |name: &str| -> Result<bool, String> {
             v.get(name).and_then(Json::as_bool).ok_or(format!("missing bool field '{name}'"))
         };
+        // Trace-id echoes are optional on decode so frames from
+        // pre-tracing servers still parse (they read back as empty).
+        let request_echo = || -> String {
+            v.get("request").and_then(Json::as_str).unwrap_or("").to_string()
+        };
         match kind {
             "function" => Ok(Response::Function(FunctionFrame {
                 name: str_field("name")?,
+                request: request_echo(),
                 cached: bool_field("cached")?,
                 faults: u64_field("faults")?,
                 rolled_back: bool_field("rolled_back")?,
@@ -454,6 +538,7 @@ impl Response {
             "done" => Ok(Response::Done(DoneFrame {
                 status: str_field("status")?,
                 idempotency: str_field("idempotency")?,
+                request: request_echo(),
                 module_text: str_field("module")?,
                 reused: u64_field("reused")?,
                 fresh: u64_field("fresh")?,
@@ -467,8 +552,13 @@ impl Response {
                 let label = str_field("code")?;
                 let code = ErrorCode::from_label(&label)
                     .ok_or(format!("unknown error code {label:?}"))?;
-                Ok(Response::Error { code, message: str_field("message")? })
+                Ok(Response::Error {
+                    code,
+                    message: str_field("message")?,
+                    request: request_echo(),
+                })
             }
+            "metrics" => Ok(Response::Metrics { body: str_field("body")? }),
             "stats" => {
                 let counters = match v.get("counters") {
                     Some(Json::Obj(fields)) => fields
@@ -544,6 +634,7 @@ mod tests {
                 policy: "best-effort".into(),
                 deadline_ms: Some(5000),
                 idempotency: "abc123".into(),
+                request: "feedbeef00000001".into(),
                 module_text: "function f()\nbegin\nreturn 1\nend\n".into(),
             }),
             Request::Optimize(OptimizeRequest {
@@ -552,9 +643,12 @@ mod tests {
                 policy: "retry-then-skip".into(),
                 deadline_ms: None,
                 idempotency: String::new(),
+                request: String::new(),
                 module_text: String::new(),
             }),
             Request::Stats,
+            Request::Metrics { format: "text".into() },
+            Request::Metrics { format: "json".into() },
             Request::Ping,
             Request::Shutdown,
         ];
@@ -580,6 +674,7 @@ mod tests {
         let resps = [
             Response::Function(FunctionFrame {
                 name: "tri".into(),
+                request: "feedbeef00000001".into(),
                 cached: true,
                 faults: 0,
                 rolled_back: false,
@@ -587,6 +682,7 @@ mod tests {
             Response::Done(DoneFrame {
                 status: "clean".into(),
                 idempotency: "k".into(),
+                request: "feedbeef00000001".into(),
                 module_text: "module text\n".into(),
                 reused: 3,
                 fresh: 2,
@@ -596,7 +692,12 @@ mod tests {
                 inconclusive: 1,
                 client_quarantined: false,
             }),
-            Response::Error { code: ErrorCode::Overloaded, message: "queue full".into() },
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+                request: String::new(),
+            },
+            Response::Metrics { body: "# TYPE epre_requests_total counter\n".into() },
             Response::Stats(vec![("requests".into(), 7), ("cache_hits".into(), 3)]),
             Response::Ack { what: "pong".into() },
             Response::Goaway { reason: "idle-timeout".into() },
@@ -617,6 +718,61 @@ mod tests {
     }
 
     #[test]
+    fn frames_without_request_echo_still_decode() {
+        // A pre-tracing peer's frames carry no `request` field; they
+        // must decode with an empty id, not error.
+        let done = r#"{"kind":"done","status":"clean","idempotency":"k","reused":0,"fresh":1,"faults":0,"rollbacks":0,"quarantined":0,"inconclusive":0,"client_quarantined":false,"module":"m"}"#;
+        match Response::decode(done).unwrap() {
+            Response::Done(d) => assert_eq!(d.request, ""),
+            other => panic!("{other:?}"),
+        }
+        let fun = r#"{"kind":"function","name":"f","cached":false,"faults":0,"rolled_back":false}"#;
+        match Response::decode(fun).unwrap() {
+            Response::Function(f) => assert_eq!(f.request, ""),
+            other => panic!("{other:?}"),
+        }
+        let err = r#"{"kind":"error","code":"parse","message":"no"}"#;
+        match Response::decode(err).unwrap() {
+            Response::Error { request, .. } => assert_eq!(request, ""),
+            other => panic!("{other:?}"),
+        }
+        // Same tolerance on the request side: an optimize frame without
+        // `request` decodes with an empty id, and a bare metrics request
+        // defaults to the text render.
+        match Request::decode(r#"{"v":1,"kind":"metrics"}"#).unwrap() {
+            Request::Metrics { format } => assert_eq!(format, "text"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_id_is_content_derived_and_client_salted() {
+        let a = OptimizeRequest {
+            client: "alice".into(),
+            level: "distribution".into(),
+            policy: "best-effort".into(),
+            deadline_ms: None,
+            idempotency: String::new(),
+            request: String::new(),
+            module_text: "function f()\nbegin\nreturn 1\nend\n".into(),
+        };
+        let id = a.request_id();
+        assert_eq!(id.len(), 16);
+        assert_eq!(id, a.request_id(), "stable across retries");
+        // Unlike the idempotency key, the request id distinguishes
+        // clients: two tenants submitting the same module are two
+        // requests in the server's account.
+        let mut b = a.clone();
+        b.client = "bob".into();
+        assert_eq!(a.idempotency_key(), b.idempotency_key());
+        assert_ne!(id, b.request_id());
+        // And it remains content-derived: different module, different id.
+        b.client = "alice".into();
+        b.module_text.push('\n');
+        assert_ne!(id, b.request_id());
+    }
+
+    #[test]
     fn idempotency_key_is_content_derived_and_stable() {
         let mut a = OptimizeRequest {
             client: "alice".into(),
@@ -624,6 +780,7 @@ mod tests {
             policy: "best-effort".into(),
             deadline_ms: Some(1000),
             idempotency: String::new(),
+            request: String::new(),
             module_text: "function f()\nbegin\nreturn 1\nend\n".into(),
         };
         let k1 = a.idempotency_key();

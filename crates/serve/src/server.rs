@@ -39,7 +39,7 @@
 //! fsynced before [`serve_tcp`] returns — the graceful exit leaves a
 //! minimal, durable journal, while kill -9 semantics are unchanged.
 
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -86,7 +86,9 @@ pub fn serve_tcp(core: Arc<ServerCore>, listener: TcpListener) -> io::Result<()>
             break;
         }
         match tx.try_send(stream) {
-            Ok(()) => {}
+            // The admission gauge rises here and falls at worker pickup;
+            // note_admission also spots (and counts) worker saturation.
+            Ok(()) => core.metrics().note_admission(),
             Err(TrySendError::Full(stream)) => {
                 core.note_overload_shed();
                 shed_overloaded(stream, &core);
@@ -124,11 +126,14 @@ fn worker_loop(core: &ServerCore, rx: &Mutex<Receiver<TcpStream>>, local: std::n
         };
         match conn {
             Ok(stream) => {
+                core.metrics().queue_depth.dec();
+                core.metrics().workers_busy.inc();
                 if let Err(e) = handle_conn(core, stream) {
                     // The peer vanished mid-conversation; its retry will
                     // hit the cache. Nothing useful to do with `e`.
                     let _ = e;
                 }
+                core.metrics().workers_busy.dec();
                 if core.shutdown_requested() {
                     // Poke the acceptor awake so it notices the flag;
                     // then keep draining — every admitted connection is
@@ -166,8 +171,19 @@ fn shed_overloaded(stream: TcpStream, _core: &ServerCore) {
     let resp = Response::Error {
         code: ErrorCode::Overloaded,
         message: "admission queue full; back off and retry".into(),
+        request: String::new(),
     };
     let _ = write_frame(&mut w, &resp.encode());
+}
+
+/// Classify a frame-level error for the latency histograms and the
+/// flight recorder: a frame over the size cap is `oversized` traffic,
+/// anything else torn or malformed is `poison`.
+fn frame_error_class(e: &FrameError) -> &'static str {
+    match e {
+        FrameError::Malformed(m) if m.contains("exceeds cap") => "oversized",
+        _ => "poison",
+    }
 }
 
 /// Send the session-terminal `goaway` frame and account for it. The
@@ -198,6 +214,7 @@ fn handle_conn(core: &ServerCore, stream: TcpStream) -> io::Result<()> {
             end_session(core, &mut writer, GoawayReason::Draining);
             return Ok(());
         }
+        let t_read = Instant::now();
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
             Ok(None) => {
@@ -224,8 +241,14 @@ fn handle_conn(core: &ServerCore, stream: TcpStream) -> io::Result<()> {
                 // Frame-level poison: the byte stream is out of sync, so
                 // this session is unrecoverable — but only this session.
                 core.note_protocol_reject();
-                let resp =
-                    Response::Error { code: ErrorCode::Protocol, message: format!("{e}") };
+                let class = frame_error_class(&e);
+                core.metrics().observe_latency(class, t_read.elapsed().as_micros() as u64);
+                core.recorder().note(class, &format!("{e}"));
+                let resp = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: format!("{e}"),
+                    request: String::new(),
+                };
                 return write_frame(&mut writer, &resp.encode());
             }
         };
@@ -250,12 +273,85 @@ fn handle_conn(core: &ServerCore, stream: TcpStream) -> io::Result<()> {
                 // Well-framed garbage: the framing survived, so the
                 // session does too — answer typed and keep reading.
                 core.note_protocol_reject();
-                let resp = Response::Error { code: ErrorCode::Protocol, message };
+                core.metrics().observe_latency("poison", t_read.elapsed().as_micros() as u64);
+                core.recorder().note("poison", &message);
+                let resp = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message,
+                    request: String::new(),
+                };
                 write_frame(&mut writer, &resp.encode())?;
                 served += 1;
             }
         }
     }
+}
+
+/// Serve `GET /metrics` as Prometheus text exposition over plain
+/// HTTP/1.0 until the core begins shutdown — the scrape sidecar behind
+/// `epre serve --metrics-port`. One connection per scrape, answered
+/// inline on this thread: a metrics endpoint needs no worker pool, and
+/// the nonblocking accept loop re-checks the shutdown flag every 100ms
+/// so the listener drains with the daemon.
+///
+/// # Errors
+/// Only listener setup (`set_nonblocking`); per-connection I/O errors
+/// are dropped — a vanished scraper is the scraper's problem.
+pub fn serve_metrics_http(listener: TcpListener, core: Arc<ServerCore>) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if core.shutdown_requested() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = answer_http_scrape(stream, &core);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+fn answer_http_scrape(stream: TcpStream, core: &ServerCore) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers; the answer depends only on the request line.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let mut w = BufWriter::new(stream);
+    if method == "GET" && path.trim_end_matches('/') == "/metrics" {
+        let body = core.render_metrics("text");
+        write!(
+            w,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        let body = "not found; try GET /metrics\n";
+        write!(
+            w,
+            "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    }
+    w.flush()
 }
 
 /// Serve request frames from `stdin`, answering on `stdout`, until EOF
@@ -285,8 +381,14 @@ fn serve_stdio_inner(
             Err(FrameError::Io(e)) => return Err(e),
             Err(e @ (FrameError::Torn | FrameError::Malformed(_))) => {
                 core.note_protocol_reject();
-                let resp =
-                    Response::Error { code: ErrorCode::Protocol, message: format!("{e}") };
+                let class = frame_error_class(&e);
+                core.metrics().observe_latency(class, 0);
+                core.recorder().note(class, &format!("{e}"));
+                let resp = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: format!("{e}"),
+                    request: String::new(),
+                };
                 write_frame(output, &resp.encode())?;
                 // Framing is lost; there is no resynchronization point.
                 return Ok(());
@@ -301,7 +403,13 @@ fn serve_stdio_inner(
             }
             Err(message) => {
                 core.note_protocol_reject();
-                let resp = Response::Error { code: ErrorCode::Protocol, message };
+                core.metrics().observe_latency("poison", 0);
+                core.recorder().note("poison", &message);
+                let resp = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message,
+                    request: String::new(),
+                };
                 write_frame(output, &resp.encode())?;
             }
         }
@@ -332,6 +440,7 @@ mod tests {
             policy: "best-effort".into(),
             deadline_ms: None,
             idempotency: String::new(),
+            request: String::new(),
             module_text: module_text(),
         })
     }
@@ -379,6 +488,7 @@ mod tests {
                 Response::Stats(_) => "stats",
                 Response::Ack { .. } => "ack",
                 Response::Goaway { .. } => "goaway",
+                Response::Metrics { .. } => "metrics",
             });
         }
         assert_eq!(kinds, ["function", "done", "stats", "ack"]);

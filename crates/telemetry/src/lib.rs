@@ -20,6 +20,10 @@
 //! * [`table1`] — the paper's Table 1 (dynamic operation counts per
 //!   level, % improvement vs baseline) as aligned text or JSON, backing
 //!   `epre report`.
+//! * [`metrics`] — the *live* side of observability: a lock-cheap
+//!   [`MetricsRegistry`] of counters, gauges, and fixed-ladder latency
+//!   histograms with Prometheus-style text and JSON renders, consumed by
+//!   the serve daemon's `epre metrics` endpoint.
 //!
 //! ## Determinism rules
 //!
@@ -37,11 +41,15 @@
 
 pub mod event;
 pub mod export;
+pub mod metrics;
 pub mod provenance;
 pub mod table1;
 pub mod trace;
 
 pub use event::{Event, PassCounters, Value};
+pub use metrics::{
+    quantile_le, Counter, Gauge, Histogram, MetricsRegistry, Snapshot, LATENCY_BUCKETS_US,
+};
 pub use provenance::{ledgers_from_trace, FunctionLedger, OpcodeDelta, PassProvenance};
 pub use table1::{improvement, Table1, Table1Row};
 pub use trace::{FunctionTrace, NullTracer, Trace, Tracer};

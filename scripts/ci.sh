@@ -117,6 +117,67 @@ target/release/epre submit --shutdown --addr "$addr" > /dev/null
 wait "$serve_pid" || { echo "daemon did not exit cleanly on shutdown" >&2; exit 1; }
 serve_pid=""
 
+echo "==> metrics smoke (live metrics schema, SIGQUIT flight recorder)"
+# A daemon with the full observability surface on: one submit, then the
+# protocol metrics scrape must carry the required series with the fixed
+# histogram schema, and a SIGQUIT must checkpoint the flight recorder as
+# valid JSONL — without disturbing service.
+: > "$tmpdir/metrics.log"
+target/release/epre serve --port 0 --slow-ms 0 \
+    --flight-recorder "$tmpdir/flight.jsonl" > "$tmpdir/metrics.log" 2>/dev/null &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$tmpdir/metrics.log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "metrics daemon did not come up" >&2; exit 1; }
+target/release/epre submit "$tmpdir/trace_smoke.iloc" --addr "$addr" > /dev/null 2>/dev/null
+metrics="$(target/release/epre metrics --addr "$addr")"
+for series in \
+    'epre_requests_total 1' \
+    '# TYPE epre_request_latency_us histogram' \
+    'epre_request_latency_us_bucket{class="cold",le="+Inf"} 1' \
+    'epre_request_latency_us_count{class="warm"} 0' \
+    'epre_pass_runs_total{pass=' \
+    'epre_queue_depth' \
+    'epre_workers_saturated_total 0' \
+    'epre_slow_requests_total 1'; do
+    printf '%s\n' "$metrics" | grep -qF "$series" || {
+        echo "metrics render missing: $series" >&2
+        exit 1
+    }
+done
+kill -QUIT "$serve_pid"
+for _ in $(seq 1 100); do
+    [ -s "$tmpdir/flight.jsonl" ] && break
+    sleep 0.1
+done
+[ -s "$tmpdir/flight.jsonl" ] || { echo "SIGQUIT flight-recorder dump missing" >&2; exit 1; }
+head -1 "$tmpdir/flight.jsonl" | grep -q '^{"flight_recorder":true,' || {
+    echo "flight-recorder dump missing its header line" >&2
+    exit 1
+}
+bad="$(grep -cv '^{.*}$' "$tmpdir/flight.jsonl" || true)"
+[ "$bad" -eq 0 ] || { echo "flight-recorder dump has $bad non-JSONL line(s)" >&2; exit 1; }
+grep -q '"kind":"request"' "$tmpdir/flight.jsonl" || {
+    echo "flight-recorder dump recorded no requests" >&2
+    exit 1
+}
+# --slow-ms 0 makes every request slow: the slow log must hold the
+# submit with its full span breakdown.
+grep -q '"spans":{"admission":' "$tmpdir/flight.jsonl.slow" || {
+    echo "slow-request log missing the span breakdown" >&2
+    exit 1
+}
+# The checkpoint did not disturb service: the daemon still answers and
+# drains cleanly.
+target/release/epre submit --ping --addr "$addr" > /dev/null
+target/release/epre submit --shutdown --addr "$addr" > /dev/null
+wait "$serve_pid" || { echo "daemon did not exit cleanly after SIGQUIT" >&2; exit 1; }
+serve_pid=""
+
 echo "==> serve bench smoke"
 # shellcheck disable=SC2086
 cargo bench -p epre-bench --bench serve $CARGO_FLAGS -- --quick
@@ -132,7 +193,7 @@ echo "==> loadgen smoke (sustained mixed load, zero wrong answers)"
 # schema: a loadgen run with per-class percentiles must have landed in
 # BENCH_SERVE.json.
 target/release/epre loadgen --clients 4 --duration-ms 8000 \
-    --cache-max-bytes 65536 --seed 2026 > "$tmpdir/loadgen.txt"
+    --cache-max-bytes 65536 --seed 2026 --metrics-snapshot > "$tmpdir/loadgen.txt"
 grep -q '"loadgen":true' BENCH_SERVE.json || {
     echo "BENCH_SERVE.json missing the loadgen run" >&2
     exit 1
@@ -140,6 +201,12 @@ grep -q '"loadgen":true' BENCH_SERVE.json || {
 grep -q '"p50_ms":' BENCH_SERVE.json && grep -q '"p95_ms":' BENCH_SERVE.json \
     && grep -q '"p99_ms":' BENCH_SERVE.json || {
     echo "BENCH_SERVE.json loadgen run missing per-class percentiles" >&2
+    exit 1
+}
+# --metrics-snapshot rides along: the recorded run carries the daemon's
+# own view of the load (scraped live metrics, distilled).
+grep -q '"server":{"requests":' BENCH_SERVE.json || {
+    echo "BENCH_SERVE.json loadgen run missing the server metrics snapshot" >&2
     exit 1
 }
 

@@ -19,14 +19,17 @@
 //!            [--workers N] [--jobs N] [--breaker N] [--client-threshold N] [--fuel N]
 //!            [--idle-timeout-ms N] [--max-session-requests N] [--drain-deadline-ms N]
 //!            [--chaos-inject nonterminating|quadratic-growth] [--telemetry PATH]
+//!            [--metrics-port N] [--slow-ms N] [--flight-recorder PATH]
 //!                                                 run the optimization daemon
 //! epre submit <file.iloc|-> [--addr HOST:PORT] [--level L] [--policy P] [--deadline-ms N]
 //!             [--retries N] [--seed N] [--client ID]
-//! epre submit (--stats | --ping | --shutdown) [--addr HOST:PORT]
+//! epre submit (--stats | --ping | --shutdown | --metrics) [--addr HOST:PORT]
 //!                                                 talk to a running daemon
+//! epre metrics [--addr HOST:PORT] [--json]        scrape the daemon's live metrics
 //! epre loadgen [--addr HOST:PORT] [--clients N] [--duration-ms N] [--seed N]
 //!              [--mix COLD:WARM:POISON:OVERSIZED] [--warm-pool N] [--cache-max-bytes N]
-//!              [--out PATH] [--no-record]         mixed-workload load generator
+//!              [--out PATH] [--no-record] [--metrics-snapshot]
+//!                                                 mixed-workload load generator
 //! ```
 //!
 //! `lint` exits 0 when no error-severity diagnostics were found, 1 when
@@ -75,7 +78,25 @@
 //! mixing cold/warm/poison/oversized traffic, checks every answer
 //! against ground truth, appends per-class p50/p95/p99 latency and
 //! throughput to `BENCH_SERVE.json` (unless `--no-record`), and exits 1
-//! on any wrong answer or hang.
+//! on any wrong answer or hang. With `--metrics-snapshot` it also
+//! scrapes the daemon's live metrics at the end of the run and records
+//! a distilled snapshot in the same entry.
+//!
+//! The daemon is observable while it runs: `epre metrics` (or `epre
+//! submit --metrics`) scrapes per-class latency histograms, queue and
+//! worker gauges, per-pass cumulative pipeline time, and every `--stats`
+//! counter through the protocol as Prometheus text (`--json` for the
+//! integer-exact JSON form); `--metrics-port N` additionally serves the
+//! text render over plain HTTP at `GET /metrics` for scrapers that
+//! don't speak the framed protocol. `--slow-ms N` writes any request
+//! whose total service time exceeds N milliseconds to a slow-request
+//! log (`<PATH>.slow` next to the `--flight-recorder PATH`) with the
+//! full admission→cache-probe→governed-run→oracle→respond span
+//! breakdown, before the answer frame is emitted. `--flight-recorder
+//! PATH` keeps a bounded in-memory ring of recent request summaries and
+//! daemon events; SIGQUIT checkpoints it to PATH as JSONL (atomically,
+//! via rename) without disturbing service, and the drain path writes a
+//! final dump on exit.
 //!
 //! `opt --trace PATH` additionally exports the run's telemetry trace —
 //! pass spans with per-pass counters and provenance deltas on the plain
@@ -103,9 +124,10 @@ use epre_harness::{
 use epre_ir::parse_module;
 use epre_lint::{lint_module, LintOptions, Rule};
 use epre_serve::{
-    ping as serve_ping, run_loadgen, serve_stdio, serve_tcp, shutdown as serve_shutdown,
-    stats as serve_stats, submit as serve_submit, write_frame, ClientConfig, LoadgenConfig,
-    OptimizeRequest, Request, ResultCache, ServeConfig, ServerCore,
+    client::metrics as serve_metrics, ping as serve_ping, run_loadgen, serve_metrics_http,
+    serve_stdio, serve_tcp, shutdown as serve_shutdown, stats as serve_stats,
+    submit as serve_submit, write_frame, ClientConfig, LoadgenConfig, OptimizeRequest, Request,
+    ResultCache, ServeConfig, ServerCore,
 };
 use epre_telemetry::{ledgers_from_trace, Trace};
 
@@ -117,10 +139,11 @@ const USAGE: &str = "usage:\n  \
     epre explain <file.iloc|-> <function> [--level L]\n  \
     epre fuzz <file.iloc|-> [--seed N] [--iters N] [--fuel N] [--level L]\n  \
     epre reduce <file.iloc|-> (--panic-contains S | --lint-code CODE | --oracle-mismatch) [--level L] [--fuel N]\n  \
-    epre serve [--port N | --stdio] [--cache PATH] [--cache-max-bytes N] [--queue N] [--workers N] [--jobs N] [--breaker N] [--client-threshold N] [--fuel N] [--idle-timeout-ms N] [--max-session-requests N] [--drain-deadline-ms N] [--chaos-inject nonterminating|quadratic-growth] [--telemetry PATH]\n  \
+    epre serve [--port N | --stdio] [--cache PATH] [--cache-max-bytes N] [--queue N] [--workers N] [--jobs N] [--breaker N] [--client-threshold N] [--fuel N] [--idle-timeout-ms N] [--max-session-requests N] [--drain-deadline-ms N] [--chaos-inject nonterminating|quadratic-growth] [--telemetry PATH] [--metrics-port N] [--slow-ms N] [--flight-recorder PATH]\n  \
     epre submit <file.iloc|-> [--addr HOST:PORT] [--level L] [--policy best-effort|retry-then-skip] [--deadline-ms N] [--retries N] [--seed N] [--client ID]\n  \
-    epre submit (--stats | --ping | --shutdown) [--addr HOST:PORT]\n  \
-    epre loadgen [--addr HOST:PORT] [--clients N] [--duration-ms N] [--seed N] [--mix COLD:WARM:POISON:OVERSIZED] [--warm-pool N] [--cache-max-bytes N] [--out PATH] [--no-record]";
+    epre submit (--stats | --ping | --shutdown | --metrics) [--addr HOST:PORT]\n  \
+    epre metrics [--addr HOST:PORT] [--json]\n  \
+    epre loadgen [--addr HOST:PORT] [--clients N] [--duration-ms N] [--seed N] [--mix COLD:WARM:POISON:OVERSIZED] [--warm-pool N] [--cache-max-bytes N] [--out PATH] [--no-record] [--metrics-snapshot]";
 
 /// Render `trace` in the chosen export format and write it to `path`.
 fn write_trace(path: &str, trace: &Trace, format: &str) -> Result<(), String> {
@@ -644,6 +667,15 @@ fn cmd_report(args: &[String]) -> ExitCode {
         println!("{json_body}");
     } else {
         print!("{}", table.render_text());
+        // The serving story next to the paper's table: the latest
+        // recorded loadgen run, when one exists.
+        if let Some(line) = std::fs::read_to_string("BENCH_SERVE.json")
+            .ok()
+            .as_deref()
+            .and_then(effective_pre::report::latest_loadgen_summary)
+        {
+            println!("{line}");
+        }
     }
     if let Err(e) = std::fs::write(&out_path, format!("{json_body}\n")) {
         eprintln!("error: writing `{out_path}`: {e}");
@@ -744,12 +776,48 @@ fn install_sigterm_handler() {
 #[cfg(not(unix))]
 fn install_sigterm_handler() {}
 
+/// Set when the process receives SIGQUIT; unlike SIGTERM this is a
+/// checkpoint, not a drain — the watcher dumps the flight recorder,
+/// clears the flag, and keeps serving.
+static SIGQUIT_SEEN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_sigquit(_sig: i32) {
+    SIGQUIT_SEEN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigquit_handler() {
+    // SIGQUIT is 3 on every POSIX platform this builds on. Catching it
+    // replaces the default core-dump death with a flight-recorder
+    // checkpoint, which is the whole point.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(3, on_sigquit as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigquit_handler() {}
+
+/// Write a flight-recorder dump crash-atomically: readers racing the
+/// write see the previous complete dump or the new one, never a torn
+/// file.
+fn dump_flight_recorder(path: &str, body: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut port: u16 = 9944;
     let mut stdio = false;
     let mut cache_path: Option<String> = None;
     let mut cache_max_bytes: Option<u64> = None;
     let mut telemetry_path: Option<String> = None;
+    let mut metrics_port: Option<u16> = None;
+    let mut recorder_path: Option<String> = None;
     let mut config = ServeConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -849,6 +917,25 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Ok(n) => config.drain_deadline = Duration::from_millis(n),
                 Err(code) => return code,
             },
+            "--metrics-port" => match parse_u64("--metrics-port", it.next()) {
+                Ok(n) if n <= u16::MAX as u64 => metrics_port = Some(n as u16),
+                Ok(_) => {
+                    eprintln!("--metrics-port needs a value in 0..=65535");
+                    return ExitCode::from(2);
+                }
+                Err(code) => return code,
+            },
+            "--slow-ms" => match parse_u64("--slow-ms", it.next()) {
+                Ok(n) => config.slow_us = Some(n.saturating_mul(1000)),
+                Err(code) => return code,
+            },
+            "--flight-recorder" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--flight-recorder needs a file path");
+                    return ExitCode::from(2);
+                };
+                recorder_path = Some(p.clone());
+            }
             "--chaos-inject" => {
                 let model = it.next().and_then(|s| match s.as_str() {
                     "nonterminating" => Some(PassFaultModel::NonTerminating),
@@ -901,12 +988,36 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(p) = &recorder_path {
+        // Slow requests stream to an append-only sibling of the dump
+        // path: the dump is a point-in-time checkpoint, the slow log is
+        // the durable record (written before the answer frame, so any
+        // answer a client holds is already on disk).
+        let slow_path = format!("{p}.slow");
+        match std::fs::OpenOptions::new().create(true).append(true).open(&slow_path) {
+            Ok(f) => core.attach_slow_log(Box::new(f)),
+            Err(e) => {
+                eprintln!("error: opening slow-request log `{slow_path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     if stdio {
+        if metrics_port.is_some() {
+            eprintln!("--metrics-port needs TCP mode (it is its own listener)");
+            return ExitCode::from(2);
+        }
         // stdout is the protocol channel in stdio mode; status goes to
         // stderr only.
         eprintln!("serving on stdio");
         let (mut stdin, mut stdout) = (std::io::stdin().lock(), std::io::stdout().lock());
-        return match serve_stdio(&core, &mut stdin, &mut stdout) {
+        let result = serve_stdio(&core, &mut stdin, &mut stdout);
+        if let Some(p) = &recorder_path {
+            if let Err(e) = dump_flight_recorder(p, &core.recorder().dump()) {
+                eprintln!("error: writing flight recorder `{p}`: {e}");
+            }
+        }
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -941,9 +1052,47 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     // SIGKILL still tests the crash-recovery path instead.
     let core = std::sync::Arc::new(core);
     install_sigterm_handler();
+    install_sigquit_handler();
+    if let Some(mp) = metrics_port {
+        // The plain-HTTP scrape endpoint is its own listener so metrics
+        // stay reachable even when the protocol queue is saturated.
+        let ml = match std::net::TcpListener::bind(("127.0.0.1", mp)) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: binding metrics port 127.0.0.1:{mp}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match ml.local_addr() {
+            Ok(addr) => {
+                println!("metrics on http://{addr}/metrics");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        let core = std::sync::Arc::clone(&core);
+        std::thread::spawn(move || {
+            let _ = serve_metrics_http(ml, core);
+        });
+    }
     {
         let core = std::sync::Arc::clone(&core);
+        let recorder_path = recorder_path.clone();
         std::thread::spawn(move || loop {
+            if SIGQUIT_SEEN.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                // A checkpoint, not a drain: dump and keep serving.
+                match &recorder_path {
+                    Some(p) => match dump_flight_recorder(p, &core.recorder().dump()) {
+                        Ok(()) => eprintln!("sigquit: flight recorder dumped to {p}"),
+                        Err(e) => eprintln!("sigquit: writing flight recorder `{p}`: {e}"),
+                    },
+                    None => eprintln!("sigquit: no --flight-recorder path, dump skipped"),
+                }
+            }
             if SIGTERM_SEEN.load(std::sync::atomic::Ordering::SeqCst) {
                 eprintln!("sigterm: draining");
                 core.request_shutdown();
@@ -956,7 +1105,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             std::thread::sleep(Duration::from_millis(50));
         });
     }
-    match serve_tcp(core, listener) {
+    let result = serve_tcp(std::sync::Arc::clone(&core), listener);
+    if let Some(p) = &recorder_path {
+        // The final dump rides the drain path so a graceful exit leaves
+        // the same artifact a SIGQUIT checkpoint would.
+        if let Err(e) = dump_flight_recorder(p, &core.recorder().dump()) {
+            eprintln!("error: writing flight recorder `{p}`: {e}");
+        }
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -975,12 +1132,14 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     let mut stats_only = false;
     let mut ping_only = false;
     let mut shutdown_only = false;
+    let mut metrics_only = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stats" => stats_only = true,
             "--ping" => ping_only = true,
             "--shutdown" => shutdown_only = true,
+            "--metrics" => metrics_only = true,
             "--addr" => {
                 let Some(addr) = it.next() else {
                     eprintln!("--addr needs HOST:PORT");
@@ -1054,6 +1213,18 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             }
         };
     }
+    if metrics_only {
+        return match serve_metrics(&cfg, "text") {
+            Ok(body) => {
+                print!("{body}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
     if stats_only {
         return match serve_stats(&cfg) {
             Ok(counters) => {
@@ -1085,6 +1256,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
         policy,
         deadline_ms,
         idempotency: String::new(),
+        request: String::new(),
         module_text,
     };
     match serve_submit(&cfg, &request) {
@@ -1103,6 +1275,41 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                 // stdout is safe, but something degraded along the way.
                 ExitCode::from(3)
             }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_metrics(args: &[String]) -> ExitCode {
+    let mut cfg = ClientConfig::default();
+    let mut format = "text";
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                let Some(addr) = it.next() else {
+                    eprintln!("--addr needs HOST:PORT");
+                    return ExitCode::from(2);
+                };
+                cfg.addr = addr.clone();
+            }
+            "--json" => format = "json",
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match serve_metrics(&cfg, format) {
+        Ok(body) => {
+            print!("{body}");
+            if !body.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -1191,6 +1398,7 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
                 out_path = p.clone();
             }
             "--no-record" => record = false,
+            "--metrics-snapshot" => cfg.metrics_snapshot = true,
             other => {
                 eprintln!("unknown argument `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -1332,6 +1540,7 @@ fn main() -> ExitCode {
         Some("reduce") => cmd_reduce(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         _ => {
             eprintln!("{USAGE}");

@@ -416,6 +416,7 @@ fn concurrent_serve_requests_record_fault_evidence_once() {
         policy: "best-effort".into(),
         deadline_ms: None,
         idempotency: String::new(),
+        request: String::new(),
         module_text: text,
     };
 

@@ -114,6 +114,7 @@ fn request(text: &str) -> OptimizeRequest {
         policy: "best-effort".into(),
         deadline_ms: Some(60_000),
         idempotency: String::new(),
+        request: String::new(),
         module_text: text.to_string(),
     }
 }
@@ -586,4 +587,110 @@ fn garbage_frames_are_refused_typed_and_do_not_poison_the_daemon() {
     let out = submit(&daemon.client(), &request(&text)).expect("submit after garbage");
     assert_eq!(out.done.status, "clean");
     daemon.shutdown();
+}
+
+/// The flight recorder under fire: a SIGQUIT checkpoint accounts for
+/// every request the daemon has answered, the dump is valid JSONL, and
+/// after a SIGKILL mid-hammer the slow-request log (written *before*
+/// each answer frame) still accounts for every request id a client
+/// holds an answer for. Together the two artifacts explain what the
+/// daemon was doing when it died — the observability bar for crashes.
+#[test]
+fn flight_recorder_and_slow_log_account_for_every_answered_request() {
+    let dump_path = tmp("flight.jsonl");
+    let slow_path = PathBuf::from(format!("{}.slow", dump_path.display()));
+    let _ = std::fs::remove_file(&dump_path);
+    let _ = std::fs::remove_file(&slow_path);
+    let dump_arg = dump_path.display().to_string();
+    let mut daemon = Daemon::spawn(&["--flight-recorder", &dump_arg, "--slow-ms", "0"]);
+    let cfg = daemon.client();
+
+    // Phase 1: K sequential submits, then a SIGQUIT checkpoint.
+    let mut answered: Vec<String> = Vec::new();
+    for id in 0..6u64 {
+        let out = submit(&cfg, &request(&gen_text(id))).expect("healthy submit");
+        assert_eq!(out.done.status, "clean");
+        assert!(!out.done.request.is_empty(), "every answer echoes its request id");
+        answered.push(out.done.request);
+    }
+    let pid = daemon.child.id().to_string();
+    let quit = Command::new("kill").args(["-QUIT", &pid]).status().expect("send SIGQUIT");
+    assert!(quit.success(), "kill -QUIT must reach the daemon");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let dump = loop {
+        if let Ok(s) = std::fs::read_to_string(&dump_path) {
+            if !s.is_empty() {
+                break s;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "SIGQUIT dump never appeared");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    // The checkpoint is valid JSONL in the protocol's integer-only
+    // subset, opens with the header line, and accounts for every
+    // answered request id with nothing left in flight.
+    let mut lines = dump.lines();
+    let header = epre_serve::json::parse(lines.next().expect("non-empty dump"))
+        .expect("header line parses");
+    assert_eq!(header.get("flight_recorder").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(header.get("in_flight").and_then(|v| v.as_u64()), Some(0));
+    for line in dump.lines().skip(1) {
+        epre_serve::json::parse(line)
+            .unwrap_or_else(|e| panic!("dump line is not valid JSON ({e}): {line}"));
+    }
+    for id in &answered {
+        assert!(
+            dump.contains(&format!("\"request\":\"{id}\"")),
+            "checkpoint must account for answered request {id}:\n{dump}"
+        );
+    }
+
+    // The daemon kept serving through the checkpoint — SIGQUIT is an
+    // observation, not a drain.
+    let out = submit(&cfg, &request(&gen_text(100))).expect("submit after SIGQUIT");
+    assert_eq!(out.done.status, "clean");
+
+    // Phase 2: hammer from a background thread, SIGKILL mid-flight.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammer = {
+        let cfg = ClientConfig { attempts: 1, ..cfg.clone() };
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut answered = Vec::new();
+            let mut id = 1_000u64;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                match submit(&cfg, &request(&gen_text(id))) {
+                    Ok(out) => answered.push(out.done.request),
+                    Err(_) => break, // the kill landed
+                }
+                id += 1;
+            }
+            answered
+        })
+    };
+    std::thread::sleep(Duration::from_millis(400));
+    daemon.kill9();
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let hammered = hammer.join().expect("hammer thread");
+
+    // Every answer any client holds — checkpoint phase and hammer phase
+    // alike — is on disk in the slow log, because the log write happens
+    // before the answer frame is emitted. `--slow-ms 0` makes every
+    // request "slow", so the log is a complete ledger.
+    let slow = std::fs::read_to_string(&slow_path).expect("slow log exists");
+    for line in slow.lines() {
+        epre_serve::json::parse(line)
+            .unwrap_or_else(|e| panic!("slow-log line is not valid JSON ({e}): {line}"));
+    }
+    for id in answered.iter().chain(&hammered) {
+        assert!(
+            slow.contains(&format!("\"request\":\"{id}\"")),
+            "slow log must account for answered request {id}"
+        );
+    }
+    assert!(!hammered.is_empty(), "the hammer must land at least one answer before the kill");
+
+    let _ = std::fs::remove_file(&dump_path);
+    let _ = std::fs::remove_file(&slow_path);
 }
